@@ -1,0 +1,54 @@
+// §5 in-text experiment: bucketed vs "relaxed" community updates.
+//
+// Paper: committing moves only at the end of a full sweep ("relaxed")
+// changes modularity by < 0.13% on average but can increase running
+// time by up to 10x, typically in the optimization phase right after
+// the t_bin -> t_final switch; the number of phases is sometimes much
+// smaller under relaxed, without a clear runtime trend.
+#include "bench_common.hpp"
+
+using namespace glouvain;
+
+int main(int argc, char** argv) {
+  util::Options opt(argc, argv);
+  const double scale = opt.get_double("scale", 0.05, "suite size multiplier");
+  const std::int64_t seed = opt.get_int("seed", 1, "generator seed");
+  const auto graphs = bench::graphs_from_options(opt);
+  if (opt.help_requested()) {
+    std::printf("%s", opt.usage("Ablation: bucketed vs relaxed updates").c_str());
+    return 0;
+  }
+
+  bench::banner("Ablation — bucketed vs relaxed community updates (§5)",
+                "relaxed: modularity within 0.13% on average, but runtime up "
+                "to 10x worse on some graphs; sometimes far fewer phases");
+
+  util::Table table({"graph", "buck[s]", "rlx[s]", "slowdown", "Q(buck)",
+                     "Q(rlx)", "lvl(buck)", "lvl(rlx)"});
+  double worst_slowdown = 0, sum_dq = 0;
+  for (const auto& name : graphs) {
+    const auto g = gen::suite_entry(name).build(scale, static_cast<std::uint64_t>(seed));
+    core::Config bucketed;
+    core::Config relaxed;
+    relaxed.update = core::UpdateStrategy::Relaxed;
+    const auto rb = bench::run_core(g, bucketed);
+    const auto rr = bench::run_core(g, relaxed);
+    const double slowdown = rr.seconds / std::max(rb.seconds, 1e-9);
+    worst_slowdown = std::max(worst_slowdown, slowdown);
+    sum_dq += rb.modularity > 1e-9
+                  ? std::abs(rb.modularity - rr.modularity) / rb.modularity
+                  : 0;
+    table.add_row({name, util::Table::fixed(rb.seconds, 3),
+                   util::Table::fixed(rr.seconds, 3),
+                   util::Table::fixed(slowdown, 2),
+                   util::Table::fixed(rb.modularity, 4),
+                   util::Table::fixed(rr.modularity, 4),
+                   std::to_string(rb.levels), std::to_string(rr.levels)});
+  }
+  table.print(std::cout);
+  std::printf("\nworst relaxed slowdown: %.1fx (paper: up to 10x); mean |dQ|: "
+              "%.2f%% (paper: <0.13%% avg, our relaxed mode loses more on "
+              "uniform-degree meshes — see DESIGN.md on oscillation)\n",
+              worst_slowdown, 100.0 * sum_dq / static_cast<double>(graphs.size()));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared plumbing for the table/figure reproduction harnesses: suite
+// iteration, algorithm invocation at the paper's parameter points, and
+// uniform reporting (every bench prints a `paper:` line stating the
+// published number/shape it reproduces, then its measured rows).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/louvain.hpp"
+#include "gen/suite.hpp"
+#include "graph/csr.hpp"
+#include "plm/plm.hpp"
+#include "seq/louvain.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace glouvain::bench {
+
+/// The paper's chosen operating point (§5): t_bin = 1e-2, t_final =
+/// 1e-6, switch at 100k vertices.
+inline ThresholdSchedule paper_thresholds() {
+  return {.t_bin = 1e-2, .t_final = 1e-6, .adaptive_limit = 100'000,
+          .adaptive = true};
+}
+
+/// Print the provenance banner common to all harnesses.
+inline void banner(const char* experiment, const char* paper_claim) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("reproduces: Naim, Manne, Halappanavar, Tumeo. \"Community "
+              "Detection on the GPU\", IPDPS 2017\n");
+  std::printf("paper:      %s\n", paper_claim);
+  std::printf("substrate:  software-SIMT device (no GPU in this environment; "
+              "see DESIGN.md)\n\n");
+}
+
+/// Resolve --graph (name | "all") against the suite.
+inline std::vector<std::string> graphs_from_options(util::Options& opt,
+                                                    const char* def = "all") {
+  const std::string which = opt.get_string(
+      "graph", def, "suite graph name or 'all' (see gen/suite.hpp)");
+  if (which == "all") return gen::suite_names();
+  return {which};
+}
+
+struct AlgoRun {
+  double seconds = 0;
+  double modularity = 0;
+  int levels = 0;
+  double teps = 0;
+};
+
+inline AlgoRun run_seq(const graph::Csr& g, bool adaptive) {
+  seq::Config cfg;
+  cfg.thresholds = paper_thresholds();
+  cfg.thresholds.adaptive = adaptive;
+  const auto r = seq::louvain(g, cfg);
+  return {r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
+          r.first_phase_teps};
+}
+
+inline AlgoRun run_plm(const graph::Csr& g) {
+  plm::Config cfg;
+  cfg.thresholds = paper_thresholds();
+  const auto r = plm::louvain(g, cfg);
+  return {r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
+          r.first_phase_teps};
+}
+
+inline AlgoRun run_core(const graph::Csr& g,
+                        core::Config cfg = core::Config{}) {
+  cfg.thresholds = paper_thresholds();
+  const auto r = core::louvain(g, cfg);
+  return {r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
+          r.first_phase_teps};
+}
+
+}  // namespace glouvain::bench

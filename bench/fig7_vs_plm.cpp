@@ -1,0 +1,52 @@
+// Figure 7 reproduction: GPU-style algorithm vs the shared-memory
+// fine-grained CPU Louvain (our stand-in for the OpenMP code of Lu et
+// al. [16] on 2x Xeon E5-2680 / 20 threads).
+//
+// Paper shape: GPU wins on every one of 30 graphs, speedup 1.1-27x,
+// average 6.1x, both at thresholds (1e-2, 1e-6). On this container the
+// two contenders share the same cores, so the expected shape is a
+// speedup distribution centred near 1 with the GPU-style kernel ahead
+// where degree skew lets lane scaling and hashing locality pay off;
+// the micro_hashing bench isolates the paper's 9x hashing-rate claim.
+#include "bench_common.hpp"
+
+using namespace glouvain;
+
+int main(int argc, char** argv) {
+  util::Options opt(argc, argv);
+  const double scale = opt.get_double("scale", 0.1, "suite size multiplier");
+  const std::int64_t seed = opt.get_int("seed", 1, "generator seed");
+  const auto graphs = bench::graphs_from_options(opt);
+  if (opt.help_requested()) {
+    std::printf("%s", opt.usage("Figure 7: GPU-style vs shared-memory PLM").c_str());
+    return 0;
+  }
+
+  bench::banner("Figure 7 — speedup vs shared-memory parallel Louvain",
+                "GPU 1.1-27x faster than 20-thread OpenMP Louvain (avg 6.1x), "
+                "same thresholds (1e-2, 1e-6) on both");
+
+  util::Table table({"graph", "plm[s]", "gpu[s]", "speedup", "Q(plm)", "Q(gpu)"});
+  double sum_speedup = 0, sum_q_ratio = 0;
+  for (const auto& name : graphs) {
+    const auto g = gen::suite_entry(name).build(scale, static_cast<std::uint64_t>(seed));
+    const auto plm_run = bench::run_plm(g);
+    const auto gpu_run = bench::run_core(g);
+    const double speedup = plm_run.seconds / std::max(gpu_run.seconds, 1e-9);
+    sum_speedup += speedup;
+    sum_q_ratio += plm_run.modularity > 1e-9
+                       ? gpu_run.modularity / plm_run.modularity
+                       : 1.0;
+    table.add_row({name, util::Table::fixed(plm_run.seconds, 3),
+                   util::Table::fixed(gpu_run.seconds, 3),
+                   util::Table::fixed(speedup, 2),
+                   util::Table::fixed(plm_run.modularity, 4),
+                   util::Table::fixed(gpu_run.modularity, 4)});
+  }
+  table.print(std::cout);
+  const double n = static_cast<double>(graphs.size());
+  std::printf("\naverages: speedup %.2fx, modularity ratio %s (paper: both "
+              "algorithms within 0.2%%)\n",
+              sum_speedup / n, util::Table::percent(sum_q_ratio / n, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// §5 profiling reproduction: warp occupancy of the bucketed kernel.
+// Paper: "On UK-2002, on average 62.5% of the threads in a warp are
+// active whenever the warp is selected for execution ... this indicates
+// that we achieve sufficient parallelism to keep the device occupied."
+// We compute the static occupancy of the hashing loop (active
+// lane-slots / issued lane-slots) for the paper's bucket scheme and the
+// two ablation schemes, per suite graph.
+#include "bench_common.hpp"
+
+#include "core/occupancy.hpp"
+
+using namespace glouvain;
+
+int main(int argc, char** argv) {
+  util::Options opt(argc, argv);
+  const double scale = opt.get_double("scale", 0.1, "suite size multiplier");
+  const std::int64_t seed = opt.get_int("seed", 1, "generator seed");
+  const auto graphs = bench::graphs_from_options(opt);
+  if (opt.help_requested()) {
+    std::printf("%s", opt.usage("warp occupancy of the bucketed kernel").c_str());
+    return 0;
+  }
+
+  bench::banner("Occupancy — active lanes per issued warp slot (§5)",
+                "paper: 62.5% of warp threads active on UK-2002 with the "
+                "7-bucket scheme; node-centred assignment wastes far more "
+                "lanes on skewed degrees");
+
+  util::Table table({"graph", "paper scheme", "1-lane", "warp/vertex",
+                     "worst bucket", "best bucket"});
+  double sum_paper = 0;
+  for (const auto& name : graphs) {
+    const auto g = gen::suite_entry(name).build(scale, static_cast<std::uint64_t>(seed));
+    const auto paper = core::analyze_occupancy(g, core::BucketScheme::paper_modopt());
+    const auto single = core::analyze_occupancy(g, core::BucketScheme::single_lane());
+    const auto warp = core::analyze_occupancy(g, core::BucketScheme::warp_per_vertex());
+    sum_paper += paper.overall;
+
+    double worst = 1.0, best = 0.0;
+    for (const auto& bucket : paper.buckets) {
+      if (!bucket.vertices) continue;
+      worst = std::min(worst, bucket.occupancy);
+      best = std::max(best, bucket.occupancy);
+    }
+    table.add_row({name, util::Table::percent(paper.overall, 1),
+                   util::Table::percent(single.overall, 1),
+                   util::Table::percent(warp.overall, 1),
+                   util::Table::percent(worst, 1), util::Table::percent(best, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\naverage occupancy, paper scheme: %s (paper reports 62.5%% on "
+              "uk-2002); single-lane is trivially 100%% per lane but "
+              "serializes hubs — the relevant comparison is warp-per-vertex, "
+              "which wastes lanes on low-degree vertices.\n",
+              util::Table::percent(sum_paper / static_cast<double>(graphs.size()), 1)
+                  .c_str());
+  return 0;
+}

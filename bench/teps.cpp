@@ -1,0 +1,44 @@
+// TEPS reproduction (§5, last paragraph): traversed edges per second in
+// the first modularity-optimization phase. The paper reports a maximum
+// of 0.225 GTEPS (on channel-500) for the single K40m, against 1.54
+// GTEPS for a Blue Gene/Q with 524,288 threads — i.e. the
+// supercomputer is less than 7x faster than one GPU.
+#include "bench_common.hpp"
+
+using namespace glouvain;
+
+int main(int argc, char** argv) {
+  util::Options opt(argc, argv);
+  const double scale = opt.get_double("scale", 0.1, "suite size multiplier");
+  const std::int64_t seed = opt.get_int("seed", 1, "generator seed");
+  const auto graphs = bench::graphs_from_options(opt);
+  if (opt.help_requested()) {
+    std::printf("%s", opt.usage("TEPS of the first modularity phase").c_str());
+    return 0;
+  }
+
+  bench::banner("TEPS — first-phase processing rate",
+                "max 0.225 GTEPS on one K40m (channel-500); Blue Gene/Q with "
+                "524,288 threads reaches 1.54 GTEPS, <7x one GPU");
+
+  util::Table table({"graph", "|E|", "gpu MTEPS", "seq MTEPS", "ratio"});
+  double best = 0;
+  std::string best_name;
+  for (const auto& name : graphs) {
+    const auto g = gen::suite_entry(name).build(scale, static_cast<std::uint64_t>(seed));
+    const auto gpu_run = bench::run_core(g);
+    const auto seq_run = bench::run_seq(g, /*adaptive=*/false);
+    if (gpu_run.teps > best) {
+      best = gpu_run.teps;
+      best_name = name;
+    }
+    table.add_row({name, util::Table::count(g.num_edges()),
+                   util::Table::fixed(gpu_run.teps / 1e6, 1),
+                   util::Table::fixed(seq_run.teps / 1e6, 1),
+                   util::Table::fixed(gpu_run.teps / std::max(seq_run.teps, 1.0), 2)});
+  }
+  table.print(std::cout);
+  std::printf("\nbest: %.1f MTEPS on %s (paper: 225 MTEPS on channel-500 with "
+              "2880 CUDA cores)\n", best / 1e6, best_name.c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ground-truth benchmark scenario: sweep the LFR mixing parameter mu
+// and measure how well each algorithm (sequential, shared-memory PLM,
+// GPU-style core) recovers the planted communities. The standard
+// community-detection evaluation the paper's quality claims rest on.
+#include <cstdio>
+#include <iostream>
+
+#include "core/louvain.hpp"
+#include "gen/lfr.hpp"
+#include "metrics/compare.hpp"
+#include "plm/plm.hpp"
+#include "seq/louvain.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace glouvain;
+
+  util::Options opt(argc, argv);
+  const auto n = static_cast<graph::VertexId>(
+      opt.get_int("n", 1 << 14, "number of vertices"));
+  const std::int64_t seed = opt.get_int("seed", 3, "generator seed");
+  if (opt.help_requested()) {
+    std::printf("%s", opt.usage("planted-community recovery vs mixing parameter").c_str());
+    return 0;
+  }
+
+  std::printf("LFR benchmark, n=%u: NMI against planted communities\n", n);
+  util::Table table({"mu", "|E|", "NMI(seq)", "NMI(plm)", "NMI(core)",
+                     "Q(core)", "t(core)[s]"});
+  for (double mu : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    gen::LfrParams params;
+    params.num_vertices = n;
+    params.mu = mu;
+    params.seed = static_cast<std::uint64_t>(seed);
+    const auto bench = gen::lfr(params);
+
+    const auto rs = seq::louvain(bench.graph);
+    const auto rp = plm::louvain(bench.graph);
+    const auto rc = core::louvain(bench.graph);
+
+    table.add_row(
+        {util::Table::fixed(mu, 1), util::Table::count(bench.graph.num_edges()),
+         util::Table::fixed(metrics::nmi(rs.community, bench.ground_truth), 3),
+         util::Table::fixed(metrics::nmi(rp.community, bench.ground_truth), 3),
+         util::Table::fixed(metrics::nmi(rc.community, bench.ground_truth), 3),
+         util::Table::fixed(rc.modularity, 3),
+         util::Table::fixed(rc.total_seconds, 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected shape: NMI ~ 1 for mu <= 0.3, degrading as mixing "
+              "approaches 0.5-0.6; all three algorithms should track each "
+              "other closely.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Multi-device scenario (the paper's §6 future-work direction): run the
+// coarse-grained partitioned Louvain across simulated devices and
+// compare both partition strategies against a single device —
+// reproducing the paper's closing observation that coarse-grained
+// schemes hold up surprisingly well even under random partitioning.
+#include <cstdio>
+#include <iostream>
+
+#include "core/louvain.hpp"
+#include "gen/lfr.hpp"
+#include "metrics/compare.hpp"
+#include "metrics/quality.hpp"
+#include "multi/multi.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace glouvain;
+
+  util::Options opt(argc, argv);
+  const auto n = static_cast<graph::VertexId>(
+      opt.get_int("n", 1 << 14, "number of vertices"));
+  const std::int64_t seed = opt.get_int("seed", 11, "generator seed");
+  if (opt.help_requested()) {
+    std::printf("%s", opt.usage("coarse-grained multi-device Louvain").c_str());
+    return 0;
+  }
+
+  const auto bench = gen::lfr({.num_vertices = n, .mu = 0.25,
+                               .seed = static_cast<std::uint64_t>(seed)});
+  const auto& g = bench.graph;
+  std::printf("LFR graph: %u vertices, %llu edges, planted communities known\n\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()));
+
+  const auto single = core::louvain(g);
+  util::Table table({"configuration", "Q(coarse)", "Q(final)", "NMI vs truth",
+                     "conductance", "time[s]"});
+  table.add_row({"single device", "-", util::Table::fixed(single.modularity, 4),
+                 util::Table::fixed(metrics::nmi(single.community, bench.ground_truth), 3),
+                 util::Table::fixed(
+                     metrics::conductance_all(g, single.community).weighted_mean, 3),
+                 util::Table::fixed(single.total_seconds, 3)});
+
+  for (auto strategy : {multi::PartitionStrategy::Block,
+                        multi::PartitionStrategy::Random}) {
+    for (unsigned d : {2u, 4u}) {
+      multi::Config cfg;
+      cfg.num_devices = d;
+      cfg.partition = strategy;
+      const multi::Result r = multi::louvain(g, cfg);
+      const std::string name =
+          std::string(strategy == multi::PartitionStrategy::Block ? "block"
+                                                                  : "random") +
+          " x" + std::to_string(d);
+      table.add_row({name, util::Table::fixed(r.local_modularity, 4),
+                     util::Table::fixed(r.modularity, 4),
+                     util::Table::fixed(metrics::nmi(r.community, bench.ground_truth), 3),
+                     util::Table::fixed(
+                         metrics::conductance_all(g, r.community).weighted_mean, 3),
+                     util::Table::fixed(r.total_seconds, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nexpected shape: block partitioning matches single-device; "
+              "random partitioning's coarse phase is poor but the global "
+              "finishing pass recovers most of the gap (Cheong et al. "
+              "report up to 9%% residual loss).\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "core/aggregate.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/buckets.hpp"
+#include "core/hash_map.hpp"
+#include "prim/scan.hpp"
+#include "simt/atomics.hpp"
+#include "simt/lane_group.hpp"
+#include "util/primes.hpp"
+
+namespace glouvain::core {
+
+namespace {
+
+using graph::Community;
+using graph::Csr;
+using graph::EdgeIdx;
+using graph::VertexId;
+using graph::Weight;
+
+}  // namespace
+
+AggregationResult aggregate(simt::Device& device, const Csr& graph,
+                            const Config& config,
+                            std::span<const Community> community) {
+  const VertexId n = graph.num_vertices();
+  auto& pool = device.pool();
+
+  // --- Task (i): size and degree bound of every community
+  // (Algorithm 3 lines 2-6, atomic histograms).
+  std::vector<VertexId> com_size(n, 0);
+  std::vector<EdgeIdx> com_degree(n, 0);
+  device.for_each(n, [&](std::size_t v) {
+    const Community c = community[v];
+    simt::atomic_add(com_size[c], VertexId{1});
+    simt::atomic_add(com_degree[c], graph.degree(static_cast<VertexId>(v)));
+  });
+
+  // --- Task (ii): consecutive numbering of non-empty communities
+  // (lines 7-12: flag + prefix sum).
+  std::vector<VertexId> flags(n);
+  device.for_each(n, [&](std::size_t c) { flags[c] = com_size[c] ? 1 : 0; });
+  std::vector<VertexId> new_id(n);
+  const VertexId num_communities = prim::exclusive_scan(
+      std::span<const VertexId>(flags), std::span<VertexId>(new_id), pool);
+  device.for_each(n, [&](std::size_t c) {
+    if (!com_size[c]) new_id[c] = graph::kInvalidVertex;
+  });
+
+  // --- Task (iii): scratch edge storage bounded by the degree sums
+  // (lines 13-14). edge_pos[c] is where community c's merged edges go.
+  std::vector<EdgeIdx> edge_pos(n);
+  const EdgeIdx scratch_arcs = prim::exclusive_scan(
+      std::span<const EdgeIdx>(com_degree), std::span<EdgeIdx>(edge_pos), pool);
+
+  // --- Task (iv) setup: order vertices by community (lines 15-19).
+  std::vector<EdgeIdx> com_size_wide(com_size.begin(), com_size.end());
+  std::vector<EdgeIdx> vertex_start(n + 1);
+  vertex_start[n] = prim::exclusive_scan(
+      std::span<const EdgeIdx>(com_size_wide),
+      std::span<EdgeIdx>(vertex_start.data(), n), pool);
+  std::vector<EdgeIdx> cursor(vertex_start.begin(), vertex_start.begin() + n);
+  std::vector<VertexId> com(n);
+  device.for_each(n, [&](std::size_t v) {
+    const EdgeIdx slot = simt::atomic_add(cursor[community[v]], EdgeIdx{1});
+    com[slot] = static_cast<VertexId>(v);
+  });
+
+  // --- mergeCommunity over work buckets (lines 20-23). Communities are
+  // binned by their degree-sum bound; each task hashes the closed
+  // neighbourhood of one community and emits the merged edge list into
+  // its scratch region.
+  std::vector<VertexId> tmp_adj(scratch_arcs);
+  std::vector<Weight> tmp_w(scratch_arcs);
+  std::vector<EdgeIdx> merged_degree(n, 0);
+
+  const BucketScheme& scheme = config.aggregation_buckets;
+  const Binned binned =
+      bin_by_key(n, scheme, [&](VertexId c) { return com_degree[c]; }, pool);
+
+  auto adjacency = graph.adjacency();
+  auto edge_weights = graph.edge_weights();
+
+  for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
+    auto bucket = binned.bucket(b);
+    if (bucket.empty()) continue;
+    const unsigned lanes = scheme.lanes[b];
+    const bool use_global = b >= scheme.global_from;
+    const std::size_t grain = use_global ? 1 : 0;
+
+    device.launch(bucket.size(), grain, [&](simt::TaskContext& ctx) {
+      const Community c = bucket[ctx.task()];
+      if (com_size[c] == 0 || com_degree[c] == 0) return;
+      const std::size_t cap = static_cast<std::size_t>(
+          util::hash_capacity_for_degree(com_degree[c]));
+      auto keys = use_global ? ctx.shared().alloc_global<Community>(cap)
+                             : ctx.shared().alloc<Community>(cap);
+      auto weights = use_global ? ctx.shared().alloc_global<Weight>(cap)
+                                : ctx.shared().alloc<Weight>(cap);
+      // Task-local: one community is merged entirely inside one OS
+      // thread (see hash_map.hpp for the atomicity policy).
+      LocalCommunityHashMap table(keys, weights);
+      table.clear();
+
+      simt::LaneGroup group(lanes);
+      // Members processed one after another, all lanes cooperating on
+      // each member's edge list (§4.1, aggregation thread assignment).
+      for (EdgeIdx m = vertex_start[c]; m < vertex_start[c] + com_size[c]; ++m) {
+        const VertexId v = com[m];
+        const EdgeIdx off = graph.offset(v);
+        group.strided_for(graph.degree(v), [&](unsigned, std::size_t idx) {
+          table.insert_add(community[adjacency[off + idx]],
+                           edge_weights[off + idx]);
+        });
+      }
+
+      // Emission: each lane counts the slots it owns, a lane prefix sum
+      // assigns disjoint output ranges, then lanes copy their entries —
+      // the paper's "mark, prefix-sum across threads, move in parallel".
+      std::array<EdgeIdx, 128> lane_count{};
+      group.strided_for(cap, [&](unsigned lane, std::size_t pos) {
+        if (table.occupied(pos)) ++lane_count[lane];
+      });
+      const EdgeIdx total = group.exclusive_scan(
+          std::span<EdgeIdx>(lane_count.data(), lanes));
+      std::array<EdgeIdx, 128> lane_cursor = lane_count;
+      group.strided_for(cap, [&](unsigned lane, std::size_t pos) {
+        if (!table.occupied(pos)) return;
+        const EdgeIdx at = edge_pos[c] + lane_cursor[lane]++;
+        // Neighbouring community id is rewritten to its new vertex id
+        // here, exactly as mergeCommunity does.
+        tmp_adj[at] = new_id[table.key_at(pos)];
+        tmp_w[at] = table.weight_at(pos);
+      });
+      merged_degree[c] = total;
+    });
+  }
+
+  // --- Compaction (the prefix-sum + move pass after line 23): gather
+  // per-new-vertex degrees, scan, and copy rows into their final slots.
+  std::vector<EdgeIdx> new_degree(num_communities, 0);
+  device.for_each(n, [&](std::size_t c) {
+    if (new_id[c] != graph::kInvalidVertex) {
+      new_degree[new_id[c]] = merged_degree[c];
+    }
+  });
+  std::vector<EdgeIdx> offsets(static_cast<std::size_t>(num_communities) + 1, 0);
+  offsets[num_communities] = prim::exclusive_scan(
+      std::span<const EdgeIdx>(new_degree),
+      std::span<EdgeIdx>(offsets.data(), num_communities), pool);
+
+  std::vector<VertexId> adj(offsets[num_communities]);
+  std::vector<Weight> w(offsets[num_communities]);
+  device.for_each(n, [&](std::size_t c) {
+    if (new_id[c] == graph::kInvalidVertex) return;
+    const EdgeIdx src = edge_pos[c];
+    const EdgeIdx dst = offsets[new_id[c]];
+    const EdgeIdx deg = merged_degree[c];
+    // Library-wide Csr invariant: rows sorted by neighbor id. The hash
+    // table emits in slot order, so sort the (short) row here.
+    std::vector<std::pair<VertexId, Weight>> row(deg);
+    for (EdgeIdx i = 0; i < deg; ++i) row[i] = {tmp_adj[src + i], tmp_w[src + i]};
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (EdgeIdx i = 0; i < deg; ++i) {
+      adj[dst + i] = row[i].first;
+      w[dst + i] = row[i].second;
+    }
+  });
+
+  AggregationResult result;
+  result.contracted = Csr(std::move(offsets), std::move(adj), std::move(w));
+  result.new_id = std::move(new_id);
+  result.num_communities = num_communities;
+  return result;
+}
+
+}  // namespace glouvain::core

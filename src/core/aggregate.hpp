@@ -1,0 +1,28 @@
+// Aggregation phase (Algorithm 3 + mergeCommunity) on the software
+// SIMT device: contracts each community to one vertex of a new graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/csr.hpp"
+#include "simt/device.hpp"
+
+namespace glouvain::core {
+
+struct AggregationResult {
+  graph::Csr contracted;
+  /// old community label -> new vertex id (kInvalidVertex for labels
+  /// with no members). Dense ids follow increasing old label, matching
+  /// the newID prefix sum of Algorithm 3.
+  std::vector<graph::VertexId> new_id;
+  graph::VertexId num_communities = 0;
+};
+
+/// community[v] must be a label < graph.num_vertices() for every v.
+AggregationResult aggregate(simt::Device& device, const graph::Csr& graph,
+                            const Config& config,
+                            std::span<const graph::Community> community);
+
+}  // namespace glouvain::core

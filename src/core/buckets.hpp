@@ -1,0 +1,38 @@
+// Work binning (Algorithm 1 line 5 / Algorithm 3 line 21): group items
+// (vertices or communities) by a work key (degree or community degree
+// sum) into the buckets of a BucketScheme, using the Thrust-style
+// partition primitive, exactly as the paper's host code does.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/types.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::core {
+
+struct Binned {
+  /// Items reordered so each bucket is contiguous.
+  std::vector<graph::VertexId> order;
+  /// num_buckets + 1 offsets into `order`.
+  std::vector<std::size_t> begin;
+
+  std::span<const graph::VertexId> bucket(std::size_t b) const noexcept {
+    return {order.data() + begin[b], begin[b + 1] - begin[b]};
+  }
+};
+
+/// Bin items [0, num_items) by key(item) into scheme's buckets via
+/// repeated stable partition. Items with key 0 land in bucket 0 (and
+/// the kernels skip them). The last bucket (the "global memory" one)
+/// is additionally sorted by DESCENDING key, mirroring the paper's
+/// sort-then-interleave load balancing for the heaviest vertices.
+template <typename KeyFn>
+Binned bin_by_key(std::size_t num_items, const BucketScheme& scheme, KeyFn&& key,
+                  simt::ThreadPool& pool = simt::ThreadPool::global());
+
+}  // namespace glouvain::core
+
+#include "core/buckets_impl.hpp"

@@ -1,0 +1,52 @@
+// Implementation of bin_by_key (included from buckets.hpp).
+#pragma once
+
+#include "prim/partition.hpp"
+#include "prim/sort.hpp"
+#include "prim/transform.hpp"
+
+namespace glouvain::core {
+
+template <typename KeyFn>
+Binned bin_by_key(std::size_t num_items, const BucketScheme& scheme, KeyFn&& key,
+                  simt::ThreadPool& pool) {
+  Binned binned;
+  binned.order.resize(num_items);
+  prim::iota(std::span<graph::VertexId>(binned.order), graph::VertexId{0}, pool);
+  binned.begin.assign(scheme.num_buckets() + 1, 0);
+
+  // Repeated stable partition of the remaining tail, one cut per bound
+  // (the paper calls Thrust partition() once per bucket).
+  std::vector<graph::VertexId> scratch(num_items);
+  std::size_t start = 0;
+  for (std::size_t b = 0; b + 1 < scheme.num_buckets(); ++b) {
+    const graph::EdgeIdx bound = scheme.bounds[b];
+    std::span<const graph::VertexId> tail(binned.order.data() + start,
+                                          num_items - start);
+    std::span<graph::VertexId> out(scratch.data() + start, num_items - start);
+    const std::size_t in_bucket = prim::stable_partition_copy(
+        tail, out,
+        [&](graph::VertexId item) { return key(item) <= bound; }, pool);
+    pool.parallel_for(tail.size(), [&](std::size_t i, unsigned) {
+      binned.order[start + i] = scratch[start + i];
+    });
+    binned.begin[b + 1] = start + in_bucket;
+    start += in_bucket;
+  }
+  binned.begin[scheme.num_buckets()] = num_items;
+
+  // Heaviest bucket: sort by descending key so dynamic dispatch picks
+  // the biggest jobs first (interleaved-by-degree in the paper).
+  const std::size_t last = scheme.num_buckets() - 1;
+  std::span<graph::VertexId> heavy(binned.order.data() + binned.begin[last],
+                                   binned.begin[last + 1] - binned.begin[last]);
+  prim::sort(heavy,
+             [&](graph::VertexId a, graph::VertexId b) {
+               const auto ka = key(a), kb = key(b);
+               return ka != kb ? ka > kb : a < b;
+             },
+             pool);
+  return binned;
+}
+
+}  // namespace glouvain::core

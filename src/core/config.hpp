@@ -1,0 +1,94 @@
+// Configuration of the GPU-style Louvain algorithm: degree buckets,
+// lane assignment, shared/global hash placement, update strategy, and
+// the threshold schedule. Defaults are exactly the paper's (§4.1).
+#pragma once
+
+#include <vector>
+
+#include "core/common.hpp"
+#include "graph/types.hpp"
+#include "simt/device.hpp"
+
+namespace glouvain::core {
+
+/// Degree-based work binning (§4.1). Bucket k holds vertices with
+/// degree in (bounds[k-1], bounds[k]]; the final bucket is unbounded.
+/// lanes[k] is the number of cooperating lanes assigned to each vertex
+/// of that bucket, and buckets with index >= global_from place their
+/// hash tables in "global memory" instead of the per-SM shared arena.
+struct BucketScheme {
+  std::vector<graph::EdgeIdx> bounds;
+  std::vector<unsigned> lanes;
+  std::size_t global_from = 0;
+
+  std::size_t num_buckets() const noexcept { return lanes.size(); }
+
+  /// The paper's 7 modularity-optimization buckets: degrees
+  /// [1,4], [5,8], [9,16], [17,32] get 4/8/16/32 lanes (sub-warp
+  /// groups, 2^{k+1} threads for group k=1..4); [33,84] a full warp;
+  /// [85,319] a 128-thread block with the table in shared memory;
+  /// >319 a block with the table in global memory.
+  static BucketScheme paper_modopt() {
+    return {{4, 8, 16, 32, 84, 319}, {4, 8, 16, 32, 32, 128, 128}, 6};
+  }
+
+  /// The paper's 3 aggregation buckets on community degree sums:
+  /// [1,127] one warp (shared), [128,479] one block (shared),
+  /// >=480 one block with the hash table in global memory.
+  static BucketScheme paper_aggregation() {
+    return {{127, 479}, {32, 128, 128}, 2};
+  }
+
+  /// Ablation scheme: no binning, one lane per vertex, shared tables
+  /// with spill to global (the "node centered" strategy of prior work).
+  static BucketScheme single_lane() { return {{}, {1}, 1}; }
+
+  /// Ablation scheme: a full warp for every vertex regardless of degree.
+  static BucketScheme warp_per_vertex() { return {{}, {32}, 1}; }
+
+  /// Bucket index for a degree (0-based).
+  std::size_t bucket_of(graph::EdgeIdx degree) const noexcept {
+    std::size_t b = 0;
+    while (b < bounds.size() && degree > bounds[b]) ++b;
+    return b;
+  }
+};
+
+/// When vertices observe each other's moves (§5 "relaxed" experiment).
+enum class UpdateStrategy {
+  /// Commit community updates after every degree bucket (the paper's
+  /// default: between pure-synchronous and asynchronous).
+  Bucketed,
+  /// Commit only at the end of a full sweep over all buckets (the
+  /// "relaxed" strategy; up to 10x slower per the paper).
+  Relaxed,
+};
+
+struct Config {
+  ThresholdSchedule thresholds;
+  BucketScheme modopt_buckets = BucketScheme::paper_modopt();
+  BucketScheme aggregation_buckets = BucketScheme::paper_aggregation();
+  UpdateStrategy update = UpdateStrategy::Bucketed;
+  /// Each degree bucket is processed in this many hash-partitioned
+  /// sub-rounds, committing moves after each. 1 reproduces the paper's
+  /// pseudocode exactly; >1 is a lightweight stand-in for the graph
+  /// coloring of Lu et al. [16] (which the paper cites as the source
+  /// of its move-control heuristics) and breaks the synchronous
+  /// swap oscillation on uniform-degree graphs, where a single bucket
+  /// holds nearly every vertex. Quality/cost measured by the
+  /// `ablation_subrounds` bench; see DESIGN.md.
+  unsigned commit_subrounds = 4;
+  /// Serialize moves by a proper graph coloring instead of hash
+  /// classes: the exact conflict-avoidance mechanism of Lu et al. [16].
+  /// No two adjacent vertices then ever decide in the same sub-round,
+  /// eliminating swap oscillation entirely, at the cost of a coloring
+  /// per level and (num_colors) launches per bucket per sweep.
+  /// Overrides commit_subrounds when true. Ablated in
+  /// `bench/ablation_subrounds`.
+  bool use_coloring = false;
+  int max_levels = 64;
+  int max_sweeps_per_level = 1000;
+  simt::DeviceConfig device;
+};
+
+}  // namespace glouvain::core

@@ -1,0 +1,105 @@
+#include "core/louvain.hpp"
+
+#include "metrics/partition.hpp"
+#include "simt/atomics.hpp"
+#include "util/timer.hpp"
+
+namespace glouvain::core {
+
+namespace {
+using graph::Community;
+using graph::Csr;
+using graph::VertexId;
+}  // namespace
+
+Louvain::Louvain(const Config& config)
+    : config_(config), device_(std::make_unique<simt::Device>(config.device)) {}
+
+Louvain::~Louvain() = default;
+
+PhaseResult Louvain::run_phase(const Csr& graph,
+                               std::vector<Community>& community,
+                               double threshold) {
+  PhaseState state;
+  state.reset(graph, *device_);
+  PhaseResult pr = optimize_phase(*device_, graph, config_, state, threshold);
+  community = std::move(state.community);
+  return pr;
+}
+
+Result Louvain::run(const Csr& graph) {
+  util::Timer total_timer;
+  device_->clear_spills();
+
+  Result result;
+  result.community.resize(graph.num_vertices());
+  device_->for_each(graph.num_vertices(), [&](std::size_t v) {
+    result.community[v] = static_cast<Community>(v);
+  });
+
+  Csr current = graph;
+  double prev_q = -1.0;
+
+  for (int level = 0; level < config_.max_levels; ++level) {
+    LevelReport report;
+    report.vertices = current.num_vertices();
+    report.arcs = current.num_arcs();
+    report.modularity_before = prev_q < -0.5 ? 0 : prev_q;
+
+    const double threshold =
+        config_.thresholds.threshold_for(current.num_vertices());
+
+    util::Timer opt_timer;
+    PhaseState state;
+    state.reset(current, *device_);
+    const PhaseResult phase =
+        optimize_phase(*device_, current, config_, state, threshold);
+    report.optimize_seconds = opt_timer.seconds();
+    report.iterations = phase.sweeps;
+    report.modularity_after = phase.modularity;
+
+    if (level == 0) {
+      result.first_phase_teps = phase.first_sweep_seconds > 0
+          ? static_cast<double>(current.num_arcs()) / phase.first_sweep_seconds
+          : 0;
+    }
+
+    // Termination always checks against the FINE threshold: t_bin only
+    // cuts phases short, it must not end the whole hierarchy early.
+    const bool converged =
+        prev_q >= -0.5 && (phase.modularity - prev_q) < config_.thresholds.t_final;
+
+    util::Timer agg_timer;
+    const AggregationResult agg =
+        aggregate(*device_, current, config_, state.community);
+
+    // Fold this level into the original-vertex mapping:
+    // community(orig) = new_id[ phase community of current vertex ].
+    std::vector<Community> dense(current.num_vertices());
+    device_->for_each(current.num_vertices(), [&](std::size_t v) {
+      dense[v] = agg.new_id[state.community[v]];
+    });
+    result.community = metrics::flatten(result.community, dense);
+    result.dendrogram.push_level(dense);
+    report.aggregate_seconds = agg_timer.seconds();
+    result.levels.push_back(report);
+
+    const bool shrunk = agg.contracted.num_vertices() < current.num_vertices();
+    prev_q = phase.modularity;
+    current = agg.contracted;
+    if (converged || !shrunk) break;
+  }
+
+  result.modularity = prev_q;
+  result.total_seconds = total_timer.seconds();
+  result.device.shared_spills = device_->total_spills();
+  result.device.workers = device_->workers();
+  return result;
+}
+
+Result louvain(const Csr& graph, const Config& config) {
+  Louvain runner(config);
+  return runner.run(graph);
+}
+
+}  // namespace glouvain::core

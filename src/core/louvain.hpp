@@ -1,0 +1,62 @@
+// Public entry point of the library: the GPU-style Louvain method of
+// Naim, Manne, Halappanavar & Tumeo (IPDPS 2017) on the software SIMT
+// device. Usage:
+//
+//   glouvain::core::Louvain runner;                 // default config
+//   auto result = runner.run(graph);
+//   // result.community[v], result.modularity, result.levels, ...
+//
+// A Louvain instance owns its device (thread pool + shared-memory
+// arenas) and can be reused across runs. For one-off calls the free
+// function louvain() constructs a temporary instance.
+#pragma once
+
+#include <memory>
+
+#include "core/aggregate.hpp"
+#include "core/config.hpp"
+#include "core/modopt.hpp"
+#include "graph/csr.hpp"
+
+namespace glouvain::core {
+
+/// Extra diagnostics beyond the common LouvainResult.
+struct DeviceStats {
+  std::uint64_t shared_spills = 0;  ///< hash tables that overflowed the
+                                    ///< shared arena into heap storage
+  unsigned workers = 0;             ///< device worker threads used
+};
+
+struct Result : LouvainResult {
+  DeviceStats device;
+};
+
+class Louvain {
+ public:
+  explicit Louvain(const Config& config = {});
+  ~Louvain();
+
+  Louvain(const Louvain&) = delete;
+  Louvain& operator=(const Louvain&) = delete;
+
+  /// Run the full multi-level pipeline on `graph`.
+  Result run(const graph::Csr& graph);
+
+  /// Run a single modularity-optimization phase starting from the
+  /// all-singletons partition (exposed for tests and benches).
+  PhaseResult run_phase(const graph::Csr& graph,
+                        std::vector<graph::Community>& community,
+                        double threshold);
+
+  const Config& config() const noexcept { return config_; }
+  simt::Device& device() noexcept { return *device_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<simt::Device> device_;
+};
+
+/// One-shot convenience wrapper.
+Result louvain(const graph::Csr& graph, const Config& config = {});
+
+}  // namespace glouvain::core

@@ -1,0 +1,320 @@
+#include "core/modopt.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "core/buckets.hpp"
+#include "graph/coloring.hpp"
+#include "core/hash_map.hpp"
+#include "simt/atomics.hpp"
+#include "simt/lane_group.hpp"
+#include "util/primes.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace glouvain::core {
+
+namespace {
+
+using graph::Community;
+using graph::Csr;
+using graph::EdgeIdx;
+using graph::VertexId;
+using graph::Weight;
+
+/// Per-lane candidate for the warp argmax reduction (Algorithm 2 line
+/// 14): best (gain, community) seen by this lane, ties to the lowest
+/// community id, as §4 prescribes.
+struct Candidate {
+  double gain = -std::numeric_limits<double>::infinity();
+  Community comm = graph::kInvalidCommunity;
+};
+
+Candidate better(const Candidate& a, const Candidate& b) noexcept {
+  constexpr double kEps = 1e-15;
+  if (b.gain > a.gain + kEps) return b;
+  if (b.gain > a.gain - kEps && b.comm < a.comm) return b;
+  return a;
+}
+
+/// The computeMove kernel body (Algorithm 2) for one vertex. Table is
+/// either the concurrent or the task-local hash map (see hash_map.hpp).
+template <typename Table>
+void compute_move(const Csr& graph, PhaseState& state, Weight m2, VertexId v,
+                  simt::LaneGroup group, Table& table) {
+  const EdgeIdx off = graph.offset(v);
+  const EdgeIdx deg = graph.degree(v);
+  const Community old_c = state.community[v];
+  const Weight k = state.strengths[v];
+  const double inv_m2 = 1.0 / m2;
+  auto adjacency = graph.adjacency();
+  auto edge_weights = graph.edge_weights();
+
+  // --- Lines 2-13: lane-parallel hashing of the neighbourhood. Each
+  // lane visits edges off+lane, off+lane+L, ... and accumulates the
+  // weight under the neighbour's community. The self-loop contributes
+  // equally to every candidate (it moves with v), so it is skipped.
+  group.strided_for(deg, [&](unsigned /*lane*/, std::size_t idx) {
+    const VertexId j = adjacency[off + idx];
+    if (j == v) return;
+    table.insert_add(simt::atomic_load(state.community[j]),
+                     edge_weights[off + idx]);
+  });
+
+  // --- Line 14: per-lane scan of the table slots followed by a warp
+  // reduction picks the best destination. The gain term per candidate
+  // community c (v removed from its own community first) is
+  //   e_{v->c} - k_v * a_c / 2m,
+  // the variable part of Eq. (2).
+  std::array<Candidate, 128> lane_best{};
+  Weight d_old = 0;  // e_{v->C(v)\{v}}, collected during the slot scan
+  group.strided_for(table.capacity(), [&](unsigned lane, std::size_t pos) {
+    if (!table.occupied(pos)) return;
+    const Community c = table.key_at(pos);
+    if (c == old_c) {
+      // Lanes of a group execute inside one OS thread, so this plain
+      // write is race-free (at most one slot holds old_c).
+      d_old = table.weight_at(pos);
+      return;
+    }
+    const double gain =
+        table.weight_at(pos) - k * simt::atomic_load(state.tot[c]) * inv_m2;
+    lane_best[lane] = better(lane_best[lane], {gain, c});
+  });
+  const Candidate best = group.reduce(
+      std::span<Candidate>(lane_best.data(), group.lanes()),
+      [](const Candidate& a, const Candidate& b) { return better(a, b); });
+
+  // --- Lines 15-18: move only on strictly positive modularity gain
+  // relative to staying (e_{v->C(v)\{v}} enters both sides of Eq. (2),
+  // here it appears only in the stay gain).
+  const double stay_gain =
+      d_old - k * (simt::atomic_load(state.tot[old_c]) - k) * inv_m2;
+  bool move = best.comm != graph::kInvalidCommunity && best.gain > stay_gain + 1e-15;
+  // Singleton-to-singleton guard from [16] (paper §4): a vertex that is
+  // a community by itself may only join another singleton community if
+  // that community's id is smaller. The guard vetoes the chosen move
+  // (the vertex waits a sweep) rather than redirecting it to a
+  // second-best target, which would cascade into over-merging.
+  if (move && simt::atomic_load(state.com_size[old_c]) == 1 &&
+      best.comm > old_c &&
+      simt::atomic_load(state.com_size[best.comm]) == 1) {
+    move = false;
+  }
+  state.new_comm[v] = move ? best.comm : old_c;
+  // Predicted dQ of this move against the snapshot (exact if no other
+  // vertex moves concurrently); drives the sweep stopping rule.
+  state.move_gain[v] = move ? 2.0 * (best.gain - stay_gain) / m2 : 0.0;
+}
+
+/// Commit newComm for the vertices of one bucket and update a_c and the
+/// community sizes incrementally (equivalent to the paper's "recompute
+/// a_c in parallel", Algorithm 1 lines 8-11, but O(bucket) not O(n)).
+/// Returns the accumulated predicted modularity gain of the commits.
+double commit_moves(simt::Device& device, PhaseState& state,
+                    std::span<const VertexId> vertices) {
+  std::vector<double> gain_partial(device.workers(), 0.0);
+  device.pool().parallel_for(vertices.size(), [&](std::size_t i, unsigned worker) {
+    const VertexId v = vertices[i];
+    const Community to = state.new_comm[v];
+    const Community from = state.community[v];
+    if (to == from) return;
+    const Weight k = state.strengths[v];
+    simt::atomic_add(state.tot[from], -k);
+    simt::atomic_add(state.tot[to], k);
+    simt::atomic_sub(state.com_size[from], VertexId{1});
+    simt::atomic_add(state.com_size[to], VertexId{1});
+    state.community[v] = to;
+    gain_partial[worker] += state.move_gain[v];
+  });
+  double total = 0;
+  for (double g : gain_partial) total += g;
+  return total;
+}
+
+}  // namespace
+
+void PhaseState::reset(const Csr& graph, simt::Device& device) {
+  const VertexId n = graph.num_vertices();
+  strengths.resize(n);
+  loops.resize(n);
+  community.resize(n);
+  new_comm.resize(n);
+  tot.resize(n);
+  com_size.resize(n);
+  move_gain.resize(n);
+  device.for_each(n, [&](std::size_t v) {
+    const auto vid = static_cast<VertexId>(v);
+    strengths[v] = graph.strength(vid);
+    loops[v] = graph.loop_weight(vid);
+    community[v] = vid;
+    new_comm[v] = vid;
+    tot[v] = strengths[v];
+    com_size[v] = 1;
+    move_gain[v] = 0;
+  });
+}
+
+double device_modularity(simt::Device& device, const Csr& graph,
+                         const std::vector<Community>& community,
+                         const std::vector<Weight>& tot) {
+  const Weight m2 = graph.total_weight();
+  if (m2 <= 0) return 0;
+  std::vector<Weight> in_partial(device.workers(), 0);
+  std::vector<Weight> tot_partial(device.workers(), 0);
+  auto& pool = device.pool();
+  pool.parallel_for(graph.num_vertices(), [&](std::size_t vi, unsigned worker) {
+    const auto v = static_cast<VertexId>(vi);
+    const Community c = community[v];
+    auto nbrs = graph.neighbors(v);
+    auto ws = graph.weights(v);
+    Weight internal = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (community[nbrs[i]] == c) internal += ws[i];
+    }
+    in_partial[worker] += internal;
+    // Each community's tot is summed once by its representative slot:
+    // slot v holds tot[v] which is nonzero only for live communities.
+    tot_partial[worker] += tot[v] * tot[v];
+  });
+  Weight in_total = 0, tot_sq = 0;
+  for (unsigned w = 0; w < device.workers(); ++w) {
+    in_total += in_partial[w];
+    tot_sq += tot_partial[w];
+  }
+  return in_total / m2 - tot_sq / (m2 * m2);
+}
+
+PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
+                           const Config& config, PhaseState& state,
+                           double threshold) {
+  const VertexId n = graph.num_vertices();
+  const Weight m2 = graph.total_weight();
+  PhaseResult result;
+  if (n == 0 || m2 <= 0) return result;
+
+  const BucketScheme& scheme = config.modopt_buckets;
+  // Degrees are fixed within a phase, so one binning serves every sweep
+  // (the pseudocode re-partitions per sweep; the result is identical).
+  const Binned binned = bin_by_key(
+      n, scheme, [&](VertexId v) { return graph.degree(v); }, device.pool());
+
+  // Sub-round grouping within each bucket: vertices of one bucket are
+  // reordered so sub-round classes are contiguous, preserving relative
+  // order inside each class. Classes come either from a hash
+  // (Config::commit_subrounds) or from a proper graph coloring
+  // (Config::use_coloring — the mechanism of [16], under which no two
+  // adjacent vertices ever decide concurrently).
+  graph::Coloring coloring;
+  unsigned subrounds = 1;
+  if (config.update == UpdateStrategy::Bucketed) {
+    if (config.use_coloring) {
+      coloring = graph::color_graph(graph);
+      subrounds = std::max(1u, coloring.num_colors);
+    } else {
+      subrounds = std::max(1u, config.commit_subrounds);
+    }
+  }
+  const auto class_of = [&](VertexId v) -> unsigned {
+    return config.use_coloring
+               ? coloring.color[v]
+               : static_cast<unsigned>(util::hash64(v) % subrounds);
+  };
+  std::vector<VertexId> order(binned.order);
+  // sub_begin[b * subrounds + s] .. [b * subrounds + s + 1) is the
+  // half-open range of bucket b's sub-round s within `order`.
+  std::vector<std::size_t> sub_begin(scheme.num_buckets() * subrounds + 1, 0);
+  {
+    std::vector<VertexId> scratch;
+    std::vector<std::vector<VertexId>> classes(subrounds);
+    for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
+      auto bucket = binned.bucket(b);
+      for (auto& cls : classes) cls.clear();
+      for (VertexId v : bucket) classes[class_of(v)].push_back(v);
+      std::size_t at = binned.begin[b];
+      for (unsigned s = 0; s < subrounds; ++s) {
+        sub_begin[b * subrounds + s] = at;
+        for (VertexId v : classes[s]) order[at++] = v;
+      }
+    }
+    sub_begin.back() = n;
+  }
+
+  double current_q = device_modularity(device, graph, state.community, state.tot);
+
+  while (result.sweeps < config.max_sweeps_per_level) {
+    ++result.sweeps;
+    util::Timer sweep_timer;
+    double sweep_gain = 0;
+
+    for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
+      const unsigned lanes = scheme.lanes[b];
+      const bool use_global = b >= scheme.global_from;
+      // Heaviest bucket: one task per dispatch so the desc-by-degree
+      // order load-balances (paper: interleaved assignment to blocks).
+      const std::size_t grain = use_global ? 1 : 0;
+
+      for (unsigned s = 0; s < subrounds; ++s) {
+        const std::size_t lo = sub_begin[b * subrounds + s];
+        const std::size_t hi = (b * subrounds + s + 1 < sub_begin.size() - 1)
+                                   ? sub_begin[b * subrounds + s + 1]
+                                   : sub_begin.back();
+        if (lo >= hi) continue;
+        std::span<const VertexId> group_vertices(order.data() + lo, hi - lo);
+
+        device.launch(group_vertices.size(), grain, [&](simt::TaskContext& ctx) {
+          const VertexId v = group_vertices[ctx.task()];
+          const EdgeIdx deg = graph.degree(v);
+          if (deg == 0) {
+            state.new_comm[v] = state.community[v];
+            state.move_gain[v] = 0;
+            return;
+          }
+          const std::size_t cap =
+              static_cast<std::size_t>(util::hash_capacity_for_degree(deg));
+          auto keys = use_global ? ctx.shared().alloc_global<Community>(cap)
+                                 : ctx.shared().alloc<Community>(cap);
+          auto weights = use_global ? ctx.shared().alloc_global<Weight>(cap)
+                                    : ctx.shared().alloc<Weight>(cap);
+          // Task-local table: this lane group runs inside one OS thread
+          // (see hash_map.hpp for why no host atomics are needed here).
+          LocalCommunityHashMap table(keys, weights);
+          table.clear();
+          compute_move(graph, state, m2, v, simt::LaneGroup(lanes), table);
+        });
+
+        if (config.update == UpdateStrategy::Bucketed) {
+          sweep_gain += commit_moves(device, state, group_vertices);
+        }
+      }
+    }
+
+    if (config.update == UpdateStrategy::Relaxed) {
+      sweep_gain += commit_moves(device, state,
+                                 std::span<const VertexId>(binned.order));
+    }
+
+    if (result.sweeps == 1) result.first_sweep_seconds = sweep_timer.seconds();
+
+    // Algorithm 1 line 12: repeat until the accumulated modularity gain
+    // of a sweep drops below the threshold. The cheap accumulated
+    // predicted gain prunes first (it upper-bounds progress: every
+    // committed move predicted a positive gain); only when it is still
+    // above threshold is the exact modularity evaluated, which also
+    // catches oscillation (real gain <= 0 while predictions stay
+    // positive).
+    if (sweep_gain < threshold) break;
+    const double new_q =
+        device_modularity(device, graph, state.community, state.tot);
+    if (new_q - current_q < threshold) {
+      current_q = new_q;
+      break;
+    }
+    current_q = new_q;
+  }
+
+  result.modularity = device_modularity(device, graph, state.community, state.tot);
+  return result;
+}
+
+}  // namespace glouvain::core

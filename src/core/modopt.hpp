@@ -1,0 +1,51 @@
+// Modularity-optimization phase (Algorithms 1 and 2 of the paper) on
+// the software SIMT device.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/csr.hpp"
+#include "simt/device.hpp"
+
+namespace glouvain::core {
+
+/// Mutable per-phase device state (the GPU-resident arrays).
+struct PhaseState {
+  std::vector<graph::Weight> strengths;    ///< k_i
+  std::vector<graph::Weight> loops;        ///< self-loop weight of i
+  std::vector<graph::Community> community; ///< C
+  std::vector<graph::Community> new_comm;  ///< newComm
+  std::vector<graph::Weight> tot;          ///< a_c
+  std::vector<graph::VertexId> com_size;   ///< |c| (for the singleton guard)
+  /// Predicted modularity gain of the pending newComm move (0 when the
+  /// vertex stays). Accumulated at commit time for the sweep stopping
+  /// rule, so no extra O(|E|) pass per sweep is needed.
+  std::vector<double> move_gain;
+
+  /// Initialize for a fresh phase: every vertex its own community.
+  void reset(const graph::Csr& graph, simt::Device& device);
+};
+
+struct PhaseResult {
+  int sweeps = 0;
+  double modularity = 0;
+  double first_sweep_seconds = 0;  ///< for the TEPS figure
+};
+
+/// Run one full modularity-optimization phase: sweeps over the degree
+/// buckets until the per-sweep modularity gain drops below `threshold`
+/// (Algorithm 1). `state` must be reset() for `graph` first; on return
+/// state.community holds the computed assignment (labels are vertex ids,
+/// not renumbered).
+PhaseResult optimize_phase(simt::Device& device, const graph::Csr& graph,
+                           const Config& config, PhaseState& state,
+                           double threshold);
+
+/// Modularity of the current assignment from the device arrays
+/// (parallel; used for the sweep-termination test).
+double device_modularity(simt::Device& device, const graph::Csr& graph,
+                         const std::vector<graph::Community>& community,
+                         const std::vector<graph::Weight>& tot);
+
+}  // namespace glouvain::core

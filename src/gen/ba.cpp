@@ -1,0 +1,40 @@
+#include "gen/ba.hpp"
+
+#include "graph/builder.hpp"
+#include "util/prng.hpp"
+
+namespace glouvain::gen {
+
+graph::Csr barabasi_albert(graph::VertexId n, unsigned attach, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+
+  // `targets` holds one entry per edge endpoint: sampling uniformly
+  // from it IS degree-proportional sampling (the standard trick).
+  std::vector<graph::VertexId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * attach);
+
+  const graph::VertexId start = std::max<graph::VertexId>(attach, 2);
+  // Seed clique-ish core: a path over the first `start` vertices.
+  for (graph::VertexId v = 1; v < start && v < n; ++v) {
+    edges.push_back({v - 1, v, 1.0});
+    endpoints.push_back(v - 1);
+    endpoints.push_back(v);
+  }
+
+  for (graph::VertexId v = start; v < n; ++v) {
+    for (unsigned k = 0; k < attach; ++k) {
+      const auto pick = endpoints.empty()
+                            ? static_cast<graph::VertexId>(rng.next_below(v))
+                            : endpoints[rng.next_below(endpoints.size())];
+      const graph::VertexId target = (pick == v) ? (v ? v - 1 : 0) : pick;
+      edges.push_back({v, target, 1.0});
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return graph::build_csr(n, std::move(edges));
+}
+
+}  // namespace glouvain::gen

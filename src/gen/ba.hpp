@@ -1,0 +1,16 @@
+// Barabási–Albert preferential attachment: scale-free graphs with a
+// hard power-law tail but (unlike R-MAT) guaranteed connectivity —
+// models collaboration networks (coPapersDBLP, out.actor-collaboration).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+/// n vertices; each new vertex attaches `attach` edges to existing
+/// vertices with probability proportional to current degree.
+graph::Csr barabasi_albert(graph::VertexId n, unsigned attach, std::uint64_t seed);
+
+}  // namespace glouvain::gen

@@ -1,0 +1,28 @@
+#include "gen/cliques.hpp"
+
+#include "graph/builder.hpp"
+
+namespace glouvain::gen {
+
+graph::Csr ring_of_cliques(graph::VertexId num_cliques, graph::VertexId clique_size) {
+  std::vector<graph::Edge> edges;
+  const graph::VertexId n = num_cliques * clique_size;
+  edges.reserve(static_cast<std::size_t>(num_cliques) * clique_size * clique_size / 2 +
+                num_cliques);
+  for (graph::VertexId c = 0; c < num_cliques; ++c) {
+    const graph::VertexId base = c * clique_size;
+    for (graph::VertexId i = 0; i < clique_size; ++i) {
+      for (graph::VertexId j = i + 1; j < clique_size; ++j) {
+        edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+    if (num_cliques > 1) {
+      // Bridge from the last vertex of this clique to the first of the next.
+      const graph::VertexId next_base = ((c + 1) % num_cliques) * clique_size;
+      edges.push_back({base + clique_size - 1, next_base, 1.0});
+    }
+  }
+  return graph::build_csr(n, std::move(edges));
+}
+
+}  // namespace glouvain::gen

@@ -1,0 +1,14 @@
+// Ring of cliques: k cliques of size s, consecutive cliques joined by
+// one bridge edge. The textbook graph with unambiguous communities —
+// used to unit-test that every Louvain variant recovers the cliques —
+// and, scaled up, the classic resolution-limit example (Fortunato &
+// Barthélemy 2007) referenced in the paper's conclusion.
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+graph::Csr ring_of_cliques(graph::VertexId num_cliques, graph::VertexId clique_size);
+
+}  // namespace glouvain::gen

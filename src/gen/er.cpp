@@ -1,0 +1,21 @@
+#include "gen/er.hpp"
+
+#include "graph/builder.hpp"
+#include "util/prng.hpp"
+
+namespace glouvain::gen {
+
+graph::Csr erdos_renyi(graph::VertexId n, std::uint64_t m, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<graph::Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    auto u = static_cast<graph::VertexId>(rng.next_below(n));
+    auto v = static_cast<graph::VertexId>(rng.next_below(n));
+    if (u == v) v = static_cast<graph::VertexId>((v + 1) % n);
+    edges.push_back({u, v, 1.0});
+  }
+  return graph::build_csr(n, std::move(edges));
+}
+
+}  // namespace glouvain::gen

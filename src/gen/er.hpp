@@ -1,0 +1,15 @@
+// Erdős–Rényi G(n, m): m uniformly random distinct endpoints pairs.
+// The "no community structure" control for quality experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+/// n vertices, ~m undirected edges (duplicates merge, so the realized
+/// count can be slightly lower). No self-loops.
+graph::Csr erdos_renyi(graph::VertexId n, std::uint64_t m, std::uint64_t seed);
+
+}  // namespace glouvain::gen

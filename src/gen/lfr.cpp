@@ -1,0 +1,109 @@
+#include "gen/lfr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "util/prng.hpp"
+
+namespace glouvain::gen {
+
+namespace {
+
+/// Inverse-transform sample from a truncated power law with density
+/// proportional to x^-gamma on [lo, hi].
+double power_law(util::Xoshiro256& rng, double gamma, double lo, double hi) {
+  const double a = 1.0 - gamma;
+  const double lo_a = std::pow(lo, a);
+  const double hi_a = std::pow(hi, a);
+  return std::pow(lo_a + rng.next_double() * (hi_a - lo_a), 1.0 / a);
+}
+
+/// Configuration-model pairing: shuffle stubs and pair consecutively,
+/// dropping pairs the predicate rejects (loops, same-community, …).
+template <typename Accept>
+void pair_stubs(std::vector<graph::VertexId>& stubs, util::Xoshiro256& rng,
+                std::vector<graph::Edge>& edges, Accept&& accept) {
+  // Fisher–Yates shuffle.
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+  }
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (accept(stubs[i], stubs[i + 1])) {
+      edges.push_back({stubs[i], stubs[i + 1], 1.0});
+    }
+  }
+}
+
+}  // namespace
+
+LfrResult lfr(const LfrParams& params) {
+  util::Xoshiro256 rng(params.seed);
+  const graph::VertexId n = params.num_vertices;
+
+  // Degree sequence.
+  std::vector<unsigned> degree(n);
+  for (auto& d : degree) {
+    d = static_cast<unsigned>(power_law(rng, params.degree_exponent,
+                                        params.min_degree, params.max_degree));
+  }
+
+  // Community sizes until they cover n, then truncate the last.
+  std::vector<graph::VertexId> comm_size;
+  graph::VertexId covered = 0;
+  while (covered < n) {
+    auto s = static_cast<graph::VertexId>(power_law(
+        rng, params.community_exponent, params.min_community, params.max_community));
+    s = std::min<graph::VertexId>(s, n - covered);
+    comm_size.push_back(s);
+    covered += s;
+  }
+
+  std::vector<graph::Community> truth(n);
+  std::vector<graph::VertexId> comm_start(comm_size.size());
+  {
+    graph::VertexId at = 0;
+    for (std::size_t c = 0; c < comm_size.size(); ++c) {
+      comm_start[c] = at;
+      for (graph::VertexId i = 0; i < comm_size[c]; ++i) {
+        truth[at + i] = static_cast<graph::Community>(c);
+      }
+      at += comm_size[c];
+    }
+  }
+
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * params.min_degree);
+
+  // Intra-community stubs, one configuration pairing per community.
+  std::vector<graph::VertexId> stubs;
+  for (std::size_t c = 0; c < comm_size.size(); ++c) {
+    stubs.clear();
+    for (graph::VertexId i = 0; i < comm_size[c]; ++i) {
+      const graph::VertexId v = comm_start[c] + i;
+      auto intra = static_cast<unsigned>(
+          std::lround((1.0 - params.mu) * static_cast<double>(degree[v])));
+      // A vertex cannot have more intra-neighbours than the community offers.
+      intra = std::min<unsigned>(intra, comm_size[c] > 0 ? comm_size[c] - 1 : 0);
+      for (unsigned s = 0; s < intra; ++s) stubs.push_back(v);
+    }
+    pair_stubs(stubs, rng, edges,
+               [](graph::VertexId a, graph::VertexId b) { return a != b; });
+  }
+
+  // Inter-community stubs, one global pairing.
+  stubs.clear();
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto inter = static_cast<unsigned>(
+        std::lround(params.mu * static_cast<double>(degree[v])));
+    for (unsigned s = 0; s < inter; ++s) stubs.push_back(v);
+  }
+  pair_stubs(stubs, rng, edges, [&truth](graph::VertexId a, graph::VertexId b) {
+    return truth[a] != truth[b];
+  });
+
+  LfrResult result{graph::build_csr(n, std::move(edges)), std::move(truth)};
+  return result;
+}
+
+}  // namespace glouvain::gen

@@ -1,0 +1,35 @@
+// LFR-style benchmark (Lancichinetti, Fortunato, Radicchi 2008),
+// simplified: power-law degree sequence, power-law community sizes,
+// mixing parameter mu = fraction of each vertex's edges that leave its
+// community. Unlike the SBM this combines *skewed degrees* with
+// *planted communities* — the exact combination the paper's bucketed
+// kernel targets — so it is the primary quality workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+struct LfrParams {
+  graph::VertexId num_vertices = 1 << 14;
+  double degree_exponent = 2.5;     ///< power-law exponent of degrees
+  unsigned min_degree = 4;
+  unsigned max_degree = 128;
+  double community_exponent = 1.5;  ///< power-law exponent of community sizes
+  graph::VertexId min_community = 32;
+  graph::VertexId max_community = 1024;
+  double mu = 0.2;                  ///< mixing: fraction of inter-community edges
+  std::uint64_t seed = 1;
+};
+
+struct LfrResult {
+  graph::Csr graph;
+  std::vector<graph::Community> ground_truth;
+};
+
+LfrResult lfr(const LfrParams& params);
+
+}  // namespace glouvain::gen

@@ -1,0 +1,85 @@
+#include "gen/mesh.hpp"
+
+#include <cstdlib>
+
+#include "graph/builder.hpp"
+#include "util/prng.hpp"
+
+namespace glouvain::gen {
+
+graph::Csr grid2d(graph::VertexId nx, graph::VertexId ny, bool moore) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(nx) * ny * (moore ? 4 : 2));
+  auto id = [nx](graph::VertexId x, graph::VertexId y) { return y * nx + x; };
+  for (graph::VertexId y = 0; y < ny; ++y) {
+    for (graph::VertexId x = 0; x < nx; ++x) {
+      const graph::VertexId v = id(x, y);
+      if (x + 1 < nx) edges.push_back({v, id(x + 1, y), 1.0});
+      if (y + 1 < ny) edges.push_back({v, id(x, y + 1), 1.0});
+      if (moore) {
+        if (x + 1 < nx && y + 1 < ny) edges.push_back({v, id(x + 1, y + 1), 1.0});
+        if (x > 0 && y + 1 < ny) edges.push_back({v, id(x - 1, y + 1), 1.0});
+      }
+    }
+  }
+  return graph::build_csr(nx * ny, std::move(edges));
+}
+
+graph::Csr grid3d(graph::VertexId nx, graph::VertexId ny, graph::VertexId nz,
+                  bool moore) {
+  std::vector<graph::Edge> edges;
+  auto id = [nx, ny](graph::VertexId x, graph::VertexId y, graph::VertexId z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (graph::VertexId z = 0; z < nz; ++z) {
+    for (graph::VertexId y = 0; y < ny; ++y) {
+      for (graph::VertexId x = 0; x < nx; ++x) {
+        const graph::VertexId v = id(x, y, z);
+        // Each undirected edge once: enumerate the 13 (Moore) or 3
+        // (von Neumann) "forward" offsets.
+        for (int dz = 0; dz <= 1; ++dz) {
+          for (int dy = (dz ? -1 : 0); dy <= 1; ++dy) {
+            for (int dx = ((dz || dy) ? -1 : 1); dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              if (!moore && (std::abs(dx) + std::abs(dy) + std::abs(dz)) != 1) continue;
+              const std::int64_t X = static_cast<std::int64_t>(x) + dx;
+              const std::int64_t Y = static_cast<std::int64_t>(y) + dy;
+              const std::int64_t Z = static_cast<std::int64_t>(z) + dz;
+              if (X < 0 || Y < 0 || Z < 0 || X >= nx || Y >= ny || Z >= nz) continue;
+              edges.push_back({v, id(static_cast<graph::VertexId>(X),
+                                     static_cast<graph::VertexId>(Y),
+                                     static_cast<graph::VertexId>(Z)),
+                               1.0});
+            }
+          }
+        }
+      }
+    }
+  }
+  return graph::build_csr(nx * ny * nz, std::move(edges));
+}
+
+graph::Csr kkt_mesh(graph::VertexId nx, graph::VertexId ny, graph::VertexId nz,
+                    graph::VertexId coupling_stride, std::uint64_t seed) {
+  graph::Csr base = grid3d(nx, ny, nz, /*moore=*/true);
+  const graph::VertexId n = base.num_vertices();
+  util::Xoshiro256 rng(seed);
+  std::vector<graph::Edge> edges;
+  edges.reserve(base.num_edges() + n);
+  for (graph::VertexId u = 0; u < n; ++u) {
+    auto nbrs = base.neighbors(u);
+    auto ws = base.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= u) edges.push_back({u, nbrs[i], ws[i]});
+    }
+    // Long-range coupling edge with a little jitter so the pattern is
+    // not perfectly banded.
+    const auto jitter = static_cast<graph::VertexId>(rng.next_below(
+        std::max<graph::VertexId>(1, coupling_stride / 8)));
+    const graph::VertexId target = (u + coupling_stride + jitter) % n;
+    if (target != u) edges.push_back({u, target, 1.0});
+  }
+  return graph::build_csr(n, std::move(edges));
+}
+
+}  // namespace glouvain::gen

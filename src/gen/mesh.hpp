@@ -1,0 +1,29 @@
+// Regular mesh graphs: the Florida-collection FEM/optimization matrices
+// of Table 1 (audikw_1, bone010, nlpkkt*, channel-500…) are stencils on
+// 2-D/3-D grids. A 27-point 3-D stencil reproduces their degree range
+// (~13–60) and — crucially for Figure 6 — their *lack* of an initial
+// community structure at the natural scale, which is what triggers the
+// paper's pathological mid-stage behaviour on nlpkkt and channel-500.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+/// nx*ny grid, 8-neighbour (Moore) or 4-neighbour stencil.
+graph::Csr grid2d(graph::VertexId nx, graph::VertexId ny, bool moore = true);
+
+/// nx*ny*nz grid, 26-neighbour (odd) or 6-neighbour stencil.
+graph::Csr grid3d(graph::VertexId nx, graph::VertexId ny, graph::VertexId nz,
+                  bool moore = true);
+
+/// nlpkkt-like: 3-D 26-neighbour grid with an extra long-range
+/// "constraint" edge per vertex (KKT coupling), which further delays
+/// community formation. `coupling_stride` is the id distance of the
+/// extra edges.
+graph::Csr kkt_mesh(graph::VertexId nx, graph::VertexId ny, graph::VertexId nz,
+                    graph::VertexId coupling_stride, std::uint64_t seed);
+
+}  // namespace glouvain::gen

@@ -1,0 +1,72 @@
+#include "gen/rgg.hpp"
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "simt/thread_pool.hpp"
+#include "util/prng.hpp"
+
+namespace glouvain::gen {
+
+graph::Csr random_geometric(graph::VertexId n, double radius, std::uint64_t seed) {
+  if (radius <= 0) {
+    radius = 1.2 * std::sqrt(std::log(static_cast<double>(n)) /
+                             (3.14159265358979323846 * static_cast<double>(n)));
+  }
+  util::Xoshiro256 rng(seed);
+  std::vector<double> x(n), y(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    x[v] = rng.next_double();
+    y[v] = rng.next_double();
+  }
+
+  // Uniform grid with cell size = radius: each point only compares
+  // against its own and the 8 surrounding cells.
+  const auto cells = static_cast<std::uint64_t>(std::max(1.0, std::floor(1.0 / radius)));
+  const double cell_size = 1.0 / static_cast<double>(cells);
+  std::vector<std::vector<graph::VertexId>> grid(cells * cells);
+  auto cell_of = [&](double cx, double cy) {
+    auto ix = std::min<std::uint64_t>(cells - 1, static_cast<std::uint64_t>(cx / cell_size));
+    auto iy = std::min<std::uint64_t>(cells - 1, static_cast<std::uint64_t>(cy / cell_size));
+    return iy * cells + ix;
+  };
+  for (graph::VertexId v = 0; v < n; ++v) grid[cell_of(x[v], y[v])].push_back(v);
+
+  auto& pool = simt::ThreadPool::global();
+  std::vector<std::vector<graph::Edge>> per_worker(pool.size());
+  const double r2 = radius * radius;
+  pool.parallel_for(n, [&](std::size_t vi, unsigned worker) {
+    const auto v = static_cast<graph::VertexId>(vi);
+    const auto ix = std::min<std::uint64_t>(cells - 1, static_cast<std::uint64_t>(x[v] / cell_size));
+    const auto iy = std::min<std::uint64_t>(cells - 1, static_cast<std::uint64_t>(y[v] / cell_size));
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t cx = static_cast<std::int64_t>(ix) + dx;
+        const std::int64_t cy = static_cast<std::int64_t>(iy) + dy;
+        if (cx < 0 || cy < 0 || cx >= static_cast<std::int64_t>(cells) ||
+            cy >= static_cast<std::int64_t>(cells)) {
+          continue;
+        }
+        for (graph::VertexId u : grid[static_cast<std::size_t>(cy) * cells +
+                                      static_cast<std::size_t>(cx)]) {
+          if (u <= v) continue;  // each pair once
+          const double ddx = x[u] - x[v], ddy = y[u] - y[v];
+          if (ddx * ddx + ddy * ddy <= r2) {
+            per_worker[worker].push_back({v, u, 1.0});
+          }
+        }
+      }
+    }
+  });
+
+  std::vector<graph::Edge> edges;
+  std::size_t total = 0;
+  for (const auto& w : per_worker) total += w.size();
+  edges.reserve(total);
+  for (auto& w : per_worker) {
+    edges.insert(edges.end(), w.begin(), w.end());
+  }
+  return graph::build_csr(n, std::move(edges));
+}
+
+}  // namespace glouvain::gen

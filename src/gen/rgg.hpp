@@ -1,0 +1,17 @@
+// Random geometric graph in the unit square: n points, edges between
+// pairs closer than radius r. Matches the paper's rgg_n_2_{22,23,24}_s0
+// family (moderate uniform degrees, strong spatial community structure).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+/// radius <= 0 selects the connectivity-threshold radius
+/// sqrt(ln(n) / (pi * n)) * 1.2, giving mean degree ~= 1.44 * ln n —
+/// close to the rgg_n_2_* average degrees in Table 1.
+graph::Csr random_geometric(graph::VertexId n, double radius, std::uint64_t seed);
+
+}  // namespace glouvain::gen

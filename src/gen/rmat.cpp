@@ -1,0 +1,51 @@
+#include "gen/rmat.hpp"
+
+#include "graph/builder.hpp"
+#include "simt/thread_pool.hpp"
+#include "util/prng.hpp"
+
+namespace glouvain::gen {
+
+graph::Csr rmat(const RmatParams& params, std::uint64_t seed) {
+  const graph::VertexId n = graph::VertexId{1} << params.scale;
+  const auto m = static_cast<std::uint64_t>(params.edge_factor * static_cast<double>(n));
+
+  std::vector<graph::Edge> edges(m);
+  auto& pool = simt::ThreadPool::global();
+  const std::size_t chunks = 8 * pool.size();
+  const std::size_t chunk = (m + chunks - 1) / chunks;
+
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    util::Xoshiro256 rng(seed ^ util::hash64(c + 1));
+    const std::uint64_t b = c * chunk;
+    const std::uint64_t e = std::min<std::uint64_t>(b + chunk, m);
+    for (std::uint64_t i = b; i < e; ++i) {
+      std::uint64_t u = 0, v = 0;
+      for (unsigned bit = 0; bit < params.scale; ++bit) {
+        const double r = rng.next_double();
+        // Quadrant choice with slight per-level noise, as in Graph500,
+        // to avoid exactly self-similar artifacts.
+        double a = params.a, bq = params.b, cq = params.c;
+        if (r < a) {
+          // top-left: no bits set
+        } else if (r < a + bq) {
+          v |= std::uint64_t{1} << bit;
+        } else if (r < a + bq + cq) {
+          u |= std::uint64_t{1} << bit;
+        } else {
+          u |= std::uint64_t{1} << bit;
+          v |= std::uint64_t{1} << bit;
+        }
+      }
+      if (params.scramble_ids) {
+        u = util::hash64(u + seed) & (n - 1);
+        v = util::hash64(v + seed) & (n - 1);
+      }
+      if (u == v) v = (v + 1) & (n - 1);
+      edges[i] = {static_cast<graph::VertexId>(u), static_cast<graph::VertexId>(v), 1.0};
+    }
+  });
+  return graph::build_csr(n, std::move(edges));
+}
+
+}  // namespace glouvain::gen

@@ -1,0 +1,24 @@
+// R-MAT recursive matrix generator (Chakrabarti, Zhan, Faloutsos 2004).
+//
+// With the Graph500 parameters (a=0.57, b=c=0.19, d=0.05) this yields
+// the heavy-tailed degree distributions of the paper's social-network
+// inputs (com-orkut, soc-LiveJournal1, hollywood-2009, uk-2002…) —
+// exactly the skew the degree-bucketed kernel exists to load-balance.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+struct RmatParams {
+  unsigned scale = 16;          ///< n = 2^scale vertices
+  double edge_factor = 16.0;    ///< m = edge_factor * n undirected edges
+  double a = 0.57, b = 0.19, c = 0.19;  ///< quadrant probabilities (d = 1-a-b-c)
+  bool scramble_ids = true;     ///< hash vertex ids to break locality
+};
+
+graph::Csr rmat(const RmatParams& params, std::uint64_t seed);
+
+}  // namespace glouvain::gen

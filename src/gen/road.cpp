@@ -1,0 +1,46 @@
+#include "gen/road.hpp"
+
+#include "graph/builder.hpp"
+#include "util/prng.hpp"
+
+namespace glouvain::gen {
+
+graph::Csr road_network(const RoadParams& params) {
+  util::Xoshiro256 rng(params.seed);
+  const graph::VertexId nx = params.grid_nx, ny = params.grid_ny;
+  auto id = [nx](graph::VertexId x, graph::VertexId y) { return y * nx + x; };
+
+  struct Raw {
+    graph::VertexId u, v;
+  };
+  std::vector<Raw> lattice;
+  lattice.reserve(2 * static_cast<std::size_t>(nx) * ny);
+  for (graph::VertexId y = 0; y < ny; ++y) {
+    for (graph::VertexId x = 0; x < nx; ++x) {
+      if (x + 1 < nx && rng.next_bool(params.keep_fraction)) {
+        lattice.push_back({id(x, y), id(x + 1, y)});
+      }
+      if (y + 1 < ny && rng.next_bool(params.keep_fraction)) {
+        lattice.push_back({id(x, y), id(x, y + 1)});
+      }
+    }
+  }
+
+  // Subdivide: geometric(1/(1+mean)) extra vertices per edge.
+  const double p_more = params.subdivide_mean / (1.0 + params.subdivide_mean);
+  graph::VertexId next_vertex = nx * ny;
+  std::vector<graph::Edge> edges;
+  edges.reserve(lattice.size() * 3);
+  for (const Raw& r : lattice) {
+    graph::VertexId prev = r.u;
+    while (rng.next_bool(p_more)) {
+      const graph::VertexId mid = next_vertex++;
+      edges.push_back({prev, mid, 1.0});
+      prev = mid;
+    }
+    edges.push_back({prev, r.v, 1.0});
+  }
+  return graph::build_csr(next_vertex, std::move(edges));
+}
+
+}  // namespace glouvain::gen

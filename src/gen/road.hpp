@@ -1,0 +1,24 @@
+// Road/OSM-like networks (road_usa, europe_osm, …): planar, almost all
+// vertices of degree 2–4, huge diameter, strong geographic community
+// structure. Built as a sparse 2-D lattice with random edge
+// subdivision — subdividing an edge k times inserts a chain of
+// degree-2 vertices, exactly the signature of OSM road polylines.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+struct RoadParams {
+  graph::VertexId grid_nx = 256;
+  graph::VertexId grid_ny = 256;
+  double keep_fraction = 0.85;   ///< fraction of lattice edges kept (potholes)
+  double subdivide_mean = 2.0;   ///< mean extra degree-2 vertices per edge
+  std::uint64_t seed = 1;
+};
+
+graph::Csr road_network(const RoadParams& params);
+
+}  // namespace glouvain::gen

@@ -1,0 +1,29 @@
+// Planted-partition stochastic block model: k equal communities,
+// expected intra-degree d_in and inter-degree d_out per vertex. The
+// ground-truth workload for quality tests (NMI/ARI against the planted
+// labels) and for sweeping community strength d_in/d_out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+struct SbmParams {
+  graph::VertexId num_vertices = 1 << 14;
+  graph::VertexId num_communities = 64;
+  double intra_degree = 12.0;  ///< expected within-community degree
+  double inter_degree = 2.0;   ///< expected cross-community degree
+  std::uint64_t seed = 1;
+};
+
+struct SbmResult {
+  graph::Csr graph;
+  std::vector<graph::Community> ground_truth;  ///< planted label per vertex
+};
+
+SbmResult planted_partition(const SbmParams& params);
+
+}  // namespace glouvain::gen

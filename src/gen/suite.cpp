@@ -1,0 +1,164 @@
+#include "gen/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/ba.hpp"
+#include "gen/cliques.hpp"
+#include "gen/er.hpp"
+#include "gen/lfr.hpp"
+#include "gen/mesh.hpp"
+#include "gen/rgg.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "gen/sbm.hpp"
+#include "gen/ws.hpp"
+
+namespace glouvain::gen {
+
+namespace {
+
+graph::VertexId scaled(double base, double scale) {
+  return static_cast<graph::VertexId>(std::max(64.0, base * scale));
+}
+
+/// R-MAT scale (log2 n) for a scaled vertex budget.
+unsigned rmat_scale(double base_log2, double scale) {
+  const double extra = std::log2(std::max(scale, 1.0 / 1024.0));
+  const double s = base_log2 + extra;
+  return static_cast<unsigned>(std::max(8.0, std::round(s)));
+}
+
+std::vector<SuiteEntry> make_suite() {
+  std::vector<SuiteEntry> s;
+
+  // --- Heavy-tailed social/collaboration graphs (top of Table 1) ---
+  s.push_back({"actor", "out.actor-collaboration / hollywood-2009", "barabasi-albert",
+               [](double sc, std::uint64_t seed) {
+                 return barabasi_albert(scaled(60e3, sc), 40, seed);
+               }});
+  s.push_back({"orkut", "com-orkut / soc-LiveJournal1", "rmat",
+               [](double sc, std::uint64_t seed) {
+                 RmatParams p;
+                 p.scale = rmat_scale(16, sc);
+                 p.edge_factor = 32;
+                 return rmat(p, seed);
+               }});
+  s.push_back({"pokec", "soc-pokec-relationships / com-lj", "rmat",
+               [](double sc, std::uint64_t seed) {
+                 RmatParams p;
+                 p.scale = rmat_scale(16, sc);
+                 p.edge_factor = 18;
+                 return rmat(p, seed);
+               }});
+  s.push_back({"web", "uk-2002 / cnr-2000", "rmat (web-skewed)",
+               [](double sc, std::uint64_t seed) {
+                 RmatParams p;
+                 p.scale = rmat_scale(16, sc);
+                 p.edge_factor = 16;
+                 p.a = 0.65;
+                 p.b = 0.15;
+                 p.c = 0.15;
+                 return rmat(p, seed);
+               }});
+  s.push_back({"copapers", "coPapersDBLP", "barabasi-albert",
+               [](double sc, std::uint64_t seed) {
+                 return barabasi_albert(scaled(60e3, sc), 28, seed);
+               }});
+
+  // --- FEM / optimization meshes (middle of Table 1) ---
+  s.push_back({"fem3d", "audikw_1 / bone010 / Flan_1565 / Geo_1438", "3d 26-pt mesh",
+               [](double sc, std::uint64_t seed) {
+                 (void)seed;
+                 const auto side = static_cast<graph::VertexId>(
+                     std::cbrt(200e3 * sc));
+                 return grid3d(std::max<graph::VertexId>(side, 8),
+                               std::max<graph::VertexId>(side, 8),
+                               std::max<graph::VertexId>(side, 8), true);
+               }});
+  s.push_back({"nlpkkt", "nlpkkt120/160/200", "3d mesh + KKT coupling",
+               [](double sc, std::uint64_t seed) {
+                 const auto side = static_cast<graph::VertexId>(
+                     std::cbrt(200e3 * sc));
+                 const graph::VertexId sd = std::max<graph::VertexId>(side, 8);
+                 return kkt_mesh(sd, sd, sd, sd * sd / 2 + 1, seed);
+               }});
+  s.push_back({"channel", "channel-500x100x100-b050 / packing-500x", "3d 6-pt duct mesh",
+               [](double sc, std::uint64_t seed) {
+                 (void)seed;
+                 const auto base = static_cast<graph::VertexId>(
+                     std::max(8.0, 30 * std::cbrt(sc)));
+                 return grid3d(5 * base, base, base, false);
+               }});
+
+  // --- Spatial graphs ---
+  s.push_back({"rgg", "rgg_n_2_22..24_s0", "random geometric",
+               [](double sc, std::uint64_t seed) {
+                 return random_geometric(scaled(260e3, sc), 0, seed);
+               }});
+  s.push_back({"smallworld", "delaunay_n24 (proximity family)", "watts-strogatz",
+               [](double sc, std::uint64_t seed) {
+                 return watts_strogatz(scaled(260e3, sc), 3, 0.05, seed);
+               }});
+
+  // --- Community-labelled web/social (SNAP com-* family) ---
+  s.push_back({"community", "com-youtube / com-dblp / com-amazon", "lfr",
+               [](double sc, std::uint64_t seed) {
+                 LfrParams p;
+                 p.num_vertices = scaled(130e3, sc);
+                 p.mu = 0.25;
+                 p.seed = seed;
+                 return lfr(p).graph;
+               }});
+  s.push_back({"flickr", "out.flickr-links / out.flixster", "barabasi-albert (sparse)",
+               [](double sc, std::uint64_t seed) {
+                 return barabasi_albert(scaled(260e3, sc), 5, seed);
+               }});
+
+  // --- Road / OSM family (bottom of Table 1: low degree, huge diameter) ---
+  s.push_back({"road", "road_usa / germany_osm / europe_osm", "road lattice",
+               [](double sc, std::uint64_t seed) {
+                 RoadParams p;
+                 const auto side = static_cast<graph::VertexId>(
+                     std::max(32.0, 300.0 * std::sqrt(sc)));
+                 p.grid_nx = side;
+                 p.grid_ny = side;
+                 p.seed = seed;
+                 return road_network(p);
+               }});
+  s.push_back({"trace", "hugetrace-00020 / hugebubbles-000*", "road lattice (dense)",
+               [](double sc, std::uint64_t seed) {
+                 RoadParams p;
+                 const auto side = static_cast<graph::VertexId>(
+                     std::max(32.0, 360.0 * std::sqrt(sc)));
+                 p.grid_nx = side;
+                 p.grid_ny = side;
+                 p.keep_fraction = 0.95;
+                 p.subdivide_mean = 0.5;
+                 p.seed = seed;
+                 return road_network(p);
+               }});
+  return s;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& table1_suite() {
+  static const std::vector<SuiteEntry> suite = make_suite();
+  return suite;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const auto& e : table1_suite()) {
+    if (e.name == name) return e;
+  }
+  throw std::invalid_argument("unknown suite graph: " + name);
+}
+
+std::vector<std::string> suite_names() {
+  std::vector<std::string> names;
+  for (const auto& e : table1_suite()) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace glouvain::gen

@@ -1,0 +1,37 @@
+// Named benchmark suite: one synthetic stand-in per graph *family* of
+// the paper's Table 1 (44 Florida + 6 SNAP + 5 Koblenz graphs). Each
+// entry names the paper row it substitutes for, the generator family,
+// and a builder parameterized by a size multiplier so the same suite
+// scales from unit-test size to the benchmark defaults.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+struct SuiteEntry {
+  std::string name;        ///< short id used on the command line
+  std::string paper_graph; ///< the Table-1 row(s) this stands in for
+  std::string family;      ///< generator family
+  /// scale multiplies the default vertex budget (1.0 = bench default,
+  /// which is sized for a 2-core container; the paper's originals are
+  /// 10-100x larger).
+  std::function<graph::Csr(double scale, std::uint64_t seed)> build;
+};
+
+/// The full Table-1 stand-in suite, in the paper's order (decreasing
+/// average degree).
+const std::vector<SuiteEntry>& table1_suite();
+
+/// Find an entry by name; throws std::invalid_argument if unknown.
+const SuiteEntry& suite_entry(const std::string& name);
+
+/// All suite names, for --graph=all expansion and usage text.
+std::vector<std::string> suite_names();
+
+}  // namespace glouvain::gen

@@ -1,0 +1,26 @@
+#include "gen/ws.hpp"
+
+#include "graph/builder.hpp"
+#include "util/prng.hpp"
+
+namespace glouvain::gen {
+
+graph::Csr watts_strogatz(graph::VertexId n, unsigned k, double beta,
+                          std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (unsigned d = 1; d <= k; ++d) {
+      graph::VertexId target = (v + d) % n;
+      if (rng.next_bool(beta)) {
+        target = static_cast<graph::VertexId>(rng.next_below(n));
+        if (target == v) target = (v + 1) % n;
+      }
+      edges.push_back({v, target, 1.0});
+    }
+  }
+  return graph::build_csr(n, std::move(edges));
+}
+
+}  // namespace glouvain::gen

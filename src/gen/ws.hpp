@@ -1,0 +1,18 @@
+// Watts–Strogatz small-world rewiring: a k-regular ring with a
+// fraction of edges rewired uniformly. Low-variance degrees with
+// tunable community blur; used in property tests as the "in between"
+// regime between meshes and social graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::gen {
+
+/// n vertices on a ring, each joined to its k nearest neighbours on
+/// each side, then every edge rewired with probability beta.
+graph::Csr watts_strogatz(graph::VertexId n, unsigned k, double beta,
+                          std::uint64_t seed);
+
+}  // namespace glouvain::gen

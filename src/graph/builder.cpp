@@ -1,0 +1,146 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "prim/scan.hpp"
+#include "simt/atomics.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::graph {
+
+namespace {
+
+/// Sort each CSR row by neighbor id and merge duplicates (summing
+/// weights); returns per-row post-merge sizes.
+std::vector<EdgeIdx> canonicalize_rows(std::vector<EdgeIdx>& offsets,
+                                       std::vector<VertexId>& adj,
+                                       std::vector<Weight>& weights) {
+  const VertexId n = static_cast<VertexId>(offsets.size() - 1);
+  std::vector<EdgeIdx> new_degree(n, 0);
+  auto& pool = simt::ThreadPool::global();
+  pool.parallel_for(n, [&](std::size_t v, unsigned) {
+    const EdgeIdx b = offsets[v], e = offsets[v + 1];
+    if (b == e) return;
+    // Sort (neighbor, weight) pairs of the row by neighbor.
+    std::vector<std::pair<VertexId, Weight>> row;
+    row.reserve(e - b);
+    for (EdgeIdx i = b; i < e; ++i) row.emplace_back(adj[i], weights[i]);
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& c) { return a.first < c.first; });
+    EdgeIdx out = b;
+    for (std::size_t i = 0; i < row.size();) {
+      VertexId nb = row[i].first;
+      Weight w = 0;
+      while (i < row.size() && row[i].first == nb) {
+        w += row[i].second;
+        ++i;
+      }
+      adj[out] = nb;
+      weights[out] = w;
+      ++out;
+    }
+    new_degree[v] = out - b;
+  });
+  return new_degree;
+}
+
+}  // namespace
+
+Csr build_csr(VertexId num_vertices, std::vector<Edge> edges,
+              const BuildOptions& options) {
+  auto& pool = simt::ThreadPool::global();
+
+  for (const Edge& e : edges) {
+    if (e.u >= num_vertices || e.v >= num_vertices) {
+      throw std::out_of_range("build_csr: edge endpoint out of range");
+    }
+  }
+
+  if (options.drop_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge& e) { return e.u == e.v; }),
+                edges.end());
+  }
+
+  if (options.symmetrize) {
+    const std::size_t original = edges.size();
+    std::size_t non_loops = 0;
+    for (std::size_t i = 0; i < original; ++i) {
+      if (edges[i].u != edges[i].v) ++non_loops;
+    }
+    edges.reserve(original + non_loops);
+    for (std::size_t i = 0; i < original; ++i) {
+      if (edges[i].u != edges[i].v) {
+        edges.push_back({edges[i].v, edges[i].u, edges[i].w});
+      }
+    }
+  }
+
+  // Degree count (atomic histogram), offsets scan, then scatter.
+  std::vector<EdgeIdx> degree(num_vertices, 0);
+  pool.parallel_for(edges.size(), [&](std::size_t i, unsigned) {
+    simt::atomic_add(degree[edges[i].u], EdgeIdx{1});
+  });
+
+  std::vector<EdgeIdx> offsets(num_vertices + 1, 0);
+  offsets[num_vertices] = prim::exclusive_scan(
+      std::span<const EdgeIdx>(degree),
+      std::span<EdgeIdx>(offsets.data(), num_vertices), pool);
+
+  std::vector<EdgeIdx> cursor(offsets.begin(), offsets.begin() + num_vertices);
+  std::vector<VertexId> adj(edges.size());
+  std::vector<Weight> weights(edges.size());
+  pool.parallel_for(edges.size(), [&](std::size_t i, unsigned) {
+    const EdgeIdx slot = simt::atomic_add(cursor[edges[i].u], EdgeIdx{1});
+    adj[slot] = edges[i].v;
+    weights[slot] = edges[i].w;
+  });
+  edges.clear();
+  edges.shrink_to_fit();
+
+  if (options.combine_duplicates) {
+    std::vector<EdgeIdx> merged_degree = canonicalize_rows(offsets, adj, weights);
+    std::vector<EdgeIdx> new_offsets(num_vertices + 1, 0);
+    const EdgeIdx total = prim::exclusive_scan(
+        std::span<const EdgeIdx>(merged_degree),
+        std::span<EdgeIdx>(new_offsets.data(), num_vertices), pool);
+    new_offsets[num_vertices] = total;
+
+    std::vector<VertexId> new_adj(total);
+    std::vector<Weight> new_weights(total);
+    pool.parallel_for(num_vertices, [&](std::size_t v, unsigned) {
+      const EdgeIdx src = offsets[v];
+      const EdgeIdx dst = new_offsets[v];
+      for (EdgeIdx k = 0; k < merged_degree[v]; ++k) {
+        new_adj[dst + k] = adj[src + k];
+        new_weights[dst + k] = weights[src + k];
+      }
+    });
+    return Csr(std::move(new_offsets), std::move(new_adj), std::move(new_weights));
+  }
+
+  // Still sort rows for deterministic iteration order.
+  pool.parallel_for(num_vertices, [&](std::size_t v, unsigned) {
+    const EdgeIdx b = offsets[v], e = offsets[v + 1];
+    std::vector<std::pair<VertexId, Weight>> row;
+    row.reserve(e - b);
+    for (EdgeIdx i = b; i < e; ++i) row.emplace_back(adj[i], weights[i]);
+    std::sort(row.begin(), row.end());
+    for (EdgeIdx i = b; i < e; ++i) {
+      adj[i] = row[i - b].first;
+      weights[i] = row[i - b].second;
+    }
+  });
+  return Csr(std::move(offsets), std::move(adj), std::move(weights));
+}
+
+Csr build_csr(std::vector<Edge> edges, const BuildOptions& options) {
+  VertexId n = 0;
+  for (const Edge& e : edges) {
+    n = std::max({n, static_cast<VertexId>(e.u + 1), static_cast<VertexId>(e.v + 1)});
+  }
+  return build_csr(n, std::move(edges), options);
+}
+
+}  // namespace glouvain::graph

@@ -1,0 +1,34 @@
+// Assembles a canonical Csr from an arbitrary edge list: symmetrizes,
+// merges parallel edges (summing weights), canonicalizes self-loops to
+// single entries, and sorts every row by neighbor id. All generators
+// and file loaders funnel through here so every graph in the system
+// satisfies the Csr invariants.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace glouvain::graph {
+
+struct BuildOptions {
+  /// Add the reverse of every non-loop edge (input gives each
+  /// undirected edge once). When false the input must already contain
+  /// both directions.
+  bool symmetrize = true;
+  /// Merge duplicate (u,v) entries by summing their weights.
+  bool combine_duplicates = true;
+  /// Drop self-loops entirely (some datasets carry junk loops).
+  bool drop_loops = false;
+};
+
+/// Build a Csr over vertices [0, num_vertices). Edges referencing
+/// vertices outside that range throw std::out_of_range.
+Csr build_csr(VertexId num_vertices, std::vector<Edge> edges,
+              const BuildOptions& options = {});
+
+/// Convenience: num_vertices inferred as 1 + max endpoint.
+Csr build_csr(std::vector<Edge> edges, const BuildOptions& options = {});
+
+}  // namespace glouvain::graph

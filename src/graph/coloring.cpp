@@ -1,0 +1,96 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "simt/atomics.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::graph {
+
+namespace {
+constexpr std::uint32_t kUncolored = ~std::uint32_t{0};
+}
+
+Coloring color_graph(const Csr& graph) {
+  const VertexId n = graph.num_vertices();
+  auto& pool = simt::ThreadPool::global();
+
+  Coloring result;
+  result.color.assign(n, kUncolored);
+
+  // Worklist of vertices still to color; initially everyone.
+  std::vector<VertexId> work(n);
+  for (VertexId v = 0; v < n; ++v) work[v] = v;
+
+  // Per-worker forbidden-color scratch, sized by a degree bound.
+  EdgeIdx max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) max_degree = std::max(max_degree, graph.degree(v));
+  const auto palette = static_cast<std::uint32_t>(max_degree + 1);
+
+  std::vector<std::vector<std::uint32_t>> forbidden(pool.size());
+  for (auto& f : forbidden) f.assign(palette, kUncolored);
+
+  std::vector<VertexId> conflicted;
+  while (!work.empty()) {
+    ++result.rounds;
+
+    // Speculative phase: every worklist vertex greedily takes the
+    // smallest color no (currently colored) neighbour holds.
+    pool.parallel_for(work.size(), [&](std::size_t i, unsigned worker) {
+      const VertexId v = work[i];
+      auto& f = forbidden[worker];
+      for (const VertexId nb : graph.neighbors(v)) {
+        if (nb == v) continue;
+        // Concurrent speculative reads; conflicts are resolved below.
+        const std::uint32_t c = simt::atomic_load(result.color[nb]);
+        if (c != kUncolored && c < palette) f[c] = v;  // stamp trick: no reset
+      }
+      std::uint32_t pick = 0;
+      while (pick < palette && f[pick] == v) ++pick;
+      simt::atomic_store(result.color[v], pick);
+    });
+
+    // Conflict detection: of two same-colored neighbours, the larger id
+    // loses and is re-queued (deterministic tie resolution).
+    std::vector<std::vector<VertexId>> lost(pool.size());
+    pool.parallel_for(work.size(), [&](std::size_t i, unsigned worker) {
+      const VertexId v = work[i];
+      for (const VertexId nb : graph.neighbors(v)) {
+        if (nb == v) continue;
+        if (result.color[nb] == result.color[v] && v > nb) {
+          lost[worker].push_back(v);
+          break;
+        }
+      }
+    });
+    conflicted.clear();
+    for (auto& l : lost) {
+      conflicted.insert(conflicted.end(), l.begin(), l.end());
+    }
+    for (const VertexId v : conflicted) result.color[v] = kUncolored;
+    work.swap(conflicted);
+  }
+
+  std::uint32_t max_color = 0;
+  for (VertexId v = 0; v < n; ++v) max_color = std::max(max_color, result.color[v]);
+  result.num_colors = n ? max_color + 1 : 0;
+  return result;
+}
+
+std::string validate_coloring(const Csr& graph, const Coloring& coloring) {
+  if (coloring.color.size() != graph.num_vertices()) return "size mismatch";
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (coloring.color[v] >= coloring.num_colors) {
+      return "color out of range at vertex " + std::to_string(v);
+    }
+    for (const VertexId nb : graph.neighbors(v)) {
+      if (nb != v && coloring.color[nb] == coloring.color[v]) {
+        return "conflict on edge " + std::to_string(v) + "-" + std::to_string(nb);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace glouvain::graph

@@ -1,0 +1,34 @@
+// Parallel greedy distance-1 graph coloring, after the speculative
+// iterate-and-resolve scheme of Deveci, Boman, Devine & Rajamanickam
+// (IPDPS 2016) — reference [8] of the paper. Used by the core
+// algorithm's optional coloring-based move serialization (the exact
+// mechanism Lu et al. [16] use to avoid conflicting concurrent moves)
+// and ablated against the default hash sub-rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::graph {
+
+struct Coloring {
+  std::vector<std::uint32_t> color;  ///< per-vertex color in [0, num_colors)
+  std::uint32_t num_colors = 0;
+  int rounds = 0;  ///< speculative iterations until conflict-free
+};
+
+/// Proper distance-1 coloring: no edge joins two vertices of the same
+/// color (self-loops ignored). Greedy first-fit per vertex; conflicts
+/// from concurrent speculation are detected and re-colored until none
+/// remain. Number of colors is at most max_degree + 1.
+Coloring color_graph(const Csr& graph);
+
+/// Empty string if `coloring` is a proper coloring of `graph`, else a
+/// diagnostic (for tests).
+std::string validate_coloring(const Csr& graph, const Coloring& coloring);
+
+}  // namespace glouvain::graph

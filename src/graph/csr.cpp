@@ -1,0 +1,56 @@
+#include "graph/csr.hpp"
+
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::graph {
+
+Csr::Csr(std::vector<EdgeIdx> offsets, std::vector<VertexId> adj,
+         std::vector<Weight> weights)
+    : offsets_(std::move(offsets)),
+      adj_(std::move(adj)),
+      weights_(std::move(weights)) {
+  assert(!offsets_.empty());
+  assert(adj_.size() == offsets_.back());
+  assert(weights_.size() == adj_.size());
+
+  const VertexId n = num_vertices();
+  auto& pool = simt::ThreadPool::global();
+
+  std::vector<Weight> partial_w(pool.size(), 0);
+  std::vector<EdgeIdx> partial_loops(pool.size(), 0);
+  pool.parallel_for(n, [&](std::size_t v, unsigned worker) {
+    Weight s = 0;
+    EdgeIdx loops = 0;
+    const EdgeIdx b = offsets_[v], e = offsets_[v + 1];
+    for (EdgeIdx i = b; i < e; ++i) {
+      s += weights_[i];
+      if (adj_[i] == static_cast<VertexId>(v)) ++loops;
+    }
+    partial_w[worker] += s;
+    partial_loops[worker] += loops;
+  });
+  for (unsigned w = 0; w < pool.size(); ++w) {
+    total_weight_ += partial_w[w];
+    num_loops_ += partial_loops[w];
+  }
+}
+
+Weight Csr::loop_weight(VertexId v) const noexcept {
+  const EdgeIdx b = offsets_[v], e = offsets_[v + 1];
+  Weight w = 0;
+  for (EdgeIdx i = b; i < e; ++i) {
+    if (adj_[i] == v) w += weights_[i];
+  }
+  return w;
+}
+
+std::vector<Weight> Csr::compute_strengths() const {
+  const VertexId n = num_vertices();
+  std::vector<Weight> strengths(n);
+  simt::ThreadPool::global().parallel_for(n, [&](std::size_t v, unsigned) {
+    strengths[v] = strength(static_cast<VertexId>(v));
+  });
+  return strengths;
+}
+
+}  // namespace glouvain::graph

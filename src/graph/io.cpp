@@ -1,0 +1,207 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace glouvain::graph {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("graph io: " + path + ": " + what);
+}
+
+std::ifstream open_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open");
+  return in;
+}
+
+bool is_comment(const std::string& line) {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    return c == '#' || c == '%';
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+Csr load_edge_list(const std::string& path) {
+  std::ifstream in = open_text(path);
+  std::vector<Edge> edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ss(line);
+    unsigned long long u, v;
+    double w = 1.0;
+    if (!(ss >> u >> v)) fail(path, "bad edge line: " + line);
+    ss >> w;
+    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v), w});
+  }
+  return build_csr(std::move(edges));
+}
+
+Csr load_matrix_market(const std::string& path) {
+  std::ifstream in = open_text(path);
+  std::string header;
+  if (!std::getline(in, header) || header.rfind("%%MatrixMarket", 0) != 0) {
+    fail(path, "missing MatrixMarket banner");
+  }
+  const bool pattern = header.find("pattern") != std::string::npos;
+
+  std::string line;
+  while (std::getline(in, line) && is_comment(line)) {
+  }
+  std::istringstream dims(line);
+  unsigned long long rows, cols, nnz;
+  if (!(dims >> rows >> cols >> nnz)) fail(path, "bad size line");
+  if (rows != cols) fail(path, "matrix is not square");
+
+  std::vector<Edge> edges;
+  edges.reserve(nnz);
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ss(line);
+    unsigned long long r, c;
+    double w = 1.0;
+    if (!(ss >> r >> c)) fail(path, "bad entry line: " + line);
+    if (!pattern) ss >> w;
+    if (r == 0 || c == 0 || r > rows || c > cols) fail(path, "entry out of range");
+    // Graph use: take |value| as weight, ignore numerically-zero entries.
+    w = std::abs(w);
+    if (w == 0.0) w = 1.0;
+    edges.push_back({static_cast<VertexId>(r - 1), static_cast<VertexId>(c - 1), w});
+  }
+  // Upper/lower duplicates in general matrices merge in the builder.
+  return build_csr(static_cast<VertexId>(rows), std::move(edges));
+}
+
+Csr load_metis(const std::string& path) {
+  std::ifstream in = open_text(path);
+  std::string line;
+  while (std::getline(in, line) && is_comment(line)) {
+  }
+  std::istringstream hdr(line);
+  unsigned long long n, m, fmt = 0;
+  if (!(hdr >> n >> m)) fail(path, "bad METIS header");
+  hdr >> fmt;
+  const bool has_edge_weights = (fmt % 10) == 1;
+  const bool has_vertex_weights = (fmt / 10 % 10) == 1;
+
+  std::vector<Edge> edges;
+  edges.reserve(2 * m);
+  unsigned long long v = 0;
+  while (v < n && std::getline(in, line)) {
+    if (is_comment(line) && line.find_first_not_of(" \t\r") != std::string::npos &&
+        line[line.find_first_not_of(" \t\r")] == '%') {
+      continue;  // METIS allows % comment lines between rows
+    }
+    std::istringstream ss(line);
+    if (has_vertex_weights) {
+      unsigned long long vw;
+      ss >> vw;  // vertex weights are ignored: Louvain weights live on edges
+    }
+    unsigned long long nb;
+    while (ss >> nb) {
+      double w = 1.0;
+      if (has_edge_weights && !(ss >> w)) fail(path, "missing edge weight");
+      if (nb == 0 || nb > n) fail(path, "neighbor out of range");
+      if (nb - 1 >= v) {  // keep each undirected edge once
+        edges.push_back({static_cast<VertexId>(v), static_cast<VertexId>(nb - 1), w});
+      }
+    }
+    ++v;
+  }
+  if (v != n) fail(path, "fewer adjacency rows than header promises");
+  return build_csr(static_cast<VertexId>(n), std::move(edges));
+}
+
+Csr load_auto(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t len = std::strlen(suffix);
+    return path.size() >= len && path.compare(path.size() - len, len, suffix) == 0;
+  };
+  if (ends_with(".mtx")) return load_matrix_market(path);
+  if (ends_with(".graph") || ends_with(".metis")) return load_metis(path);
+  if (ends_with(".bin")) return load_binary(path);
+  return load_edge_list(path);
+}
+
+namespace {
+constexpr char kMagic[8] = {'G', 'L', 'O', 'U', 'B', 'I', 'N', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+template <typename T>
+void write_vec(std::ofstream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+template <typename T>
+void read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+}
+template <typename T>
+std::vector<T> read_vec(std::ifstream& in) {
+  std::uint64_t size = 0;
+  read_pod(in, size);
+  std::vector<T> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  return v;
+}
+}  // namespace
+
+void save_binary(const Csr& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(kMagic, sizeof kMagic);
+  std::vector<EdgeIdx> offsets(graph.offsets().begin(), graph.offsets().end());
+  std::vector<VertexId> adj(graph.adjacency().begin(), graph.adjacency().end());
+  std::vector<Weight> weights(graph.edge_weights().begin(), graph.edge_weights().end());
+  write_vec(out, offsets);
+  write_vec(out, adj);
+  write_vec(out, weights);
+  if (!out) fail(path, "write error");
+}
+
+Csr load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) fail(path, "bad magic");
+  auto offsets = read_vec<EdgeIdx>(in);
+  auto adj = read_vec<VertexId>(in);
+  auto weights = read_vec<Weight>(in);
+  if (!in) fail(path, "truncated file");
+  return Csr(std::move(offsets), std::move(adj), std::move(weights));
+}
+
+void save_edge_list(const Csr& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    auto nbrs = graph.neighbors(u);
+    auto ws = graph.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= u) {  // each undirected edge once; loops kept
+        out << u << ' ' << nbrs[i] << ' ' << ws[i] << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace glouvain::graph

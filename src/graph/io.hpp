@@ -1,0 +1,38 @@
+// Graph file formats. Three text formats cover the collections the
+// paper draws from (Florida: MatrixMarket; SNAP: edge lists; DIMACS/
+// METIS meshes), plus a fast binary snapshot for benchmark re-runs.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::graph {
+
+/// Whitespace-separated `u v [w]` lines; `#` and `%` comment lines are
+/// skipped. Vertices may be sparse ids; they are NOT compacted — ids
+/// are used verbatim, so n = max id + 1. Each undirected edge should
+/// appear once; duplicates merge.
+Csr load_edge_list(const std::string& path);
+
+/// MatrixMarket `%%MatrixMarket matrix coordinate (real|pattern|integer)
+/// (general|symmetric)` files, 1-indexed. Symmetric files give the
+/// lower triangle once; general files are symmetrized by merge.
+Csr load_matrix_market(const std::string& path);
+
+/// METIS .graph: header `n m [fmt]`, then one line of neighbors per
+/// vertex (1-indexed), weights if fmt says so.
+Csr load_metis(const std::string& path);
+
+/// Dispatch on extension: .mtx → MatrixMarket, .graph/.metis → METIS,
+/// .bin → binary, anything else → edge list.
+Csr load_auto(const std::string& path);
+
+/// Compact binary snapshot (magic + sizes + raw arrays, little-endian).
+void save_binary(const Csr& graph, const std::string& path);
+Csr load_binary(const std::string& path);
+
+/// Write as a plain `u v w` edge list (each undirected edge once).
+void save_edge_list(const Csr& graph, const std::string& path);
+
+}  // namespace glouvain::graph

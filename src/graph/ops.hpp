@@ -1,0 +1,52 @@
+// Whole-graph operations: validation, statistics, permutation, and the
+// *reference* (host-side) community contraction that the GPU-style
+// aggregation kernel is tested against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::graph {
+
+/// Structural invariants: monotone offsets, in-range neighbors,
+/// positive weights, symmetric adjacency (w(u,v) == w(v,u)), loops
+/// stored once. Returns an empty string when valid, else a diagnostic.
+std::string validate(const Csr& graph);
+
+struct DegreeStats {
+  EdgeIdx min_degree = 0;
+  EdgeIdx max_degree = 0;
+  double mean_degree = 0;
+  /// Degree histogram over the paper's 7 modularity-optimization
+  /// buckets: (0,4], (4,8], (8,16], (16,32], (32,84], (84,319], >319.
+  std::vector<std::uint64_t> bucket_counts;
+};
+
+DegreeStats degree_stats(const Csr& graph);
+
+/// Relabel: vertex v becomes perm[v]; perm must be a bijection.
+Csr permute(const Csr& graph, const std::vector<VertexId>& perm);
+
+/// Sequential reference contraction: community[v] in [0, k) for every
+/// vertex; returns the aggregated graph with one vertex per non-empty
+/// community (renumbered consecutively in increasing community order)
+/// plus the community -> new-vertex map in *new_id (optional).
+/// Intra-community edges fold into a self-loop carrying
+/// 2 * (internal undirected weight) + (original loop weights), matching
+/// the Csr weight conventions so modularity is preserved exactly.
+Csr contract_reference(const Csr& graph, const std::vector<Community>& community,
+                       std::vector<VertexId>* new_id = nullptr);
+
+/// Number of connected components (BFS; ignores weights).
+std::uint64_t count_components(const Csr& graph);
+
+/// Subgraph induced by `members` (must be duplicate-free). Vertex
+/// members[i] becomes vertex i of the subgraph; edges with an endpoint
+/// outside `members` are dropped. Used by the coarse-grained
+/// multi-device driver to give each device its partition.
+Csr induced_subgraph(const Csr& graph, std::span<const VertexId> members);
+
+}  // namespace glouvain::graph

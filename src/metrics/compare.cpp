@@ -1,0 +1,100 @@
+#include "metrics/compare.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace glouvain::metrics {
+
+namespace {
+
+struct Contingency {
+  // joint[{i,j}] = #vertices with label i in A and j in B.
+  std::unordered_map<std::uint64_t, std::uint64_t> joint;
+  std::vector<std::uint64_t> row;  // per-label counts in A
+  std::vector<std::uint64_t> col;  // per-label counts in B
+  std::uint64_t n = 0;
+};
+
+Contingency contingency(std::span<const graph::Community> a,
+                        std::span<const graph::Community> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("partition size mismatch");
+  }
+  Contingency t;
+  t.n = a.size();
+  graph::Community max_a = 0, max_b = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_a = std::max(max_a, a[i]);
+    max_b = std::max(max_b, b[i]);
+  }
+  t.row.assign(static_cast<std::size_t>(max_a) + 1, 0);
+  t.col.assign(static_cast<std::size_t>(max_b) + 1, 0);
+  t.joint.reserve(a.size() / 4 + 16);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++t.row[a[i]];
+    ++t.col[b[i]];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(a[i]) << 32) | b[i];
+    ++t.joint[key];
+  }
+  return t;
+}
+
+}  // namespace
+
+double nmi(std::span<const graph::Community> a,
+           std::span<const graph::Community> b) {
+  const Contingency t = contingency(a, b);
+  if (t.n == 0) return 1.0;
+  const double n = static_cast<double>(t.n);
+
+  auto entropy = [n](const std::vector<std::uint64_t>& counts) {
+    double h = 0;
+    for (auto c : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double ha = entropy(t.row);
+  const double hb = entropy(t.col);
+  if (ha == 0 && hb == 0) return 1.0;  // both trivial and equal
+
+  double mi = 0;
+  for (const auto& [key, nij] : t.joint) {
+    const auto i = static_cast<std::size_t>(key >> 32);
+    const auto j = static_cast<std::size_t>(key & 0xffffffffULL);
+    const double pij = static_cast<double>(nij) / n;
+    const double pi = static_cast<double>(t.row[i]) / n;
+    const double pj = static_cast<double>(t.col[j]) / n;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  return mi / ((ha + hb) / 2.0);
+}
+
+double adjusted_rand_index(std::span<const graph::Community> a,
+                           std::span<const graph::Community> b) {
+  const Contingency t = contingency(a, b);
+  if (t.n < 2) return 1.0;
+  auto choose2 = [](std::uint64_t x) {
+    return static_cast<double>(x) * (static_cast<double>(x) - 1.0) / 2.0;
+  };
+  double sum_ij = 0, sum_i = 0, sum_j = 0;
+  for (const auto& [key, nij] : t.joint) {
+    (void)key;
+    sum_ij += choose2(nij);
+  }
+  for (auto r : t.row) sum_i += choose2(r);
+  for (auto c : t.col) sum_j += choose2(c);
+  const double total = choose2(t.n);
+  const double expected = sum_i * sum_j / total;
+  const double max_index = (sum_i + sum_j) / 2.0;
+  if (max_index == expected) return 1.0;  // both trivial
+  return (sum_ij - expected) / (max_index - expected);
+}
+
+}  // namespace glouvain::metrics

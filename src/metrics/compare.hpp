@@ -1,0 +1,24 @@
+// Partition-agreement metrics against ground truth: Normalized Mutual
+// Information and Adjusted Rand Index. Used by quality tests on the
+// planted-partition and LFR generators.
+#pragma once
+
+#include <span>
+
+#include "graph/types.hpp"
+
+namespace glouvain::metrics {
+
+/// NMI with arithmetic-mean normalization: I(A;B)/((H(A)+H(B))/2).
+/// 1.0 = identical partitions, ~0 = independent. Returns 1.0 when both
+/// partitions are the all-singletons or all-one-block trivial pair with
+/// zero entropy.
+double nmi(std::span<const graph::Community> a,
+           std::span<const graph::Community> b);
+
+/// Adjusted Rand Index (chance-corrected pair-counting agreement);
+/// 1.0 = identical, ~0 = random.
+double adjusted_rand_index(std::span<const graph::Community> a,
+                           std::span<const graph::Community> b);
+
+}  // namespace glouvain::metrics

@@ -1,0 +1,40 @@
+#include "metrics/dendrogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/partition.hpp"
+
+namespace glouvain::metrics {
+
+void Dendrogram::push_level(std::vector<graph::Community> mapping) {
+  if (!levels_.empty()) {
+    // Domain of the new level = range of the previous one.
+    const graph::Community prev_range = communities_at_level(levels_.size() - 1);
+    if (mapping.size() != prev_range) {
+      throw std::invalid_argument(
+          "Dendrogram::push_level: level domain does not match previous range");
+    }
+  }
+  levels_.push_back(std::move(mapping));
+}
+
+std::vector<graph::Community> Dendrogram::community_at_level(std::size_t l) const {
+  if (l >= levels_.size()) {
+    throw std::out_of_range("Dendrogram::community_at_level");
+  }
+  std::vector<graph::Community> result = levels_[0];
+  for (std::size_t i = 1; i <= l; ++i) {
+    result = flatten(result, levels_[i]);
+  }
+  return result;
+}
+
+graph::Community Dendrogram::communities_at_level(std::size_t l) const {
+  const auto& level = levels_.at(l);
+  graph::Community max_label = 0;
+  for (const auto c : level) max_label = std::max(max_label, c);
+  return level.empty() ? 0 : max_label + 1;
+}
+
+}  // namespace glouvain::metrics

@@ -1,0 +1,47 @@
+// Multi-level clustering hierarchy (the "dendrogram" of the Louvain
+// method): one dense mapping per level, composable down to the original
+// vertex set. The paper's GPU code drops intermediate levels for memory
+// ("the program only outputs the final modularity"); keeping them is
+// cheap on the host and is what downstream users of a hierarchy (zoom
+// levels, coarse-to-fine layouts) actually need.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace glouvain::metrics {
+
+class Dendrogram {
+ public:
+  /// Append one level: mapping[i] is the community (dense label) of
+  /// level-(l-1) vertex i — of an ORIGINAL vertex for the first level.
+  void push_level(std::vector<graph::Community> mapping);
+
+  std::size_t num_levels() const noexcept { return levels_.size(); }
+  bool empty() const noexcept { return levels_.empty(); }
+
+  /// The raw mapping of one level.
+  std::span<const graph::Community> level(std::size_t l) const {
+    return levels_.at(l);
+  }
+
+  /// Communities at level l (inclusive), one label per ORIGINAL vertex.
+  /// Level num_levels()-1 is the final clustering.
+  std::vector<graph::Community> community_at_level(std::size_t l) const;
+
+  /// Number of communities at a level.
+  graph::Community communities_at_level(std::size_t l) const;
+
+  /// Number of original vertices (size of level 0's domain).
+  std::size_t num_vertices() const noexcept {
+    return levels_.empty() ? 0 : levels_.front().size();
+  }
+
+ private:
+  std::vector<std::vector<graph::Community>> levels_;
+};
+
+}  // namespace glouvain::metrics

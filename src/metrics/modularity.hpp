@@ -1,0 +1,33 @@
+// Modularity (Newman & Girvan) and the single-move gain of Eq. (2) —
+// the reference implementations every optimizer is tested against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::metrics {
+
+/// Q = sum_c [ in_c / 2m - (tot_c / 2m)^2 ] under the Csr weight
+/// conventions (see graph/csr.hpp): in_c counts ordered internal pairs
+/// plus self-loops once, tot_c sums member strengths, 2m =
+/// graph.total_weight(). Computed in parallel; O(|E|).
+double modularity(const graph::Csr& graph,
+                  std::span<const graph::Community> community);
+
+/// Exact modularity change of moving vertex v from its current
+/// community to `target` (computed from scratch; O(deg v) given the
+/// precomputed community totals). Used by property tests to verify
+/// that optimizers only ever make non-negative moves.
+double move_gain(const graph::Csr& graph,
+                 std::span<const graph::Community> community,
+                 std::span<const graph::Weight> community_total,
+                 std::span<const graph::Weight> strengths,
+                 graph::VertexId v, graph::Community target);
+
+/// tot_c for every community: tot[c] = sum of strengths of members.
+std::vector<graph::Weight> community_totals(
+    const graph::Csr& graph, std::span<const graph::Community> community);
+
+}  // namespace glouvain::metrics

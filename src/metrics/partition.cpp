@@ -1,0 +1,58 @@
+#include "metrics/partition.hpp"
+
+#include <algorithm>
+
+namespace glouvain::metrics {
+
+graph::Community renumber(std::vector<graph::Community>& community) {
+  if (community.empty()) return 0;
+  const graph::Community max_label =
+      *std::max_element(community.begin(), community.end());
+  std::vector<graph::Community> map(static_cast<std::size_t>(max_label) + 1,
+                                    graph::kInvalidCommunity);
+  graph::Community next = 0;
+  // First pass in increasing-label order keeps renumbering stable with
+  // respect to label order (matching the newID prefix-sum of Alg. 3).
+  std::vector<std::uint8_t> present(static_cast<std::size_t>(max_label) + 1, 0);
+  for (auto c : community) present[c] = 1;
+  for (std::size_t c = 0; c <= max_label; ++c) {
+    if (present[c]) map[c] = next++;
+  }
+  for (auto& c : community) c = map[c];
+  return next;
+}
+
+PartitionStats partition_stats(std::span<const graph::Community> community) {
+  PartitionStats stats;
+  if (community.empty()) return stats;
+  const auto sizes = community_sizes(community);
+  stats.num_communities = sizes.size();
+  stats.smallest = ~std::uint64_t{0};
+  std::uint64_t total = 0;
+  for (auto s : sizes) {
+    stats.largest = std::max(stats.largest, s);
+    stats.smallest = std::min(stats.smallest, s);
+    if (s == 1) ++stats.singletons;
+    total += s;
+  }
+  stats.mean_size = static_cast<double>(total) / static_cast<double>(sizes.size());
+  return stats;
+}
+
+std::vector<graph::Community> flatten(std::span<const graph::Community> lower,
+                                      std::span<const graph::Community> upper) {
+  std::vector<graph::Community> out(lower.size());
+  for (std::size_t v = 0; v < lower.size(); ++v) out[v] = upper[lower[v]];
+  return out;
+}
+
+std::vector<std::uint64_t> community_sizes(
+    std::span<const graph::Community> community) {
+  graph::Community max_label = 0;
+  for (auto c : community) max_label = std::max(max_label, c);
+  std::vector<std::uint64_t> sizes(community.empty() ? 0 : max_label + 1, 0);
+  for (auto c : community) ++sizes[c];
+  return sizes;
+}
+
+}  // namespace glouvain::metrics

@@ -1,0 +1,36 @@
+// Partition bookkeeping: renumbering, size statistics, flattening of
+// multi-level dendrograms to the original vertex set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::metrics {
+
+/// Relabel community ids to a dense [0, k) range (order of first
+/// appearance by increasing old label); returns k.
+graph::Community renumber(std::vector<graph::Community>& community);
+
+struct PartitionStats {
+  std::uint64_t num_communities = 0;
+  std::uint64_t largest = 0;
+  std::uint64_t smallest = 0;
+  std::uint64_t singletons = 0;
+  double mean_size = 0;
+};
+
+PartitionStats partition_stats(std::span<const graph::Community> community);
+
+/// Compose two levels of a dendrogram: vertex v of the original graph
+/// ends up in upper[lower[v]]. Both inputs must be renumbered densely.
+std::vector<graph::Community> flatten(std::span<const graph::Community> lower,
+                                      std::span<const graph::Community> upper);
+
+/// Community size histogram: sizes[c] = #members.
+std::vector<std::uint64_t> community_sizes(
+    std::span<const graph::Community> community);
+
+}  // namespace glouvain::metrics

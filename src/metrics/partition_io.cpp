@@ -1,0 +1,50 @@
+#include "metrics/partition_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace glouvain::metrics {
+
+namespace {
+bool is_comment(const std::string& line) {
+  for (char ch : line) {
+    if (std::isspace(static_cast<unsigned char>(ch))) continue;
+    return ch == '#' || ch == '%';
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<graph::Community> load_partition(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_partition: cannot open " + path);
+  std::vector<graph::Community> community;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ss(line);
+    unsigned long long v, c;
+    if (!(ss >> v >> c)) {
+      throw std::runtime_error("load_partition: bad line: " + line);
+    }
+    if (v >= community.size()) {
+      community.resize(v + 1, graph::kInvalidCommunity);
+    }
+    community[v] = static_cast<graph::Community>(c);
+  }
+  return community;
+}
+
+void save_partition(const std::vector<graph::Community>& community,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_partition: cannot open " + path);
+  for (std::size_t v = 0; v < community.size(); ++v) {
+    out << v << ' ' << community[v] << '\n';
+  }
+  if (!out) throw std::runtime_error("save_partition: write error");
+}
+
+}  // namespace glouvain::metrics

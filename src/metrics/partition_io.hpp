@@ -1,0 +1,23 @@
+// Reading/writing community assignments: the `<vertex> <community>`
+// text format used by SNAP ground-truth files and by the glouvain CLI,
+// so detected partitions round-trip and external partitions can be
+// scored against ours.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace glouvain::metrics {
+
+/// One "<vertex> <community>" pair per line; `#`/`%` comments ignored.
+/// Vertices may appear in any order; missing vertices (holes below the
+/// max id) get community kInvalidCommunity, so callers can detect
+/// partial files.
+std::vector<graph::Community> load_partition(const std::string& path);
+
+void save_partition(const std::vector<graph::Community>& community,
+                    const std::string& path);
+
+}  // namespace glouvain::metrics

@@ -1,0 +1,89 @@
+#include "metrics/quality.hpp"
+
+#include <algorithm>
+
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::metrics {
+
+namespace {
+using graph::Community;
+using graph::Csr;
+using graph::VertexId;
+using graph::Weight;
+}  // namespace
+
+double coverage(const Csr& graph, std::span<const Community> community) {
+  const Weight m2 = graph.total_weight();
+  if (m2 <= 0) return 1.0;
+  auto& pool = simt::ThreadPool::global();
+  std::vector<Weight> internal(pool.size(), 0);
+  pool.parallel_for(graph.num_vertices(), [&](std::size_t vi, unsigned worker) {
+    const auto v = static_cast<VertexId>(vi);
+    auto nbrs = graph.neighbors(v);
+    auto ws = graph.weights(v);
+    Weight acc = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (community[nbrs[i]] == community[v]) acc += ws[i];
+    }
+    internal[worker] += acc;
+  });
+  Weight total = 0;
+  for (auto w : internal) total += w;
+  return total / m2;
+}
+
+namespace {
+
+/// cut and volume per community in one pass.
+void cut_and_volume(const Csr& graph, std::span<const Community> community,
+                    std::vector<Weight>& cut, std::vector<Weight>& volume) {
+  Community max_label = 0;
+  for (auto c : community) max_label = std::max(max_label, c);
+  cut.assign(static_cast<std::size_t>(max_label) + 1, 0);
+  volume.assign(static_cast<std::size_t>(max_label) + 1, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const Community c = community[v];
+    auto nbrs = graph.neighbors(v);
+    auto ws = graph.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      volume[c] += ws[i];
+      if (community[nbrs[i]] != c) cut[c] += ws[i];
+    }
+  }
+}
+
+double conductance_from(Weight cut, Weight volume, Weight m2) {
+  const Weight denom = std::min(volume, m2 - volume);
+  if (denom <= 0) return 0;
+  return cut / denom;
+}
+
+}  // namespace
+
+double conductance(const Csr& graph, std::span<const Community> community,
+                   Community c) {
+  std::vector<Weight> cut, volume;
+  cut_and_volume(graph, community, cut, volume);
+  if (c >= cut.size()) return 0;
+  return conductance_from(cut[c], volume[c], graph.total_weight());
+}
+
+ConductanceReport conductance_all(const Csr& graph,
+                                  std::span<const Community> community) {
+  ConductanceReport report;
+  std::vector<Weight> cut, volume;
+  cut_and_volume(graph, community, cut, volume);
+  report.per_community.resize(cut.size());
+  const Weight m2 = graph.total_weight();
+  Weight weighted = 0, total_volume = 0;
+  for (std::size_t c = 0; c < cut.size(); ++c) {
+    report.per_community[c] = conductance_from(cut[c], volume[c], m2);
+    weighted += report.per_community[c] * volume[c];
+    total_volume += volume[c];
+  }
+  report.weighted_mean = total_volume > 0 ? weighted / total_volume : 0;
+  return report;
+}
+
+}  // namespace glouvain::metrics

@@ -1,0 +1,37 @@
+// Partition quality measures beyond modularity: coverage and
+// conductance. Modularity is what Louvain optimizes (Eq. 1); these are
+// the standard independent checks used when comparing detectors, and
+// they guard quality tests against modularity's known blind spots
+// (resolution limit — Fortunato & Barthélemy 2007, cited as [11]).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::metrics {
+
+/// Fraction of edge weight that is intra-community: in [0, 1], 1 when
+/// every edge is internal. (Trivially 1 for the all-in-one partition —
+/// always read together with modularity.)
+double coverage(const graph::Csr& graph,
+                std::span<const graph::Community> community);
+
+/// Conductance of one community c: cut(c) / min(vol(c), vol(V\c)),
+/// where vol sums strengths. Lower is better; 0 = disconnected from
+/// the rest. Returns 0 for communities with empty complement or volume.
+double conductance(const graph::Csr& graph,
+                   std::span<const graph::Community> community,
+                   graph::Community c);
+
+/// Per-community conductance (index = dense community label) plus the
+/// size-weighted mean — a scalar "how crisp are these communities".
+struct ConductanceReport {
+  std::vector<double> per_community;
+  double weighted_mean = 0;
+};
+ConductanceReport conductance_all(const graph::Csr& graph,
+                                  std::span<const graph::Community> community);
+
+}  // namespace glouvain::metrics

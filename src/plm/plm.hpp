@@ -1,0 +1,26 @@
+// Fine-grained shared-memory parallel Louvain (PLM) — the CPU
+// comparator class of the paper's Figure 7 (the OpenMP code of Lu,
+// Halappanavar & Kalyanaraman [16] and the PLM of Staudt & Meyerhenke
+// [21]). One thread processes many vertices; a vertex moves IMMEDIATELY
+// after its best community is computed (asynchronous moves through
+// shared memory), with the same move-control heuristics the paper
+// adopts from [16]: the singleton-to-singleton guard C[j] < C[i],
+// lowest-community-id tie breaking, and the adaptive t_bin/t_final
+// threshold schedule.
+#pragma once
+
+#include "core/common.hpp"
+#include "graph/csr.hpp"
+
+namespace glouvain::plm {
+
+struct Config {
+  ThresholdSchedule thresholds;
+  int max_levels = 64;
+  int max_sweeps_per_level = 1000;
+  unsigned threads = 0;  ///< 0 = use the global pool as-is
+};
+
+LouvainResult louvain(const graph::Csr& graph, const Config& config = {});
+
+}  // namespace glouvain::plm

@@ -1,0 +1,79 @@
+// Parallel stable partition — the Thrust partition() the paper's host
+// code uses to pull out the vertices of one degree bucket (Algorithm 1
+// line 5) and the communities of one work bucket (Algorithm 3 line 21).
+//
+// Count-scan-scatter: each chunk counts its matching elements, an
+// exclusive scan over chunk counts assigns output offsets, then chunks
+// scatter. Stability (original relative order preserved on both sides)
+// follows because chunks are contiguous and offsets are monotone.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::prim {
+
+/// Copy all elements of `in` satisfying pred to the front of `out` and
+/// the rest to the back; returns the number of matching elements.
+/// in and out must not alias; out.size() >= in.size().
+template <typename T, typename Pred>
+std::size_t stable_partition_copy(std::span<const T> in, std::span<T> out,
+                                  Pred&& pred,
+                                  simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  constexpr std::size_t kSerialCutoff = 1 << 14;
+  if (n <= kSerialCutoff || pool.size() == 1) {
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(in[i])) out[lo++] = in[i];
+    }
+    std::size_t back = lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!pred(in[i])) out[back++] = in[i];
+    }
+    return lo;
+  }
+
+  const std::size_t chunks = 4 * pool.size();
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::size_t> true_count(chunks, 0);
+
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    std::size_t t = 0;
+    for (std::size_t i = b; i < e; ++i) t += pred(in[i]) ? 1 : 0;
+    true_count[c] = t;
+  });
+
+  std::vector<std::size_t> true_off(chunks), false_off(chunks);
+  std::size_t total_true = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    true_off[c] = total_true;
+    total_true += true_count[c];
+  }
+  std::size_t false_running = total_true;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    false_off[c] = false_running;
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    false_running += (e > b ? e - b : 0) - true_count[c];
+  }
+
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    std::size_t t = true_off[c], f = false_off[c];
+    for (std::size_t i = b; i < e; ++i) {
+      if (pred(in[i])) out[t++] = in[i];
+      else out[f++] = in[i];
+    }
+  });
+  return total_true;
+}
+
+}  // namespace glouvain::prim

@@ -1,0 +1,74 @@
+// Parallel reductions (Thrust reduce/count_if analogues).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::prim {
+
+/// Generic reduction: combine must be associative and commutative and
+/// `init` its identity. Deterministic for a fixed pool size when
+/// combine is exact (integer sums); floating-point sums may differ in
+/// rounding from a serial loop, as with any parallel reduction.
+template <typename T, typename Combine>
+T reduce(std::span<const T> data, T init, Combine&& combine,
+         simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  const std::size_t n = data.size();
+  constexpr std::size_t kSerialCutoff = 1 << 15;
+  if (n <= kSerialCutoff || pool.size() == 1) {
+    T acc = init;
+    for (std::size_t i = 0; i < n; ++i) acc = combine(acc, data[i]);
+    return acc;
+  }
+  const std::size_t chunks = 4 * pool.size();
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<T> partial(chunks, init);
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    T acc = init;
+    for (std::size_t i = b; i < e; ++i) acc = combine(acc, data[i]);
+    partial[c] = acc;
+  });
+  T acc = init;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Sum of all elements.
+template <typename T>
+T sum(std::span<const T> data,
+      simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  return reduce(data, T{}, [](T a, T b) { return a + b; }, pool);
+}
+
+/// Number of indices i in [0, n) for which pred(i) holds.
+template <typename Pred>
+std::size_t count_if_index(std::size_t n, Pred&& pred,
+                           simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  const std::size_t chunks = std::max<std::size_t>(1, 4 * pool.size());
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::size_t> partial(chunks, 0);
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    std::size_t acc = 0;
+    for (std::size_t i = b; i < e; ++i) acc += pred(i) ? 1 : 0;
+    partial[c] = acc;
+  });
+  std::size_t total = 0;
+  for (auto p : partial) total += p;
+  return total;
+}
+
+/// Maximum element (returns `lowest` for empty input).
+template <typename T>
+T max_value(std::span<const T> data, T lowest,
+            simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  return reduce(data, lowest, [](T a, T b) { return a < b ? b : a; }, pool);
+}
+
+}  // namespace glouvain::prim

@@ -1,0 +1,131 @@
+// Parallel prefix sums — the Thrust analogue used between kernels.
+//
+// The paper's host code calls Thrust prefix sums three times per
+// aggregation (newID renumbering, edge-position bounds, vertex-start
+// offsets; Algorithm 3 lines 12–16). These implementations use the
+// classic two-pass block-scan: per-chunk partial sums, a sequential
+// scan over the (few) chunk totals, then a parallel fix-up pass.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::prim {
+
+/// out[i] = sum of in[0..i); returns the grand total. in and out may
+/// alias. Falls back to a serial scan below `kSerialCutoff` elements.
+template <typename T>
+T exclusive_scan(std::span<const T> in, std::span<T> out,
+                 simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  constexpr std::size_t kSerialCutoff = 1 << 15;
+  const std::size_t n = in.size();
+  if (n == 0) return T{};
+  if (n <= kSerialCutoff || pool.size() == 1) {
+    T running{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const T v = in[i];
+      out[i] = running;
+      running += v;
+    }
+    return running;
+  }
+
+  const std::size_t chunks = 4 * pool.size();
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<T> partial(chunks, T{});
+
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    T sum{};
+    for (std::size_t i = b; i < e; ++i) sum += in[i];
+    partial[c] = sum;
+  });
+
+  T total{};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const T v = partial[c];
+    partial[c] = total;
+    total += v;
+  }
+
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    T running = partial[c];
+    for (std::size_t i = b; i < e; ++i) {
+      const T v = in[i];
+      out[i] = running;
+      running += v;
+    }
+  });
+  return total;
+}
+
+/// In-place convenience overload.
+template <typename T>
+T exclusive_scan(std::span<T> data,
+                 simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  return exclusive_scan(std::span<const T>(data.data(), data.size()), data, pool);
+}
+
+/// out[i] = sum of in[0..i]; returns the grand total. in and out may
+/// alias. Same two-pass structure as exclusive_scan.
+template <typename T>
+T inclusive_scan(std::span<const T> in, std::span<T> out,
+                 simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  constexpr std::size_t kSerialCutoff = 1 << 15;
+  const std::size_t n = in.size();
+  if (n == 0) return T{};
+  if (n <= kSerialCutoff || pool.size() == 1) {
+    T running{};
+    for (std::size_t i = 0; i < n; ++i) {
+      running += in[i];
+      out[i] = running;
+    }
+    return running;
+  }
+
+  const std::size_t chunks = 4 * pool.size();
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<T> partial(chunks, T{});
+
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    T sum{};
+    for (std::size_t i = b; i < e; ++i) sum += in[i];
+    partial[c] = sum;
+  });
+
+  T total{};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const T v = partial[c];
+    partial[c] = total;
+    total += v;
+  }
+
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    T running = partial[c];
+    for (std::size_t i = b; i < e; ++i) {
+      running += in[i];
+      out[i] = running;
+    }
+  });
+  return total;
+}
+
+/// In-place convenience overload.
+template <typename T>
+T inclusive_scan(std::span<T> data,
+                 simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  return inclusive_scan(std::span<const T>(data.data(), data.size()), data, pool);
+}
+
+}  // namespace glouvain::prim

@@ -1,0 +1,52 @@
+// Elementwise parallel helpers: fill, iota, transform, gather, scatter.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::prim {
+
+template <typename T>
+void fill(std::span<T> data, const T& value,
+          simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  pool.parallel_for(data.size(), [&](std::size_t i, unsigned) { data[i] = value; });
+}
+
+/// data[i] = start + i.
+template <typename T>
+void iota(std::span<T> data, T start = T{},
+          simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  pool.parallel_for(data.size(), [&](std::size_t i, unsigned) {
+    data[i] = start + static_cast<T>(i);
+  });
+}
+
+/// out[i] = fn(in[i]).
+template <typename In, typename Out, typename F>
+void transform(std::span<const In> in, std::span<Out> out, F&& fn,
+               simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  pool.parallel_for(in.size(), [&](std::size_t i, unsigned) { out[i] = fn(in[i]); });
+}
+
+/// out[i] = in[index[i]].
+template <typename T, typename Idx>
+void gather(std::span<const T> in, std::span<const Idx> index, std::span<T> out,
+            simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  pool.parallel_for(index.size(), [&](std::size_t i, unsigned) {
+    out[i] = in[static_cast<std::size_t>(index[i])];
+  });
+}
+
+/// out[index[i]] = in[i]; `index` must be a permutation (no duplicate
+/// targets) or the result is a race.
+template <typename T, typename Idx>
+void scatter(std::span<const T> in, std::span<const Idx> index, std::span<T> out,
+             simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  pool.parallel_for(in.size(), [&](std::size_t i, unsigned) {
+    out[static_cast<std::size_t>(index[i])] = in[i];
+  });
+}
+
+}  // namespace glouvain::prim

@@ -1,0 +1,177 @@
+#include "seq/louvain.hpp"
+
+#include <algorithm>
+
+#include "graph/ops.hpp"
+#include "metrics/partition.hpp"
+#include "util/timer.hpp"
+
+namespace glouvain::seq {
+
+namespace {
+
+using graph::Community;
+using graph::Csr;
+using graph::VertexId;
+using graph::Weight;
+
+/// Modularity from maintained in/tot accumulators.
+double modularity_from(const std::vector<Weight>& in,
+                       const std::vector<Weight>& tot, Weight m2) {
+  double q = 0;
+  for (std::size_t c = 0; c < in.size(); ++c) {
+    if (tot[c] > 0) q += in[c] / m2 - (tot[c] / m2) * (tot[c] / m2);
+  }
+  return q;
+}
+
+}  // namespace
+
+int optimize_phase(const Csr& graph, std::vector<Community>& community,
+                   double threshold, int max_sweeps, double* final_modularity) {
+  const VertexId n = graph.num_vertices();
+  const Weight m2 = graph.total_weight();
+
+  community.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) community[v] = v;
+
+  std::vector<Weight> strengths = graph.compute_strengths();
+  std::vector<Weight> loops(n);
+  for (VertexId v = 0; v < n; ++v) loops[v] = graph.loop_weight(v);
+
+  std::vector<Weight> tot = strengths;              // one community per vertex
+  std::vector<Weight> in(n);
+  for (VertexId v = 0; v < n; ++v) in[v] = loops[v];
+
+  // Sparse neighbour-community accumulator (the "hash table" of the
+  // sequential algorithm): value array indexed by community plus the
+  // list of touched entries for O(deg) reset.
+  std::vector<Weight> neigh_weight(n, -1);
+  std::vector<Community> touched;
+  touched.reserve(256);
+
+  double current_q = modularity_from(in, tot, m2);
+  int sweeps = 0;
+
+  while (sweeps < max_sweeps) {
+    ++sweeps;
+    bool moved = false;
+
+    for (VertexId v = 0; v < n; ++v) {
+      const Community old_c = community[v];
+      const Weight k = strengths[v];
+
+      // Gather d_{v,c} for every adjacent community (self excluded).
+      touched.clear();
+      auto nbrs = graph.neighbors(v);
+      auto ws = graph.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i] == v) continue;
+        const Community c = community[nbrs[i]];
+        if (neigh_weight[c] < 0) {
+          neigh_weight[c] = 0;
+          touched.push_back(c);
+        }
+        neigh_weight[c] += ws[i];
+      }
+
+      const Weight d_old = neigh_weight[old_c] < 0 ? 0 : neigh_weight[old_c];
+
+      // Remove v from its community.
+      tot[old_c] -= k;
+      in[old_c] -= 2 * d_old + loops[v];
+
+      // Best target: maximize d_vc - k * tot_c / m2; ties to lowest id;
+      // staying put wins ties against moving (strict improvement only).
+      Community best_c = old_c;
+      double best_gain = d_old - k * tot[old_c] / m2;
+      for (const Community c : touched) {
+        if (c == old_c) continue;
+        const double gain = neigh_weight[c] - k * tot[c] / m2;
+        if (gain > best_gain + 1e-15 ||
+            (gain > best_gain - 1e-15 && c < best_c)) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+
+      // Insert into the winner.
+      const Weight d_best = best_c == old_c
+                                ? d_old
+                                : (neigh_weight[best_c] < 0 ? 0 : neigh_weight[best_c]);
+      tot[best_c] += k;
+      in[best_c] += 2 * d_best + loops[v];
+      community[v] = best_c;
+      if (best_c != old_c) moved = true;
+
+      for (const Community c : touched) neigh_weight[c] = -1;
+    }
+
+    const double new_q = modularity_from(in, tot, m2);
+    const double gain = new_q - current_q;
+    current_q = new_q;
+    if (!moved || gain < threshold) break;
+  }
+
+  if (final_modularity) *final_modularity = current_q;
+  return sweeps;
+}
+
+LouvainResult louvain(const Csr& graph, const Config& config) {
+  util::Timer total_timer;
+  LouvainResult result;
+  result.community.resize(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) result.community[v] = v;
+
+  Csr current = graph;
+  double prev_q = -1.0;
+
+  for (int level = 0; level < config.max_levels; ++level) {
+    LevelReport report;
+    report.vertices = current.num_vertices();
+    report.arcs = current.num_arcs();
+    report.modularity_before = prev_q < -0.5 ? 0 : prev_q;
+
+    const double threshold = config.thresholds.threshold_for(current.num_vertices());
+
+    util::Timer opt_timer;
+    std::vector<Community> phase_community;
+    double q = 0;
+    report.iterations = optimize_phase(current, phase_community, threshold,
+                                       config.max_sweeps_per_level, &q);
+    report.optimize_seconds = opt_timer.seconds();
+    report.modularity_after = q;
+
+    if (level == 0) {
+      result.first_phase_teps = report.optimize_seconds > 0
+          ? static_cast<double>(current.num_arcs()) * report.iterations /
+                report.optimize_seconds
+          : 0;
+    }
+
+    // Always stop on the *fine* threshold, as the multi-level driver of
+    // the original code does — t_bin only shortens phases, not the run.
+    const bool converged = prev_q >= -0.5 && (q - prev_q) < config.thresholds.t_final;
+
+    util::Timer agg_timer;
+    metrics::renumber(phase_community);
+    result.community = metrics::flatten(result.community, phase_community);
+    result.dendrogram.push_level(phase_community);
+
+    std::vector<VertexId> new_id;
+    Csr contracted = graph::contract_reference(current, phase_community, &new_id);
+    report.aggregate_seconds = agg_timer.seconds();
+    result.levels.push_back(report);
+
+    const bool shrunk = contracted.num_vertices() < current.num_vertices();
+    prev_q = q;
+    current = std::move(contracted);
+    if (converged || !shrunk) break;
+  }
+
+  result.modularity = prev_q;
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace glouvain::seq

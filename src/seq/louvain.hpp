@@ -1,0 +1,31 @@
+// Sequential Louvain method — a faithful re-implementation of the
+// original algorithm of Blondel, Guillaume, Lambiotte & Lefebvre
+// (2008), the baseline the paper's speedups are measured against
+// (Table 1 column 4, Figure 3). With `thresholds.adaptive = true` it
+// becomes the "adaptive sequential algorithm" of Figure 4, which uses
+// the coarse t_bin threshold on large intermediate graphs.
+#pragma once
+
+#include "core/common.hpp"
+#include "graph/csr.hpp"
+
+namespace glouvain::seq {
+
+struct Config {
+  ThresholdSchedule thresholds{.adaptive = false};
+  int max_levels = 64;
+  int max_sweeps_per_level = 1000;
+};
+
+/// Full multi-level run.
+LouvainResult louvain(const graph::Csr& graph, const Config& config = {});
+
+/// One modularity-optimization phase on `graph` starting from the
+/// all-singletons partition; `community` receives the result (dense
+/// labels NOT renumbered — labels are community representatives).
+/// Returns the number of sweeps executed. Exposed for unit tests.
+int optimize_phase(const graph::Csr& graph,
+                   std::vector<graph::Community>& community, double threshold,
+                   int max_sweeps, double* final_modularity = nullptr);
+
+}  // namespace glouvain::seq

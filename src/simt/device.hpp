@@ -1,0 +1,101 @@
+// The software SIMT device: thread pool + per-worker shared-memory
+// arenas + kernel-launch API. This is the substitution for the CUDA
+// runtime in the reproduction (see DESIGN.md §1): kernels are launched
+// over a 1-D grid of tasks, each task runs to completion on one worker
+// with access to that worker's SharedArena, and — exactly like thread
+// blocks — tasks cannot synchronize with each other inside a launch;
+// the host synchronizes by returning from launch().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "simt/lane_group.hpp"
+#include "simt/shared_arena.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::simt {
+
+struct DeviceConfig {
+  unsigned warp_size = 32;      ///< lanes per physical warp
+  unsigned block_threads = 128; ///< 4 warps per block, as in the paper
+  unsigned worker_threads = 0;  ///< 0 = hardware concurrency
+  std::size_t shared_bytes = SharedArena::kDefaultCapacity;
+};
+
+/// Execution context handed to each kernel task ("thread block").
+class TaskContext {
+ public:
+  TaskContext(std::size_t task, unsigned worker, SharedArena& arena) noexcept
+      : task_(task), worker_(worker), arena_(arena) {}
+
+  std::size_t task() const noexcept { return task_; }
+  unsigned worker() const noexcept { return worker_; }
+  SharedArena& shared() noexcept { return arena_; }
+
+ private:
+  std::size_t task_;
+  unsigned worker_;
+  SharedArena& arena_;
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceConfig& config = {})
+      : config_(config),
+        pool_(std::make_unique<ThreadPool>(config.worker_threads)) {
+    arenas_.reserve(pool_->size());
+    for (unsigned w = 0; w < pool_->size(); ++w) {
+      arenas_.emplace_back(config.shared_bytes);
+    }
+  }
+
+  const DeviceConfig& config() const noexcept { return config_; }
+  unsigned workers() const noexcept { return pool_->size(); }
+  ThreadPool& pool() noexcept { return *pool_; }
+
+  /// Launch `tasks` independent kernel tasks; body(TaskContext&).
+  /// Returns when every task has completed (host-side sync point).
+  template <typename Body>
+  void launch(std::size_t tasks, Body&& body) {
+    launch(tasks, /*grain=*/0, std::forward<Body>(body));
+  }
+
+  /// Launch with an explicit scheduling grain (tasks per dispatch).
+  /// grain == 0 picks the pool default.
+  template <typename Body>
+  void launch(std::size_t tasks, std::size_t grain, Body&& body) {
+    if (grain == 0) grain = pool_->default_grain(tasks);
+    pool_->parallel_for(tasks, grain, [this, &body](std::size_t t, unsigned w) {
+      SharedArena& arena = arenas_[w];
+      arena.reset();
+      TaskContext ctx(t, w, arena);
+      body(ctx);
+    });
+  }
+
+  /// Plain data-parallel loop without arena setup — the analogue of a
+  /// trivial elementwise kernel. fn(i).
+  template <typename F>
+  void for_each(std::size_t n, F&& fn) {
+    pool_->parallel_for(n, [&fn](std::size_t i, unsigned) { fn(i); });
+  }
+
+  /// Shared-memory spill diagnostics, summed over workers.
+  std::uint64_t total_spills() const noexcept {
+    std::uint64_t s = 0;
+    for (const auto& a : arenas_) s += a.spills();
+    return s;
+  }
+  void clear_spills() noexcept {
+    for (auto& a : arenas_) a.clear_spills();
+  }
+
+ private:
+  DeviceConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<SharedArena> arenas_;
+};
+
+}  // namespace glouvain::simt

@@ -1,0 +1,72 @@
+// Warp-synchronous lane groups: the unit the paper assigns to a vertex.
+//
+// On the GPU a vertex of degree d is processed by a group of 2^k lanes
+// of one warp (k in [2,5]), by a full warp, or by a whole 128-thread
+// block; lanes iterate the vertex's edges in an interleaved (strided)
+// pattern and finish with a shuffle-style reduction to pick the best
+// community. The software device preserves that structure: a LaneGroup
+// executes its lanes in lockstep rounds inside ONE OS thread — a warp
+// never diverges across OS threads, matching SIMT — while different
+// groups (different vertices) run concurrently on the pool.
+//
+// Keeping the lane-strided visit order and per-lane partial state means
+// the kernel code below is a line-by-line transcription of Algorithm 2
+// rather than a loose CPU re-imagining of it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+
+namespace glouvain::simt {
+
+class LaneGroup {
+ public:
+  explicit constexpr LaneGroup(unsigned lanes) noexcept : lanes_(lanes) {}
+
+  constexpr unsigned lanes() const noexcept { return lanes_; }
+
+  /// Visit indices [0, n) in warp order: round r dispatches index
+  /// r*lanes+lane for each active lane. fn(lane, index).
+  template <typename F>
+  void strided_for(std::size_t n, F&& fn) const {
+    for (std::size_t base = 0; base < n; base += lanes_) {
+      const std::size_t limit = std::min<std::size_t>(lanes_, n - base);
+      for (unsigned lane = 0; lane < limit; ++lane) {
+        fn(lane, base + lane);
+      }
+    }
+  }
+
+  /// Tree reduction of per-lane values, emulating __shfl_down_sync.
+  /// combine(a, b) must be associative and commutative.
+  template <typename T, typename Combine>
+  T reduce(std::span<T> lane_values, Combine&& combine) const {
+    for (unsigned offset = lanes_ / 2; offset > 0; offset /= 2) {
+      for (unsigned lane = 0; lane < offset; ++lane) {
+        lane_values[lane] =
+            combine(lane_values[lane], lane_values[lane + offset]);
+      }
+    }
+    return lane_values[0];
+  }
+
+  /// Exclusive prefix sum over per-lane counts (Hillis–Steele shape);
+  /// returns the total. Used when lanes claim slots in an output array.
+  template <typename T>
+  T exclusive_scan(std::span<T> lane_values) const {
+    T running{};
+    for (unsigned lane = 0; lane < lanes_; ++lane) {
+      const T v = lane_values[lane];
+      lane_values[lane] = running;
+      running += v;
+    }
+    return running;
+  }
+
+ private:
+  unsigned lanes_;
+};
+
+}  // namespace glouvain::simt

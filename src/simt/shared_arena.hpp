@@ -1,0 +1,100 @@
+// Per-worker scratch memory modelling the GPU's on-chip *shared memory*
+// versus off-chip *global memory* split (§4.1 of the paper).
+//
+// Each worker thread owns one SharedArena whose capacity defaults to
+// the 48 KiB of a Kepler SM's shared memory. Kernels request their
+// per-vertex hash tables from it; requests that exceed the remaining
+// shared capacity spill into a heap-backed overflow region, and the
+// spill count is tracked so experiments can verify that the paper's
+// bucket boundaries really do keep groups 1–6 on-chip.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace glouvain::simt {
+
+class SharedArena {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 48 * 1024;  // Kepler SM
+
+  explicit SharedArena(std::size_t capacity_bytes = kDefaultCapacity)
+      : shared_(capacity_bytes) {}
+
+  /// Drop all allocations (called between tasks, like the implicit
+  /// reclamation of shared memory between thread blocks). Overflow
+  /// chunks are kept for reuse, so steady-state tasks allocate nothing.
+  void reset() noexcept {
+    shared_used_ = 0;
+    chunk_index_ = 0;
+    chunk_used_ = 0;
+  }
+
+  /// Allocate `count` elements of T. If the shared region has room the
+  /// span lives there; otherwise it comes from the overflow region and
+  /// the spill counter ticks. Previously returned spans are NEVER
+  /// invalidated by later allocations (until reset()).
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    const std::size_t bytes = align_up(count * sizeof(T));
+    if (shared_used_ + bytes <= shared_.size()) {
+      T* p = reinterpret_cast<T*>(shared_.data() + shared_used_);
+      shared_used_ += bytes;
+      return {p, count};
+    }
+    ++spills_;
+    return {reinterpret_cast<T*>(global_alloc(bytes)), count};
+  }
+
+  /// Allocate from the overflow ("global memory") region explicitly —
+  /// used for the highest bucket where the paper also goes off-chip.
+  template <typename T>
+  std::span<T> alloc_global(std::size_t count) {
+    const std::size_t bytes = align_up(count * sizeof(T));
+    return {reinterpret_cast<T*>(global_alloc(bytes)), count};
+  }
+
+  std::size_t capacity() const noexcept { return shared_.size(); }
+  std::size_t shared_used() const noexcept { return shared_used_; }
+  std::uint64_t spills() const noexcept { return spills_; }
+  void clear_spills() noexcept { spills_ = 0; }
+
+ private:
+  static std::size_t align_up(std::size_t bytes) noexcept {
+    constexpr std::size_t kAlign = alignof(std::max_align_t);
+    return (bytes + kAlign - 1) & ~(kAlign - 1);
+  }
+
+  /// Bump allocator over a list of fixed chunks. Chunks are never
+  /// resized or freed while in use, so earlier spans stay valid.
+  unsigned char* global_alloc(std::size_t bytes) {
+    static constexpr std::size_t kMinChunk = 256 * 1024;
+    while (chunk_index_ < chunks_.size()) {
+      auto& chunk = chunks_[chunk_index_];
+      if (chunk_used_ + bytes <= chunk.size()) {
+        unsigned char* p = chunk.data() + chunk_used_;
+        chunk_used_ += bytes;
+        return p;
+      }
+      ++chunk_index_;
+      chunk_used_ = 0;
+    }
+    chunks_.emplace_back(std::max(bytes, kMinChunk));
+    chunk_index_ = chunks_.size() - 1;
+    chunk_used_ = bytes;
+    return chunks_.back().data();
+  }
+
+  // vector<unsigned char>'s buffer comes from operator new and is
+  // therefore max_align_t-aligned; offsets stay aligned via align_up.
+  std::vector<unsigned char> shared_;
+  std::vector<std::vector<unsigned char>> chunks_;
+  std::size_t shared_used_ = 0;
+  std::size_t chunk_index_ = 0;
+  std::size_t chunk_used_ = 0;
+  std::uint64_t spills_ = 0;
+};
+
+}  // namespace glouvain::simt

@@ -1,0 +1,83 @@
+// Persistent worker pool: the "streaming multiprocessors" of the
+// software SIMT device (see device.hpp). All data-parallel loops in the
+// library run through parallel_for / parallel_chunks on this pool.
+//
+// Scheduling is dynamic: the iteration space is cut into grain-sized
+// chunks which workers (and the calling thread) claim with a single
+// fetch_add, so skewed workloads — the whole point of the paper's
+// degree bucketing — balance automatically across OS threads while the
+// *within-chunk* order stays deterministic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace glouvain::simt {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// fn(begin, end, worker) over [0, n) in grain-sized chunks.
+  /// `worker` is a stable id in [0, size()). Not reentrant: a nested
+  /// call from inside fn executes sequentially on the caller.
+  void parallel_chunks(std::size_t n, std::size_t grain,
+                       const std::function<void(std::size_t, std::size_t, unsigned)>& fn);
+
+  /// fn(i, worker) for every i in [0, n).
+  template <typename F>
+  void parallel_for(std::size_t n, std::size_t grain, F&& fn) {
+    parallel_chunks(n, grain, [&fn](std::size_t b, std::size_t e, unsigned w) {
+      for (std::size_t i = b; i < e; ++i) fn(i, w);
+    });
+  }
+
+  /// Convenience: grain chosen as n / (8 * size()), clamped to [1, 4096].
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    parallel_for(n, default_grain(n), std::forward<F>(fn));
+  }
+
+  std::size_t default_grain(std::size_t n) const noexcept;
+
+  /// Process-wide pool (size from GLOUVAIN_THREADS env var, else hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(unsigned worker_id);
+  void run_chunks(unsigned worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  // Current job (valid while active_ > 0).
+  const std::function<void(std::size_t, std::size_t, unsigned)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_grain_ = 1;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<unsigned> active_{0};
+  std::atomic<bool> in_parallel_{false};
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace glouvain::simt

@@ -1,0 +1,26 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+
+namespace glouvain::util {
+
+LogLevel& log_level() noexcept {
+  static LogLevel level = LogLevel::Info;
+  return level;
+}
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  static const char* tags[] = {"ERROR", "WARN ", "INFO ", "DEBUG"};
+  std::fprintf(stderr, "[%s] ", tags[static_cast<int>(level)]);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace glouvain::util

@@ -1,0 +1,41 @@
+// Tiny leveled logger. Verbosity is a process-wide knob so harnesses can
+// expose a --verbose flag without threading a logger through every API.
+#pragma once
+
+#include <cstdio>
+#include <utility>
+
+namespace glouvain::util {
+
+enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Process-wide verbosity (default: Info). Not synchronized — set it
+/// once at startup before spawning workers.
+LogLevel& log_level() noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+}  // namespace detail
+
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  detail::vlog(LogLevel::Error, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+  detail::vlog(LogLevel::Warn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  detail::vlog(LogLevel::Info, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  detail::vlog(LogLevel::Debug, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace glouvain::util

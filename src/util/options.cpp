@@ -1,0 +1,109 @@
+#include "util/options.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace glouvain::util {
+
+Options::Options(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  int order = 0;
+  for (int i = 1; i < argc; ++i, ++order) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        values_[body.substr(0, eq)] = {body.substr(eq + 1), -1};
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        // Greedy "--key value"; get_flag() can undo this later.
+        values_[body] = {argv[i + 1], order + 1};
+        ++i;
+        ++order;
+      } else {
+        values_[body] = {"true", -1};  // bare flag
+      }
+    } else {
+      positional_ordered_.emplace_back(order, arg);
+    }
+  }
+}
+
+std::string Options::get_string(const std::string& key, const std::string& def,
+                                const std::string& help) {
+  declared_[key] = {help, def};
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second.text;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t def,
+                              const std::string& help) {
+  declared_[key] = {help, std::to_string(def)};
+  auto it = values_.find(key);
+  return it == values_.end() ? def
+                             : std::strtoll(it->second.text.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double def,
+                           const std::string& help) {
+  declared_[key] = {help, std::to_string(def)};
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtod(it->second.text.c_str(), nullptr);
+}
+
+bool Options::get_flag(const std::string& key, const std::string& help) {
+  declared_[key] = {help, "false"};
+  auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  if (it->second.separate_token_order >= 0) {
+    // "--flag value": the value was actually a positional argument.
+    positional_ordered_.emplace_back(it->second.separate_token_order,
+                                     it->second.text);
+    it->second = {"true", -1};
+  }
+  return it->second.text != "false" && it->second.text != "0";
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+const std::vector<std::string>& Options::positional() const {
+  auto sorted = positional_ordered_;
+  std::sort(sorted.begin(), sorted.end());
+  positional_cache_.clear();
+  for (auto& [order, text] : sorted) {
+    (void)order;
+    positional_cache_.push_back(text);
+  }
+  return positional_cache_;
+}
+
+std::vector<std::string> Options::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (declared_.find(k) == declared_.end()) out.push_back(k);
+  }
+  return out;
+}
+
+std::string Options::usage(const std::string& program_summary) const {
+  std::ostringstream os;
+  os << program_ << " — " << program_summary << "\n\nOptions:\n";
+  for (const auto& [k, d] : declared_) {
+    os << "  --" << k;
+    if (!d.default_value.empty()) os << " (default: " << d.default_value << ")";
+    if (!d.help.empty()) os << "\n      " << d.help;
+    os << "\n";
+  }
+  os << "  --help\n      Print this message.\n";
+  return os.str();
+}
+
+}  // namespace glouvain::util

@@ -1,0 +1,68 @@
+// Minimal command-line option parser shared by the benchmark harnesses
+// and example programs. Supports `--key value`, `--key=value` and bare
+// boolean flags, with typed accessors, defaults, and auto-generated
+// usage text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace glouvain::util {
+
+class Options {
+ public:
+  /// Parse argv. Unknown options are collected and reported by
+  /// `unknown()` so harnesses can warn rather than crash.
+  Options(int argc, const char* const* argv);
+
+  /// Declare an option (for usage text) and fetch its value.
+  std::string get_string(const std::string& key, const std::string& def,
+                         const std::string& help = "");
+  std::int64_t get_int(const std::string& key, std::int64_t def,
+                       const std::string& help = "");
+  double get_double(const std::string& key, double def,
+                    const std::string& help = "");
+  /// Declaring a key as a flag reclassifies a token that was greedily
+  /// parsed as its value ("--flag pos1") back into a positional
+  /// argument, so flags and positionals mix freely.
+  bool get_flag(const std::string& key, const std::string& help = "");
+
+  bool has(const std::string& key) const;
+
+  /// Positional (non-option) arguments, in command-line order. Call
+  /// after all get_flag declarations (flags may reclaim positionals).
+  const std::vector<std::string>& positional() const;
+
+  /// Options present on the command line but never declared.
+  std::vector<std::string> unknown() const;
+
+  /// True if --help / -h was passed.
+  bool help_requested() const { return help_; }
+
+  /// Usage text assembled from every get_* declaration made so far.
+  std::string usage(const std::string& program_summary) const;
+
+ private:
+  struct Declared {
+    std::string help;
+    std::string default_value;
+  };
+  struct Value {
+    std::string text;
+    /// Index of the value token in the original argv order if it came
+    /// from a separate "--key value" token; -1 for "--key=value" and
+    /// bare flags. Used by get_flag to restore a misparsed positional.
+    int separate_token_order = -1;
+  };
+  std::map<std::string, Value> values_;
+  std::map<std::string, Declared> declared_;
+  std::vector<std::pair<int, std::string>> positional_ordered_;
+  mutable std::vector<std::string> positional_cache_;
+  std::string program_;
+  bool help_ = false;
+};
+
+}  // namespace glouvain::util

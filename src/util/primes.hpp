@@ -1,0 +1,48 @@
+// Prime-number helpers for hash-table sizing.
+//
+// The paper sizes every per-vertex hash table as "the smallest value
+// larger than 1.5 times the degree" drawn "from a list of precomputed
+// prime numbers" (§4, computeMove). PrimeTable reproduces that list:
+// a geometric ladder of primes, plus an exact next-prime fallback for
+// sizes past the end of the ladder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace glouvain::util {
+
+/// Deterministic Miller-Rabin primality test, valid for all 64-bit n.
+bool is_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n (n <= 2^63 assumed; Bertrand guarantees existence).
+std::uint64_t next_prime_atleast(std::uint64_t n) noexcept;
+
+/// Precomputed geometric ladder of primes. lookup(x) returns the
+/// smallest ladder prime >= x in O(log #ladder); the ladder growth
+/// factor bounds the memory overshoot at ~`factor`.
+class PrimeTable {
+ public:
+  /// Build a ladder covering [first, limit] with the given growth factor.
+  explicit PrimeTable(std::uint64_t first = 3, std::uint64_t limit = (1ULL << 33),
+                      double factor = 1.12);
+
+  /// Smallest tabulated prime >= x; falls back to exact computation if
+  /// x exceeds the ladder limit.
+  std::uint64_t lookup(std::uint64_t x) const noexcept;
+
+  const std::vector<std::uint64_t>& ladder() const noexcept { return ladder_; }
+
+  /// Process-wide shared instance (construction is cheap but not free).
+  static const PrimeTable& global();
+
+ private:
+  std::vector<std::uint64_t> ladder_;
+};
+
+/// Hash-table capacity rule from the paper: smallest listed prime
+/// > 1.5 * degree (and at least 3, so even degree-1 vertices get a
+/// usable open-addressing table).
+std::uint64_t hash_capacity_for_degree(std::uint64_t degree) noexcept;
+
+}  // namespace glouvain::util

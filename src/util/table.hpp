@@ -1,0 +1,43 @@
+// Fixed-width ASCII table printing for the benchmark harnesses; every
+// table/figure reproduction prints through this so outputs align and
+// can be diffed or scraped.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace glouvain::util {
+
+class Table {
+ public:
+  enum class Align { Left, Right };
+
+  /// Declare the columns up front; rows must match in arity.
+  explicit Table(std::vector<std::string> headers);
+
+  Table& set_align(std::size_t column, Align a);
+
+  /// Append a row of preformatted cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule; widths are computed from content.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string fixed(double v, int precision);
+  static std::string sci(double v, int precision);
+  static std::string count(std::uint64_t v);      // 1234567 -> "1,234,567"
+  static std::string human(double v);             // 1234567 -> "1.23M"
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace glouvain::util

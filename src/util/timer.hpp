@@ -1,0 +1,65 @@
+// Wall-clock timing utilities used by the per-stage instrumentation of
+// the Louvain drivers and by every benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace glouvain::util {
+
+/// Monotonic wall-clock stopwatch with sub-microsecond resolution.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals — one per
+/// algorithm stage so phases can be summed over a whole run.
+class Accumulator {
+ public:
+  void start() noexcept { timer_.reset(); running_ = true; }
+
+  void stop() noexcept {
+    if (running_) {
+      total_ += timer_.seconds();
+      ++intervals_;
+      running_ = false;
+    }
+  }
+
+  double seconds() const noexcept { return total_; }
+  long intervals() const noexcept { return intervals_; }
+  void clear() noexcept { total_ = 0; intervals_ = 0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0;
+  long intervals_ = 0;
+  bool running_ = false;
+};
+
+/// RAII guard adding an interval to an Accumulator.
+class ScopedInterval {
+ public:
+  explicit ScopedInterval(Accumulator& acc) noexcept : acc_(acc) { acc_.start(); }
+  ~ScopedInterval() { acc_.stop(); }
+  ScopedInterval(const ScopedInterval&) = delete;
+  ScopedInterval& operator=(const ScopedInterval&) = delete;
+
+ private:
+  Accumulator& acc_;
+};
+
+}  // namespace glouvain::util

@@ -1,0 +1,94 @@
+// Tests for parallel greedy coloring and the coloring-serialized core.
+#include <gtest/gtest.h>
+
+#include "core/louvain.hpp"
+#include "gen/cliques.hpp"
+#include "gen/er.hpp"
+#include "gen/mesh.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/coloring.hpp"
+#include "graph/ops.hpp"
+#include "metrics/partition.hpp"
+#include "seq/louvain.hpp"
+
+namespace glouvain::graph {
+namespace {
+
+TEST(Coloring, ProperOnRandomGraphs) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Csr g = gen::erdos_renyi(2000, 10000, seed);
+    const Coloring c = color_graph(g);
+    EXPECT_TRUE(validate_coloring(g, c).empty()) << validate_coloring(g, c);
+  }
+}
+
+TEST(Coloring, ProperOnSkewedGraph) {
+  const Csr g = gen::rmat({.scale = 12, .edge_factor = 12}, 5);
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(validate_coloring(g, c).empty());
+  // First-fit bound.
+  EXPECT_LE(c.num_colors, degree_stats(g).max_degree + 1);
+}
+
+TEST(Coloring, CliqueNeedsExactlyItsSize) {
+  const Csr g = gen::ring_of_cliques(1, 7);
+  const Coloring c = color_graph(g);
+  EXPECT_EQ(c.num_colors, 7u);
+  EXPECT_TRUE(validate_coloring(g, c).empty());
+}
+
+TEST(Coloring, BipartiteGridUsesFewColors) {
+  const Csr g = gen::grid2d(30, 30, /*moore=*/false);
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(validate_coloring(g, c).empty());
+  // The 4-neighbour grid is bipartite (2 colors optimal); speculative
+  // parallel first-fit is nondeterministic but can never exceed the
+  // max-degree+1 bound.
+  EXPECT_LE(c.num_colors, 5u);
+}
+
+TEST(Coloring, EdgelessGraphIsOneColor) {
+  const Csr g = graph::build_csr(10, {});
+  const Coloring c = color_graph(g);
+  EXPECT_EQ(c.num_colors, 1u);
+}
+
+TEST(Coloring, SelfLoopsIgnored) {
+  const Csr g = graph::build_csr(2, {{0, 0, 1.0}, {0, 1, 1.0}});
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(validate_coloring(g, c).empty());
+  EXPECT_EQ(c.num_colors, 2u);
+}
+
+TEST(Coloring, DetectsInvalid) {
+  const Csr g = graph::build_csr(2, {{0, 1, 1.0}});
+  Coloring bad{{0, 0}, 1, 1};
+  EXPECT_FALSE(validate_coloring(g, bad).empty());
+}
+
+TEST(ColoringSerializedCore, MeshQualityAtLeastHashSubrounds) {
+  // On a uniform-degree mesh, coloring fully eliminates swap
+  // oscillation; quality must at least match hash sub-rounds.
+  const auto g = gen::grid3d(12, 12, 12, false);
+  core::Config hash_cfg;
+  core::Config color_cfg;
+  color_cfg.use_coloring = true;
+  const double q_hash = core::louvain(g, hash_cfg).modularity;
+  const double q_color = core::louvain(g, color_cfg).modularity;
+  EXPECT_GT(q_color, 0.95 * q_hash);
+  const double q_seq = seq::louvain(g).modularity;
+  EXPECT_GT(q_color, 0.95 * q_seq);
+}
+
+TEST(ColoringSerializedCore, RecoversCliques) {
+  const auto g = gen::ring_of_cliques(12, 6);
+  core::Config cfg;
+  cfg.use_coloring = true;
+  auto result = core::louvain(g, cfg);
+  auto labels = result.community;
+  EXPECT_EQ(metrics::renumber(labels), 12u);
+}
+
+}  // namespace
+}  // namespace glouvain::graph

@@ -1,0 +1,165 @@
+// Tests for the GPU-style aggregation phase (Algorithm 3): it must
+// produce exactly the same contracted graph as the sequential reference
+// contraction, for arbitrary partitions.
+#include <gtest/gtest.h>
+
+#include "core/aggregate.hpp"
+#include "gen/er.hpp"
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "graph/builder.hpp"
+#include "graph/ops.hpp"
+#include "metrics/modularity.hpp"
+#include "util/prng.hpp"
+
+namespace glouvain::core {
+namespace {
+
+using graph::Community;
+using graph::Csr;
+using graph::VertexId;
+
+std::vector<Community> random_partition(VertexId n, Community blocks,
+                                        std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Community> part(n);
+  for (auto& c : part) {
+    // Labels must be < n; pick random representatives among [0, n).
+    c = static_cast<Community>(rng.next_below(blocks) * (n / blocks));
+  }
+  return part;
+}
+
+class AggregateVsReference
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AggregateVsReference,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),   // graph seed
+                       ::testing::Values(4, 17, 64)));  // block count
+
+TEST_P(AggregateVsReference, MatchesSequentialContraction) {
+  const auto [seed, blocks] = GetParam();
+  const Csr g = gen::erdos_renyi(400, 2400, 100 + seed);
+  const auto part = random_partition(g.num_vertices(), blocks, 200 + seed);
+
+  simt::Device device;
+  Config cfg;
+  const AggregationResult got = aggregate(device, g, cfg, part);
+  std::vector<VertexId> ref_new_id;
+  const Csr expect = graph::contract_reference(g, part, &ref_new_id);
+
+  ASSERT_EQ(got.contracted.num_vertices(), expect.num_vertices());
+  EXPECT_EQ(got.contracted, expect);  // identical arrays, rows sorted
+  // new_id maps agree wherever defined.
+  for (std::size_t c = 0; c < ref_new_id.size(); ++c) {
+    if (ref_new_id[c] != graph::kInvalidVertex) {
+      EXPECT_EQ(got.new_id[c], ref_new_id[c]) << c;
+    }
+  }
+}
+
+TEST(Aggregate, IdentityPartitionGivesIsomorphicGraph) {
+  const Csr g = gen::erdos_renyi(200, 900, 5);
+  std::vector<Community> identity(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) identity[v] = v;
+  simt::Device device;
+  const AggregationResult agg = aggregate(device, g, Config{}, identity);
+  EXPECT_EQ(agg.contracted, g);
+}
+
+TEST(Aggregate, AllOneCommunity) {
+  const Csr g = gen::erdos_renyi(100, 500, 7);
+  std::vector<Community> one(g.num_vertices(), 0);
+  simt::Device device;
+  const AggregationResult agg = aggregate(device, g, Config{}, one);
+  EXPECT_EQ(agg.contracted.num_vertices(), 1u);
+  EXPECT_EQ(agg.contracted.num_loops(), 1u);
+  EXPECT_NEAR(agg.contracted.total_weight(), g.total_weight(), 1e-9);
+}
+
+TEST(Aggregate, PreservesTotalWeight) {
+  gen::RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const Csr g = gen::rmat(p, 11);
+  const auto part = random_partition(g.num_vertices(), 97, 13);
+  simt::Device device;
+  const AggregationResult agg = aggregate(device, g, Config{}, part);
+  EXPECT_NEAR(agg.contracted.total_weight(), g.total_weight(), 1e-6);
+  EXPECT_TRUE(graph::validate(agg.contracted).empty())
+      << graph::validate(agg.contracted);
+}
+
+TEST(Aggregate, ModularityInvariantAcrossContraction) {
+  const Csr g = gen::planted_partition({.num_vertices = 1000,
+                                        .num_communities = 10,
+                                        .seed = 17})
+                    .graph;
+  auto part = random_partition(g.num_vertices(), 25, 19);
+  const double q_before = metrics::modularity(g, part);
+  simt::Device device;
+  const AggregationResult agg = aggregate(device, g, Config{}, part);
+  std::vector<Community> identity(agg.contracted.num_vertices());
+  for (VertexId v = 0; v < agg.contracted.num_vertices(); ++v) identity[v] = v;
+  EXPECT_NEAR(metrics::modularity(agg.contracted, identity), q_before, 1e-9);
+}
+
+TEST(Aggregate, SkewedCommunitySizesHitAllBuckets) {
+  // One giant community (degree sum > 479 -> global bucket), several
+  // mid-size ones (warp/block shared buckets).
+  gen::RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 16;
+  const Csr g = gen::rmat(p, 23);
+  std::vector<Community> part(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    part[v] = v < g.num_vertices() / 2 ? 0 : (v % 37) * 41 % g.num_vertices();
+  }
+  // Normalize labels to valid representatives.
+  for (auto& c : part) c = c % g.num_vertices();
+  simt::Device device;
+  const AggregationResult got = aggregate(device, g, Config{}, part);
+  const Csr expect = graph::contract_reference(g, part);
+  EXPECT_EQ(got.contracted, expect);
+}
+
+TEST(Aggregate, NewIdIsDenseAndOrdered) {
+  const Csr g = gen::erdos_renyi(150, 600, 29);
+  const auto part = random_partition(g.num_vertices(), 10, 31);
+  simt::Device device;
+  const AggregationResult agg = aggregate(device, g, Config{}, part);
+  // Collect defined ids: must be exactly [0, k), increasing with label.
+  VertexId expected = 0;
+  for (std::size_t c = 0; c < agg.new_id.size(); ++c) {
+    if (agg.new_id[c] != graph::kInvalidVertex) {
+      EXPECT_EQ(agg.new_id[c], expected++);
+    }
+  }
+  EXPECT_EQ(expected, agg.num_communities);
+  EXPECT_EQ(expected, agg.contracted.num_vertices());
+}
+
+TEST(Aggregate, EmptyGraph) {
+  const Csr g = graph::build_csr(0, {});
+  simt::Device device;
+  const AggregationResult agg = aggregate(device, g, Config{}, {});
+  EXPECT_EQ(agg.contracted.num_vertices(), 0u);
+}
+
+TEST(Aggregate, GraphWithSelfLoopsContractsCorrectly) {
+  // Self-loops must fold into the new vertex's loop once.
+  const Csr g = graph::build_csr(
+      4, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 3, 1.5}});
+  const std::vector<Community> part{0, 0, 2, 2};
+  simt::Device device;
+  const AggregationResult agg = aggregate(device, g, Config{}, part);
+  const Csr expect = graph::contract_reference(g, part);
+  EXPECT_EQ(agg.contracted, expect);
+  // New community {0,1}: loop = 2*1 (internal edge) + 2 (old loop) = 4.
+  EXPECT_DOUBLE_EQ(agg.contracted.loop_weight(0), 4.0);
+  EXPECT_DOUBLE_EQ(agg.contracted.loop_weight(1), 2.0 + 1.5);
+}
+
+}  // namespace
+}  // namespace glouvain::core

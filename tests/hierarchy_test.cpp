@@ -1,0 +1,150 @@
+// Tests for the dendrogram API, partition IO, and occupancy analysis.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/louvain.hpp"
+#include "core/occupancy.hpp"
+#include "gen/cliques.hpp"
+#include "gen/lfr.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "metrics/dendrogram.hpp"
+#include "metrics/partition.hpp"
+#include "metrics/partition_io.hpp"
+#include "plm/plm.hpp"
+#include "seq/louvain.hpp"
+
+namespace glouvain {
+namespace {
+
+using graph::Community;
+using graph::VertexId;
+
+TEST(Dendrogram, ComposesLevels) {
+  metrics::Dendrogram d;
+  d.push_level({0, 0, 1, 1, 2});   // 5 vertices -> 3 communities
+  d.push_level({0, 1, 1});         // 3 -> 2
+  d.push_level({0, 0});            // 2 -> 1
+  EXPECT_EQ(d.num_levels(), 3u);
+  EXPECT_EQ(d.num_vertices(), 5u);
+  EXPECT_EQ(d.community_at_level(0), (std::vector<Community>{0, 0, 1, 1, 2}));
+  EXPECT_EQ(d.community_at_level(1), (std::vector<Community>{0, 0, 1, 1, 1}));
+  EXPECT_EQ(d.community_at_level(2), (std::vector<Community>{0, 0, 0, 0, 0}));
+  EXPECT_EQ(d.communities_at_level(1), 2u);
+}
+
+TEST(Dendrogram, RejectsMismatchedDomain) {
+  metrics::Dendrogram d;
+  d.push_level({0, 1, 1});  // range = 2
+  EXPECT_THROW(d.push_level({0, 1, 2}), std::invalid_argument);  // domain 3 != 2
+}
+
+TEST(Dendrogram, OutOfRangeLevelThrows) {
+  metrics::Dendrogram d;
+  d.push_level({0, 0});
+  EXPECT_THROW(d.community_at_level(1), std::out_of_range);
+}
+
+class DendrogramCapture : public ::testing::TestWithParam<int> {};
+std::string algo_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"core", "seq", "plm"};
+  return kNames[info.param];
+}
+INSTANTIATE_TEST_SUITE_P(Algos, DendrogramCapture, ::testing::Values(0, 1, 2),
+                         algo_name);
+
+TEST_P(DendrogramCapture, LastLevelEqualsFinalCommunity) {
+  const auto bench = gen::lfr({.num_vertices = 2048, .seed = 3});
+  LouvainResult result;
+  switch (GetParam()) {
+    case 0: result = core::louvain(bench.graph); break;
+    case 1: result = seq::louvain(bench.graph); break;
+    default: result = plm::louvain(bench.graph); break;
+  }
+  ASSERT_GT(result.dendrogram.num_levels(), 0u);
+  EXPECT_EQ(result.dendrogram.num_levels(), result.levels.size());
+  EXPECT_EQ(result.dendrogram.community_at_level(result.dendrogram.num_levels() - 1),
+            result.community);
+  // Community count shrinks (weakly) level over level.
+  for (std::size_t l = 0; l + 1 < result.dendrogram.num_levels(); ++l) {
+    EXPECT_GE(result.dendrogram.communities_at_level(l),
+              result.dendrogram.communities_at_level(l + 1));
+  }
+}
+
+TEST(PartitionIo, RoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "glouvain_pio";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "p.txt").string();
+  const std::vector<Community> part{3, 1, 4, 1, 5};
+  metrics::save_partition(part, path);
+  EXPECT_EQ(metrics::load_partition(path), part);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PartitionIo, MissingVerticesAreInvalid) {
+  const auto dir = std::filesystem::temp_directory_path() / "glouvain_pio2";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "p.txt").string();
+  {
+    std::ofstream out(path);
+    out << "# comment\n0 7\n2 9\n";
+  }
+  const auto part = metrics::load_partition(path);
+  ASSERT_EQ(part.size(), 3u);
+  EXPECT_EQ(part[0], 7u);
+  EXPECT_EQ(part[1], graph::kInvalidCommunity);
+  EXPECT_EQ(part[2], 9u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PartitionIo, MissingFileThrows) {
+  EXPECT_THROW(metrics::load_partition("/nonexistent/p.txt"), std::runtime_error);
+}
+
+TEST(Occupancy, ExactOnUniformDegrees) {
+  // 4-regular ring: bucket 0 (lanes 4) -> one full round, 100%.
+  const auto g = gen::ring_of_cliques(1, 5);  // K5: degree 4 everywhere
+  const auto report =
+      core::analyze_occupancy(g, core::BucketScheme::paper_modopt());
+  EXPECT_DOUBLE_EQ(report.overall, 1.0);
+}
+
+TEST(Occupancy, PartialLastRound) {
+  // Star hub degree 5 -> bucket 1 (8 lanes): 5/8; leaves degree 1 in
+  // bucket 0 (4 lanes): 1/4.
+  std::vector<graph::Edge> edges;
+  for (VertexId leaf = 1; leaf <= 5; ++leaf) edges.push_back({0, leaf, 1.0});
+  const auto g = graph::build_csr(6, std::move(edges));
+  const auto report =
+      core::analyze_occupancy(g, core::BucketScheme::paper_modopt());
+  EXPECT_DOUBLE_EQ(report.buckets[1].occupancy, 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(report.buckets[0].occupancy, 1.0 / 4.0);
+  // overall = (5 + 5*1) / (8 + 5*4)
+  EXPECT_DOUBLE_EQ(report.overall, 10.0 / 28.0);
+}
+
+TEST(Occupancy, SingleLaneIsAlwaysFull) {
+  const auto g = gen::rmat({.scale = 10, .edge_factor = 8}, 7);
+  const auto report =
+      core::analyze_occupancy(g, core::BucketScheme::single_lane());
+  EXPECT_DOUBLE_EQ(report.overall, 1.0);
+}
+
+TEST(Occupancy, PaperSchemeBeatsWarpPerVertexOnLowDegreeGraphs) {
+  // Road-like degree ~2: 32 lanes per vertex wastes ~94% of slots.
+  std::vector<graph::Edge> edges;
+  for (VertexId v = 0; v + 1 < 1000; ++v) edges.push_back({v, v + 1, 1.0});
+  const auto path = graph::build_csr(1000, std::move(edges));
+  const auto paper =
+      core::analyze_occupancy(path, core::BucketScheme::paper_modopt());
+  const auto warp =
+      core::analyze_occupancy(path, core::BucketScheme::warp_per_vertex());
+  EXPECT_GT(paper.overall, 0.4);
+  EXPECT_LT(warp.overall, 0.1);
+}
+
+}  // namespace
+}  // namespace glouvain

@@ -1,0 +1,108 @@
+// Tests for the shared-memory PLM comparator.
+#include <gtest/gtest.h>
+
+#include "gen/cliques.hpp"
+#include "gen/er.hpp"
+#include "gen/lfr.hpp"
+#include "gen/sbm.hpp"
+#include "metrics/compare.hpp"
+#include "metrics/modularity.hpp"
+#include "metrics/partition.hpp"
+#include "graph/builder.hpp"
+#include "plm/plm.hpp"
+#include "seq/louvain.hpp"
+
+namespace glouvain::plm {
+namespace {
+
+using graph::VertexId;
+
+TEST(Plm, RecoversRingOfCliques) {
+  const auto g = gen::ring_of_cliques(16, 8);
+  const auto result = louvain(g);
+  auto labels = result.community;
+  EXPECT_EQ(metrics::renumber(labels), 16u);
+  EXPECT_GT(result.modularity, 0.85);
+}
+
+TEST(Plm, ReportedModularityMatchesRecomputation) {
+  const auto g = gen::erdos_renyi(1000, 6000, 3);
+  const auto result = louvain(g);
+  EXPECT_NEAR(result.modularity, metrics::modularity(g, result.community), 1e-9);
+}
+
+TEST(Plm, QualityOnParWithSequential) {
+  // Paper's comparators report modularity within a fraction of a
+  // percent of sequential; we allow 3% across several graph families.
+  const auto lfr = gen::lfr({.num_vertices = 4096, .mu = 0.3, .seed = 5});
+  const auto sbm = gen::planted_partition({.num_vertices = 4096,
+                                           .num_communities = 32,
+                                           .seed = 7});
+  for (const auto* g : {&lfr.graph, &sbm.graph}) {
+    const double q_seq = seq::louvain(*g).modularity;
+    const double q_plm = louvain(*g).modularity;
+    EXPECT_GT(q_plm, 0.97 * q_seq);
+  }
+}
+
+TEST(Plm, FindsPlantedPartition) {
+  const auto sbm = gen::planted_partition({.num_vertices = 2048,
+                                           .num_communities = 16,
+                                           .intra_degree = 14,
+                                           .inter_degree = 1.5,
+                                           .seed = 9});
+  const auto result = louvain(sbm.graph);
+  EXPECT_GT(metrics::nmi(result.community, sbm.ground_truth), 0.9);
+}
+
+TEST(Plm, HandlesTrivialGraphs) {
+  EXPECT_EQ(louvain(graph::build_csr(0, {})).community.size(), 0u);
+  const auto pair = graph::build_csr(2, {{0, 1, 1.0}});
+  const auto result = louvain(pair);
+  auto labels = result.community;
+  EXPECT_EQ(metrics::renumber(labels), 1u);  // the pair merges
+}
+
+TEST(Plm, SingletonGuardPreventsSwaps) {
+  // A long path: adjacent singletons would happily swap into each
+  // other; the guard must still allow convergence to chunks.
+  std::vector<graph::Edge> edges;
+  for (VertexId v = 0; v + 1 < 64; ++v) edges.push_back({v, v + 1, 1.0});
+  const auto path = graph::build_csr(64, std::move(edges));
+  const auto result = louvain(path);
+  EXPECT_GT(result.modularity, 0.5);
+  auto labels = result.community;
+  const auto k = metrics::renumber(labels);
+  EXPECT_GT(k, 1u);
+  EXPECT_LT(k, 64u);
+}
+
+TEST(Plm, AdaptiveThresholdShortensFirstPhase) {
+  const auto g = gen::erdos_renyi(3000, 18000, 11);
+  Config fine;
+  fine.thresholds.adaptive = false;
+  Config adaptive;
+  adaptive.thresholds.adaptive = true;
+  adaptive.thresholds.adaptive_limit = 1000;
+  const auto r_fine = louvain(g, fine);
+  const auto r_adapt = louvain(g, adaptive);
+  ASSERT_FALSE(r_fine.levels.empty());
+  ASSERT_FALSE(r_adapt.levels.empty());
+  EXPECT_LE(r_adapt.levels[0].iterations, r_fine.levels[0].iterations);
+}
+
+TEST(Plm, LevelReportsConsistent) {
+  const auto g = gen::erdos_renyi(1500, 9000, 13);
+  const auto result = louvain(g);
+  ASSERT_FALSE(result.levels.empty());
+  EXPECT_EQ(result.levels[0].vertices, g.num_vertices());
+  EXPECT_EQ(result.levels[0].arcs, g.num_arcs());
+  for (const auto& level : result.levels) {
+    EXPECT_GT(level.iterations, 0);
+    EXPECT_GE(level.optimize_seconds, 0.0);
+    EXPECT_GE(level.aggregate_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace glouvain::plm

@@ -1,0 +1,71 @@
+// Tests for coverage and conductance.
+#include <gtest/gtest.h>
+
+#include "gen/cliques.hpp"
+#include "graph/builder.hpp"
+#include "metrics/quality.hpp"
+
+namespace glouvain::metrics {
+namespace {
+
+using graph::build_csr;
+using graph::Community;
+using graph::Csr;
+
+TEST(Coverage, AllInOneIsOne) {
+  const Csr g = gen::ring_of_cliques(4, 4);
+  const std::vector<Community> one(g.num_vertices(), 0);
+  EXPECT_DOUBLE_EQ(coverage(g, one), 1.0);
+}
+
+TEST(Coverage, SingletonsCoverOnlyLoops) {
+  const Csr g = build_csr(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 0, 2.0}});
+  std::vector<Community> singletons{0, 1, 2};
+  // Internal weight = the self-loop (2); total = 2*2 + 2 = 6.
+  EXPECT_NEAR(coverage(g, singletons), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Coverage, CliquePartition) {
+  // Ring of 4 triangles: internal = 4 * 3 edges, cut = 4 bridges.
+  const Csr g = gen::ring_of_cliques(4, 3);
+  std::vector<Community> part(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) part[v] = v / 3;
+  EXPECT_NEAR(coverage(g, part), 12.0 / 16.0, 1e-12);
+}
+
+TEST(Conductance, IsolatedCommunityIsZero) {
+  // Two disjoint triangles.
+  const Csr g = build_csr(6, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1},
+                              {3, 4, 1}, {4, 5, 1}, {3, 5, 1}});
+  const std::vector<Community> part{0, 0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(conductance(g, part, 0), 0.0);
+  EXPECT_DOUBLE_EQ(conductance(g, part, 1), 0.0);
+}
+
+TEST(Conductance, BridgedTriangles) {
+  // Two triangles + 1 bridge: cut = 1, vol(c0) = 7 (6 internal arcs + bridge).
+  const Csr g = build_csr(6, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1},
+                              {3, 4, 1}, {4, 5, 1}, {3, 5, 1},
+                              {2, 3, 1}});
+  const std::vector<Community> part{0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(conductance(g, part, 0), 1.0 / 7.0, 1e-12);
+  const auto report = conductance_all(g, part);
+  ASSERT_EQ(report.per_community.size(), 2u);
+  EXPECT_NEAR(report.per_community[0], 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(report.weighted_mean, 1.0 / 7.0, 1e-12);
+}
+
+TEST(Conductance, AllInOneIsZero) {
+  const Csr g = gen::ring_of_cliques(3, 4);
+  const std::vector<Community> one(g.num_vertices(), 0);
+  EXPECT_DOUBLE_EQ(conductance(g, one, 0), 0.0);  // empty complement
+}
+
+TEST(Conductance, OutOfRangeCommunity) {
+  const Csr g = gen::ring_of_cliques(2, 3);
+  const std::vector<Community> part(g.num_vertices(), 0);
+  EXPECT_DOUBLE_EQ(conductance(g, part, 99), 0.0);
+}
+
+}  // namespace
+}  // namespace glouvain::metrics

@@ -1,0 +1,212 @@
+// glouvain — command-line front end for the library.
+//
+//   glouvain generate --family rmat --scale 14 --out g.bin
+//   glouvain stats    --in g.bin
+//   glouvain detect   --in g.bin --algo core --out communities.txt
+//   glouvain convert  --in g.mtx --out g.bin
+//
+// `detect` writes one "<vertex> <community>" line per vertex and prints
+// modularity / timing to stdout.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/louvain.hpp"
+#include "gen/suite.hpp"
+#include "graph/coloring.hpp"
+#include "graph/io.hpp"
+#include "graph/ops.hpp"
+#include "metrics/partition.hpp"
+#include "multi/multi.hpp"
+#include "plm/plm.hpp"
+#include "seq/louvain.hpp"
+#include "util/log.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace glouvain;
+
+int usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: glouvain <command> [options]\n"
+               "\n"
+               "commands:\n"
+               "  generate  build a synthetic suite graph and save it\n"
+               "            --family <name|list> --scale S --seed N --out FILE\n"
+               "  detect    run community detection\n"
+               "            --in FILE --algo core|seq|plm|multi [--out FILE]\n"
+               "            [--tbin X --tfinal Y] [--devices D] [--coloring]\n"
+               "  stats     print graph statistics      --in FILE\n"
+               "  convert   re-encode a graph file      --in FILE --out FILE\n"
+               "  color     greedy parallel coloring    --in FILE\n");
+  return error ? 1 : 0;
+}
+
+graph::Csr load_required(util::Options& opt) {
+  const std::string in = opt.get_string("in", "", "input graph file");
+  if (in.empty()) throw std::runtime_error("--in is required");
+  return graph::load_auto(in);
+}
+
+int cmd_generate(util::Options& opt) {
+  const std::string family =
+      opt.get_string("family", "list", "suite family (or 'list')");
+  const double scale = opt.get_double("scale", 0.1, "size multiplier");
+  const std::int64_t seed = opt.get_int("seed", 1, "generator seed");
+  const std::string out = opt.get_string("out", "", "output file (.bin/.txt)");
+  if (family == "list") {
+    util::Table table({"name", "family", "stands in for"});
+    for (const auto& e : gen::table1_suite()) {
+      table.add_row({e.name, e.family, e.paper_graph});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+  if (out.empty()) return usage("--out is required for generate");
+  const auto g = gen::suite_entry(family).build(scale, static_cast<std::uint64_t>(seed));
+  if (out.size() > 4 && out.compare(out.size() - 4, 4, ".bin") == 0) {
+    graph::save_binary(g, out);
+  } else {
+    graph::save_edge_list(g, out);
+  }
+  std::printf("wrote %s: %u vertices, %llu edges\n", out.c_str(),
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()));
+  return 0;
+}
+
+int cmd_detect(util::Options& opt) {
+  const auto g = load_required(opt);
+  const std::string algo =
+      opt.get_string("algo", "core", "core | seq | plm | multi");
+  const std::string out = opt.get_string("out", "", "community output file");
+  const double t_bin = opt.get_double("tbin", 1e-2, "coarse threshold");
+  const double t_final = opt.get_double("tfinal", 1e-6, "fine threshold");
+  const auto devices = static_cast<unsigned>(
+      opt.get_int("devices", 2, "simulated devices (multi only)"));
+  const bool coloring = opt.get_flag("coloring", "serialize moves by graph coloring");
+
+  ThresholdSchedule thresholds{.t_bin = t_bin, .t_final = t_final,
+                               .adaptive_limit = 100'000, .adaptive = true};
+  LouvainResult result;
+  if (algo == "core" || algo == "multi") {
+    core::Config cfg;
+    cfg.thresholds = thresholds;
+    cfg.use_coloring = coloring;
+    if (algo == "core") {
+      result = core::louvain(g, cfg);
+    } else {
+      multi::Config mcfg;
+      mcfg.num_devices = devices;
+      mcfg.device = cfg;
+      mcfg.partition =
+          opt.get_string("partition", "random", "block | random (multi only)") ==
+                  "block"
+              ? multi::PartitionStrategy::Block
+              : multi::PartitionStrategy::Random;
+      mcfg.local_levels = static_cast<int>(
+          opt.get_int("local-levels", 1, "local levels before merge (multi only)"));
+      const multi::Result mr = multi::louvain(g, mcfg);
+      std::printf("coarse phase alone: Q = %.5f on %u devices\n",
+                  mr.local_modularity, mr.devices_used);
+      result = mr;
+    }
+  } else if (algo == "seq") {
+    seq::Config cfg;
+    cfg.thresholds = thresholds;
+    result = seq::louvain(g, cfg);
+  } else if (algo == "plm") {
+    plm::Config cfg;
+    cfg.thresholds = thresholds;
+    result = plm::louvain(g, cfg);
+  } else {
+    return usage("unknown --algo");
+  }
+
+  const auto stats = metrics::partition_stats(result.community);
+  std::printf("%s: Q = %.5f, %llu communities, %zu levels, %.3fs\n",
+              algo.c_str(), result.modularity,
+              static_cast<unsigned long long>(stats.num_communities),
+              result.levels.size(), result.total_seconds);
+  if (!out.empty()) {
+    std::ofstream os(out);
+    for (std::size_t v = 0; v < result.community.size(); ++v) {
+      os << v << ' ' << result.community[v] << '\n';
+    }
+    std::printf("communities written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(util::Options& opt) {
+  const auto g = load_required(opt);
+  const auto stats = graph::degree_stats(g);
+  std::printf("vertices:    %u\n", g.num_vertices());
+  std::printf("edges:       %llu (%llu loops)\n",
+              static_cast<unsigned long long>(g.num_edges()),
+              static_cast<unsigned long long>(g.num_loops()));
+  std::printf("total 2m:    %.1f\n", g.total_weight());
+  std::printf("degrees:     min %llu / mean %.2f / max %llu\n",
+              static_cast<unsigned long long>(stats.min_degree),
+              stats.mean_degree,
+              static_cast<unsigned long long>(stats.max_degree));
+  std::printf("components:  %llu\n",
+              static_cast<unsigned long long>(graph::count_components(g)));
+  static const char* kNames[] = {"(0,4]", "(4,8]", "(8,16]", "(16,32]",
+                                 "(32,84]", "(84,319]", ">319"};
+  std::printf("paper degree buckets:\n");
+  for (int b = 0; b < 7; ++b) {
+    std::printf("  %-8s %llu\n", kNames[b],
+                static_cast<unsigned long long>(stats.bucket_counts[b]));
+  }
+  const std::string problem = graph::validate(g);
+  std::printf("validate:    %s\n", problem.empty() ? "ok" : problem.c_str());
+  return 0;
+}
+
+int cmd_convert(util::Options& opt) {
+  const auto g = load_required(opt);
+  const std::string out = opt.get_string("out", "", "output file (.bin/.txt)");
+  if (out.empty()) return usage("--out is required for convert");
+  if (out.size() > 4 && out.compare(out.size() - 4, 4, ".bin") == 0) {
+    graph::save_binary(g, out);
+  } else {
+    graph::save_edge_list(g, out);
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_color(util::Options& opt) {
+  const auto g = load_required(opt);
+  const auto coloring = graph::color_graph(g);
+  std::printf("colors: %u (max degree + 1 bound: %llu), %d speculative rounds\n",
+              coloring.num_colors,
+              static_cast<unsigned long long>(graph::degree_stats(g).max_degree + 1),
+              coloring.rounds);
+  const std::string problem = graph::validate_coloring(g, coloring);
+  std::printf("validate: %s\n", problem.empty() ? "ok" : problem.c_str());
+  return problem.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage("missing command");
+  const std::string command = argv[1];
+  util::Options opt(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(opt);
+    if (command == "detect") return cmd_detect(opt);
+    if (command == "stats") return cmd_stats(opt);
+    if (command == "convert") return cmd_convert(opt);
+    if (command == "color") return cmd_color(opt);
+    if (command == "--help" || command == "-h" || command == "help") return usage();
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+  return usage(("unknown command: " + command).c_str());
+}
