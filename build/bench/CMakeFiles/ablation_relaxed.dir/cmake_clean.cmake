@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relaxed.dir/ablation_relaxed.cpp.o"
+  "CMakeFiles/ablation_relaxed.dir/ablation_relaxed.cpp.o.d"
+  "ablation_relaxed"
+  "ablation_relaxed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relaxed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

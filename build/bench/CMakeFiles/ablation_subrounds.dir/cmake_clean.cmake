@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subrounds.dir/ablation_subrounds.cpp.o"
+  "CMakeFiles/ablation_subrounds.dir/ablation_subrounds.cpp.o.d"
+  "ablation_subrounds"
+  "ablation_subrounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subrounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

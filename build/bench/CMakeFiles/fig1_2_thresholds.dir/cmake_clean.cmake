@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_2_thresholds.dir/fig1_2_thresholds.cpp.o"
+  "CMakeFiles/fig1_2_thresholds.dir/fig1_2_thresholds.cpp.o.d"
+  "fig1_2_thresholds"
+  "fig1_2_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_2_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

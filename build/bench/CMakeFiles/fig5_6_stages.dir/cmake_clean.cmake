@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_6_stages.dir/fig5_6_stages.cpp.o"
+  "CMakeFiles/fig5_6_stages.dir/fig5_6_stages.cpp.o.d"
+  "fig5_6_stages"
+  "fig5_6_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

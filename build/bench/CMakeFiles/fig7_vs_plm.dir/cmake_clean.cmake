@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vs_plm.dir/fig7_vs_plm.cpp.o"
+  "CMakeFiles/fig7_vs_plm.dir/fig7_vs_plm.cpp.o.d"
+  "fig7_vs_plm"
+  "fig7_vs_plm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vs_plm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

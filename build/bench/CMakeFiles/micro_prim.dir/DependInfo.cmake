@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_prim.cpp" "bench/CMakeFiles/micro_prim.dir/micro_prim.cpp.o" "gcc" "bench/CMakeFiles/micro_prim.dir/micro_prim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/glouvain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/glouvain_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/glouvain_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/glouvain_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/glouvain_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_prim.dir/micro_prim.cpp.o"
+  "CMakeFiles/micro_prim.dir/micro_prim.cpp.o.d"
+  "micro_prim"
+  "micro_prim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_prim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

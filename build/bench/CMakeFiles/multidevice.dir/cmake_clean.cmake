@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidevice.dir/multidevice.cpp.o"
+  "CMakeFiles/multidevice.dir/multidevice.cpp.o.d"
+  "multidevice"
+  "multidevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teps.dir/teps.cpp.o"
+  "CMakeFiles/teps.dir/teps.cpp.o.d"
+  "teps"
+  "teps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ground_truth_quality.dir/ground_truth_quality.cpp.o"
+  "CMakeFiles/ground_truth_quality.dir/ground_truth_quality.cpp.o.d"
+  "ground_truth_quality"
+  "ground_truth_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ground_truth_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

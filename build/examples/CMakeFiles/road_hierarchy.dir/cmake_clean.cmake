@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_hierarchy.dir/road_hierarchy.cpp.o"
+  "CMakeFiles/road_hierarchy.dir/road_hierarchy.cpp.o.d"
+  "road_hierarchy"
+  "road_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

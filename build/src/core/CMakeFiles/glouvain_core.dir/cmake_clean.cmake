@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain_core.dir/aggregate.cpp.o"
+  "CMakeFiles/glouvain_core.dir/aggregate.cpp.o.d"
+  "CMakeFiles/glouvain_core.dir/louvain.cpp.o"
+  "CMakeFiles/glouvain_core.dir/louvain.cpp.o.d"
+  "CMakeFiles/glouvain_core.dir/modopt.cpp.o"
+  "CMakeFiles/glouvain_core.dir/modopt.cpp.o.d"
+  "CMakeFiles/glouvain_core.dir/occupancy.cpp.o"
+  "CMakeFiles/glouvain_core.dir/occupancy.cpp.o.d"
+  "libglouvain_core.a"
+  "libglouvain_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/ba.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/ba.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/ba.cpp.o.d"
+  "/root/repo/src/gen/cliques.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/cliques.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/cliques.cpp.o.d"
+  "/root/repo/src/gen/er.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/er.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/er.cpp.o.d"
+  "/root/repo/src/gen/lfr.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/lfr.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/lfr.cpp.o.d"
+  "/root/repo/src/gen/mesh.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/mesh.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/mesh.cpp.o.d"
+  "/root/repo/src/gen/rgg.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/rgg.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/rgg.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/rmat.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/rmat.cpp.o.d"
+  "/root/repo/src/gen/road.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/road.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/road.cpp.o.d"
+  "/root/repo/src/gen/sbm.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/sbm.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/sbm.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/suite.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/suite.cpp.o.d"
+  "/root/repo/src/gen/ws.cpp" "src/gen/CMakeFiles/glouvain_gen.dir/ws.cpp.o" "gcc" "src/gen/CMakeFiles/glouvain_gen.dir/ws.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/glouvain_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/glouvain_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/glouvain_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

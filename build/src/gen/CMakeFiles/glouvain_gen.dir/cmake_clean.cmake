@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain_gen.dir/ba.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/ba.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/cliques.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/cliques.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/er.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/er.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/lfr.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/lfr.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/mesh.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/mesh.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/rgg.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/rgg.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/rmat.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/rmat.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/road.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/road.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/sbm.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/sbm.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/suite.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/suite.cpp.o.d"
+  "CMakeFiles/glouvain_gen.dir/ws.cpp.o"
+  "CMakeFiles/glouvain_gen.dir/ws.cpp.o.d"
+  "libglouvain_gen.a"
+  "libglouvain_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

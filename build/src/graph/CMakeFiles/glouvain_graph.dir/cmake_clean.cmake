@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain_graph.dir/builder.cpp.o"
+  "CMakeFiles/glouvain_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/glouvain_graph.dir/coloring.cpp.o"
+  "CMakeFiles/glouvain_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/glouvain_graph.dir/csr.cpp.o"
+  "CMakeFiles/glouvain_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/glouvain_graph.dir/io.cpp.o"
+  "CMakeFiles/glouvain_graph.dir/io.cpp.o.d"
+  "CMakeFiles/glouvain_graph.dir/ops.cpp.o"
+  "CMakeFiles/glouvain_graph.dir/ops.cpp.o.d"
+  "libglouvain_graph.a"
+  "libglouvain_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libglouvain_graph.a"
+)

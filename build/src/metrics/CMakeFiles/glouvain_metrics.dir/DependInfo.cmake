@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/compare.cpp" "src/metrics/CMakeFiles/glouvain_metrics.dir/compare.cpp.o" "gcc" "src/metrics/CMakeFiles/glouvain_metrics.dir/compare.cpp.o.d"
+  "/root/repo/src/metrics/dendrogram.cpp" "src/metrics/CMakeFiles/glouvain_metrics.dir/dendrogram.cpp.o" "gcc" "src/metrics/CMakeFiles/glouvain_metrics.dir/dendrogram.cpp.o.d"
+  "/root/repo/src/metrics/modularity.cpp" "src/metrics/CMakeFiles/glouvain_metrics.dir/modularity.cpp.o" "gcc" "src/metrics/CMakeFiles/glouvain_metrics.dir/modularity.cpp.o.d"
+  "/root/repo/src/metrics/partition.cpp" "src/metrics/CMakeFiles/glouvain_metrics.dir/partition.cpp.o" "gcc" "src/metrics/CMakeFiles/glouvain_metrics.dir/partition.cpp.o.d"
+  "/root/repo/src/metrics/partition_io.cpp" "src/metrics/CMakeFiles/glouvain_metrics.dir/partition_io.cpp.o" "gcc" "src/metrics/CMakeFiles/glouvain_metrics.dir/partition_io.cpp.o.d"
+  "/root/repo/src/metrics/quality.cpp" "src/metrics/CMakeFiles/glouvain_metrics.dir/quality.cpp.o" "gcc" "src/metrics/CMakeFiles/glouvain_metrics.dir/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/glouvain_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/glouvain_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain_metrics.dir/compare.cpp.o"
+  "CMakeFiles/glouvain_metrics.dir/compare.cpp.o.d"
+  "CMakeFiles/glouvain_metrics.dir/dendrogram.cpp.o"
+  "CMakeFiles/glouvain_metrics.dir/dendrogram.cpp.o.d"
+  "CMakeFiles/glouvain_metrics.dir/modularity.cpp.o"
+  "CMakeFiles/glouvain_metrics.dir/modularity.cpp.o.d"
+  "CMakeFiles/glouvain_metrics.dir/partition.cpp.o"
+  "CMakeFiles/glouvain_metrics.dir/partition.cpp.o.d"
+  "CMakeFiles/glouvain_metrics.dir/partition_io.cpp.o"
+  "CMakeFiles/glouvain_metrics.dir/partition_io.cpp.o.d"
+  "CMakeFiles/glouvain_metrics.dir/quality.cpp.o"
+  "CMakeFiles/glouvain_metrics.dir/quality.cpp.o.d"
+  "libglouvain_metrics.a"
+  "libglouvain_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

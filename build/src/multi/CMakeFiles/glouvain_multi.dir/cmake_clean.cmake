@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain_multi.dir/multi.cpp.o"
+  "CMakeFiles/glouvain_multi.dir/multi.cpp.o.d"
+  "libglouvain_multi.a"
+  "libglouvain_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain_plm.dir/plm.cpp.o"
+  "CMakeFiles/glouvain_plm.dir/plm.cpp.o.d"
+  "libglouvain_plm.a"
+  "libglouvain_plm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain_plm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

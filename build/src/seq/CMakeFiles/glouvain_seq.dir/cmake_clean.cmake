@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain_seq.dir/louvain.cpp.o"
+  "CMakeFiles/glouvain_seq.dir/louvain.cpp.o.d"
+  "libglouvain_seq.a"
+  "libglouvain_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

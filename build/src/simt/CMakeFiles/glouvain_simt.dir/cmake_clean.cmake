@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain_simt.dir/thread_pool.cpp.o"
+  "CMakeFiles/glouvain_simt.dir/thread_pool.cpp.o.d"
+  "libglouvain_simt.a"
+  "libglouvain_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for glouvain_simt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain_util.dir/log.cpp.o"
+  "CMakeFiles/glouvain_util.dir/log.cpp.o.d"
+  "CMakeFiles/glouvain_util.dir/options.cpp.o"
+  "CMakeFiles/glouvain_util.dir/options.cpp.o.d"
+  "CMakeFiles/glouvain_util.dir/primes.cpp.o"
+  "CMakeFiles/glouvain_util.dir/primes.cpp.o.d"
+  "CMakeFiles/glouvain_util.dir/table.cpp.o"
+  "CMakeFiles/glouvain_util.dir/table.cpp.o.d"
+  "libglouvain_util.a"
+  "libglouvain_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_buckets_test.dir/core_buckets_test.cpp.o"
+  "CMakeFiles/core_buckets_test.dir/core_buckets_test.cpp.o.d"
+  "core_buckets_test"
+  "core_buckets_test.pdb"
+  "core_buckets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_buckets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

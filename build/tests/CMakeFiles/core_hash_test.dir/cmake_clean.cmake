@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hash_test.dir/core_hash_test.cpp.o"
+  "CMakeFiles/core_hash_test.dir/core_hash_test.cpp.o.d"
+  "core_hash_test"
+  "core_hash_test.pdb"
+  "core_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

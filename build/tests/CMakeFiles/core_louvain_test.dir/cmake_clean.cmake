@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_louvain_test.dir/core_louvain_test.cpp.o"
+  "CMakeFiles/core_louvain_test.dir/core_louvain_test.cpp.o.d"
+  "core_louvain_test"
+  "core_louvain_test.pdb"
+  "core_louvain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_louvain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

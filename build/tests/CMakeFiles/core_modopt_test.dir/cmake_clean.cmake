@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_modopt_test.dir/core_modopt_test.cpp.o"
+  "CMakeFiles/core_modopt_test.dir/core_modopt_test.cpp.o.d"
+  "core_modopt_test"
+  "core_modopt_test.pdb"
+  "core_modopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_modopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

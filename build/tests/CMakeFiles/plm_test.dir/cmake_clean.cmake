@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plm_test.dir/plm_test.cpp.o"
+  "CMakeFiles/plm_test.dir/plm_test.cpp.o.d"
+  "plm_test"
+  "plm_test.pdb"
+  "plm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/simt_test[1]_include.cmake")
+include("/root/repo/build/tests/prim_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/seq_test[1]_include.cmake")
+include("/root/repo/build/tests/plm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/core_buckets_test[1]_include.cmake")
+include("/root/repo/build/tests/core_modopt_test[1]_include.cmake")
+include("/root/repo/build/tests/core_aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/core_louvain_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/coloring_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glouvain.dir/glouvain_cli.cpp.o"
+  "CMakeFiles/glouvain.dir/glouvain_cli.cpp.o.d"
+  "glouvain"
+  "glouvain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glouvain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
