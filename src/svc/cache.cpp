@@ -1,0 +1,48 @@
+#include "svc/cache.hpp"
+
+namespace glouvain::svc {
+
+std::shared_ptr<const core::Result> ResultCache::get(const Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void ResultCache::put(const Fingerprint& key,
+                      std::shared_ptr<const core::Result> value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(value)});
+  index_.emplace(key, lru_.begin());
+  ++insertions_;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_, insertions_, evictions_, lru_.size(), capacity_};
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace glouvain::svc

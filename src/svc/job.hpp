@@ -1,0 +1,78 @@
+// Job vocabulary of the service layer: what a client submits (a graph
+// plus JobOptions), how a job is routed (Backend), the lifecycle it
+// moves through (JobStatus), and what the client gets back (JobResult).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/louvain.hpp"
+
+namespace glouvain::svc {
+
+using JobId = std::uint64_t;
+inline constexpr JobId kInvalidJob = 0;
+
+/// Which detection engine runs the job. Auto applies the scheduler's
+/// degradation policy: jobs whose estimated cost (n + m from the CSR
+/// header) is below ServiceConfig::seq_cost_limit are routed to the
+/// sequential backend instead of occupying a simt device.
+enum class Backend {
+  Auto,
+  Core,   ///< GPU-style Louvain on a pooled simt device
+  Seq,    ///< sequential Blondel-style Louvain (no device)
+  Plm,    ///< shared-memory parallel Louvain (global pool)
+  Multi,  ///< coarse-grained multi-device Louvain
+};
+
+/// Lifecycle: Rejected / Cancelled / Expired / Failed / Completed are
+/// terminal; Queued -> Running -> Completed is the happy path.
+enum class JobStatus {
+  Queued,
+  Running,
+  Completed,
+  Cancelled,  ///< cancel() removed it before it ran
+  Expired,    ///< deadline passed while still queued
+  Rejected,   ///< queue was full at submit (backpressure)
+  Failed,     ///< backend threw; JobResult::error has the message
+};
+
+inline bool is_terminal(JobStatus s) noexcept {
+  return s != JobStatus::Queued && s != JobStatus::Running;
+}
+
+const char* to_string(JobStatus s) noexcept;
+const char* to_string(Backend b) noexcept;
+
+struct JobOptions {
+  /// Higher runs first; ties run in submission order.
+  int priority = 0;
+  /// Deadline measured from submit(); a job still queued when it fires
+  /// expires instead of running. Zero = no deadline. Jobs already
+  /// running are never interrupted (admission deadline, not a kill).
+  std::chrono::milliseconds deadline{0};
+  Backend backend = Backend::Auto;
+  /// Consult/populate the result cache for this job.
+  bool use_cache = true;
+};
+
+struct JobResult {
+  JobStatus status = JobStatus::Queued;
+  /// Set iff status == Completed. Shared with the cache: repeated
+  /// submissions of the same graph receive the same object. For
+  /// non-core backends, `device` holds zeroes.
+  std::shared_ptr<const core::Result> result;
+  Backend backend = Backend::Auto;  ///< backend that (would have) run it
+  bool cache_hit = false;
+  double queue_seconds = 0;  ///< submit -> start (or terminal event)
+  double run_seconds = 0;    ///< start -> finish, 0 for cache hits
+  double total_seconds = 0;  ///< submit -> terminal, wall clock
+  /// Order in which the service started running jobs (1-based); 0 for
+  /// jobs that never ran. Exposes scheduling order to tests/benches.
+  std::uint64_t start_sequence = 0;
+  std::string error;  ///< set iff status == Failed
+};
+
+}  // namespace glouvain::svc

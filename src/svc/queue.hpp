@@ -1,0 +1,99 @@
+// Bounded priority queue of pending jobs: higher priority first, FIFO
+// within a priority. Supports O(log n) push / pop / erase-by-id plus a
+// filtered pop so a worker can restrict itself to a subset of jobs
+// (the service's auxiliary workers only take device-free backends).
+//
+// The container itself is NOT internally locked: it is always accessed
+// under the owning Service's mutex, which must also cover the job
+// state it gates. The thread-safe submit/poll/wait/cancel surface
+// lives on svc::Service.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace glouvain::svc {
+
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  explicit BoundedPriorityQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t size() const noexcept { return ordered_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return ordered_.empty(); }
+  bool full() const noexcept { return ordered_.size() >= capacity_; }
+
+  /// False (and no insertion) when full — the backpressure signal.
+  bool push(std::uint64_t id, int priority, T value) {
+    if (full()) return false;
+    const Key key{priority, next_seq_++};
+    ordered_.emplace(key, Item{id, std::move(value)});
+    index_.emplace(id, key);
+    return true;
+  }
+
+  /// Remove and return the best job, or nullopt when empty.
+  std::optional<T> pop() {
+    return pop_if([](const T&) { return true; });
+  }
+
+  /// Remove and return the best job satisfying `eligible`. Linear in
+  /// the number of skipped jobs (queues are tens of entries deep).
+  template <typename Pred>
+  std::optional<T> pop_if(Pred&& eligible) {
+    for (auto it = ordered_.begin(); it != ordered_.end(); ++it) {
+      if (!eligible(it->second.value)) continue;
+      T value = std::move(it->second.value);
+      index_.erase(it->second.id);
+      ordered_.erase(it);
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  /// Remove a specific queued job (cancellation / expiry). Returns the
+  /// removed value, or nullopt if `id` is not queued.
+  std::optional<T> erase(std::uint64_t id) {
+    const auto idx = index_.find(id);
+    if (idx == index_.end()) return std::nullopt;
+    const auto it = ordered_.find(idx->second);
+    T value = std::move(it->second.value);
+    ordered_.erase(it);
+    index_.erase(idx);
+    return value;
+  }
+
+  bool contains(std::uint64_t id) const { return index_.count(id) != 0; }
+
+  /// Visit queued jobs in scheduling order (best first).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, item] : ordered_) fn(item.value);
+  }
+
+ private:
+  struct Key {
+    int priority;
+    std::uint64_t seq;
+    bool operator<(const Key& o) const noexcept {
+      if (priority != o.priority) return priority > o.priority;  // high first
+      return seq < o.seq;                                        // then FIFO
+    }
+  };
+  struct Item {
+    std::uint64_t id;
+    T value;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::map<Key, Item> ordered_;
+  std::unordered_map<std::uint64_t, Key> index_;
+};
+
+}  // namespace glouvain::svc

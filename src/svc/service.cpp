@@ -1,0 +1,404 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/queue.hpp"
+#include "util/timer.hpp"
+
+namespace glouvain::svc {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+const char* to_string(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::Queued: return "queued";
+    case JobStatus::Running: return "running";
+    case JobStatus::Completed: return "completed";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::Expired: return "expired";
+    case JobStatus::Rejected: return "rejected";
+    case JobStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::Auto: return "auto";
+    case Backend::Core: return "core";
+    case Backend::Seq: return "seq";
+    case Backend::Plm: return "plm";
+    case Backend::Multi: return "multi";
+  }
+  return "?";
+}
+
+/// One submitted job. Mutable fields are guarded by Impl::m except
+/// while the owning worker runs the backend, during which the job is
+/// in Running state and no other thread touches the run fields.
+struct Service::Job {
+  JobId id = kInvalidJob;
+  JobOptions options;
+  Backend routed = Backend::Auto;
+  std::shared_ptr<const graph::Csr> graph;  ///< released when terminal
+  Fingerprint fp;
+
+  Clock::time_point submitted;
+  Clock::time_point deadline;
+  bool has_deadline = false;
+
+  JobStatus status = JobStatus::Queued;
+  std::shared_ptr<const core::Result> result;
+  bool cache_hit = false;
+  double queue_seconds = 0;
+  double run_seconds = 0;
+  double total_seconds = 0;
+  std::uint64_t start_sequence = 0;
+  std::string error;
+};
+
+struct Service::Impl {
+  explicit Impl(const ServiceConfig& cfg)
+      : queue(cfg.queue_capacity), cache(cfg.cache_capacity) {}
+
+  mutable std::mutex m;
+  std::condition_variable cv_work;  ///< workers: queue / stop / resume
+  std::condition_variable cv_done;  ///< waiters: job state changes
+
+  bool paused = false;
+  bool stopping = false;
+  bool drain = true;
+  JobId next_id = 1;
+  std::uint64_t start_counter = 0;
+  std::size_t running = 0;
+
+  BoundedPriorityQueue<std::shared_ptr<Job>> queue;
+  std::unordered_map<JobId, std::shared_ptr<Job>> jobs;
+  ResultCache cache;
+  Stats counters;  ///< monotonic part; instantaneous fields unused here
+
+  std::vector<std::unique_ptr<core::Louvain>> devices;
+  std::vector<std::thread> threads;
+};
+
+Service::Service(const ServiceConfig& config)
+    : config_(config), impl_(std::make_unique<Impl>(config)) {
+  // A service with no device could never run a core-routed job.
+  if (config_.devices == 0) config_.devices = 1;
+  impl_->paused = config_.start_paused;
+
+  core::Config device_cfg = config_.core;
+  device_cfg.device.worker_threads = config_.device_threads;
+  impl_->devices.reserve(config_.devices);
+  for (unsigned d = 0; d < config_.devices; ++d) {
+    impl_->devices.push_back(std::make_unique<core::Louvain>(device_cfg));
+  }
+
+  const unsigned total = config_.devices + config_.aux_workers;
+  impl_->threads.reserve(total);
+  for (unsigned w = 0; w < total; ++w) {
+    impl_->threads.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Service::~Service() { shutdown(/*drain=*/true); }
+
+JobId Service::submit(graph::Csr graph, const JobOptions& options) {
+  const std::uint64_t cost = static_cast<std::uint64_t>(graph.num_vertices()) +
+                             graph.num_arcs();
+  auto job = std::make_shared<Job>();
+  job->options = options;
+  job->routed = options.backend != Backend::Auto
+                    ? options.backend
+                    : (cost <= config_.seq_cost_limit ? Backend::Seq
+                                                      : Backend::Core);
+  job->graph = std::make_shared<const graph::Csr>(std::move(graph));
+
+  // Fingerprint + cache probe outside the service lock: hashing is
+  // O(n + m) and the cache has its own mutex.
+  const bool caching = options.use_cache && config_.cache_capacity > 0;
+  std::shared_ptr<const core::Result> cached;
+  if (caching) {
+    job->fp = fingerprint(*job->graph);
+    cached = impl_->cache.get(job->fp);
+  }
+
+  job->submitted = Clock::now();
+  job->has_deadline = options.deadline.count() > 0;
+  if (job->has_deadline) job->deadline = job->submitted + options.deadline;
+
+  std::lock_guard<std::mutex> lock(impl_->m);
+  job->id = impl_->next_id++;
+  impl_->jobs.emplace(job->id, job);
+  ++impl_->counters.submitted;
+
+  if (cached) {
+    ++impl_->counters.accepted;
+    ++impl_->counters.cache_hits;
+    job->result = std::move(cached);
+    job->cache_hit = true;
+    finish(job, JobStatus::Completed);
+  } else if (impl_->stopping || impl_->queue.full()) {
+    ++impl_->counters.rejected;
+    job->status = JobStatus::Rejected;
+    job->graph.reset();
+    impl_->cv_done.notify_all();
+  } else {
+    ++impl_->counters.accepted;
+    impl_->queue.push(job->id, options.priority, job);
+    impl_->cv_work.notify_all();
+  }
+  return job->id;
+}
+
+JobStatus Service::poll(JobId id) const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  const auto it = impl_->jobs.find(id);
+  return it == impl_->jobs.end() ? JobStatus::Cancelled : it->second->status;
+}
+
+JobResult Service::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(impl_->m);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) {
+    JobResult missing;
+    missing.status = JobStatus::Cancelled;
+    return missing;
+  }
+  const std::shared_ptr<Job> job = it->second;
+
+  while (!is_terminal(job->status)) {
+    if (job->status == JobStatus::Queued && job->has_deadline) {
+      // Expire from the waiter side: a queued job whose deadline fires
+      // must not wait for a worker to discover it.
+      if (impl_->cv_done.wait_until(lock, job->deadline) ==
+              std::cv_status::timeout &&
+          job->status == JobStatus::Queued && Clock::now() >= job->deadline) {
+        impl_->queue.erase(job->id);
+        finish(job, JobStatus::Expired);
+      }
+    } else {
+      impl_->cv_done.wait(lock);
+    }
+  }
+
+  JobResult result;
+  result.status = job->status;
+  result.result = job->result;
+  result.backend = job->routed;
+  result.cache_hit = job->cache_hit;
+  result.queue_seconds = job->queue_seconds;
+  result.run_seconds = job->run_seconds;
+  result.total_seconds = job->total_seconds;
+  result.start_sequence = job->start_sequence;
+  result.error = job->error;
+  impl_->jobs.erase(job->id);
+  return result;
+}
+
+bool Service::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) return false;
+  if (!impl_->queue.erase(id)) return false;  // running or terminal
+  finish(it->second, JobStatus::Cancelled);
+  return true;
+}
+
+void Service::resume() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->paused = false;
+  }
+  impl_->cv_work.notify_all();
+}
+
+void Service::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->stopping = true;
+    impl_->paused = false;  // a paused backlog still drains
+    impl_->drain = drain;
+    if (!drain) {
+      while (auto job = impl_->queue.pop()) {
+        finish(*job, JobStatus::Cancelled);
+      }
+    }
+  }
+  impl_->cv_work.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  impl_->threads.clear();
+}
+
+Stats Service::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  Stats s = impl_->counters;
+  const ResultCache::Stats cs = impl_->cache.stats();
+  s.cache_evictions = cs.evictions;
+  s.cache_entries = cs.entries;
+  s.queue_depth = impl_->queue.size();
+  s.running = impl_->running;
+  s.devices = static_cast<unsigned>(impl_->devices.size());
+  s.device_threads = impl_->devices.empty()
+                         ? 0
+                         : impl_->devices.front()->device().workers();
+  return s;
+}
+
+/// Terminal transition. Caller holds Impl::m.
+void Service::finish(const std::shared_ptr<Job>& job, JobStatus status) {
+  job->status = status;
+  const auto now = Clock::now();
+  job->total_seconds = seconds_between(job->submitted, now);
+  switch (status) {
+    case JobStatus::Completed: ++impl_->counters.completed; break;
+    case JobStatus::Cancelled: ++impl_->counters.cancelled; break;
+    case JobStatus::Expired:
+      ++impl_->counters.expired;
+      job->queue_seconds = job->total_seconds;
+      break;
+    case JobStatus::Failed: ++impl_->counters.failed; break;
+    default: break;
+  }
+  job->graph.reset();
+  impl_->cv_done.notify_all();
+}
+
+std::shared_ptr<const core::Result> Service::run_backend(
+    const graph::Csr& graph, Backend backend, core::Louvain* device) {
+  // Wrap backends that return a plain LouvainResult; their DeviceStats
+  // stay zero (no simt device involved).
+  const auto wrap = [](LouvainResult&& base) {
+    auto r = std::make_shared<core::Result>();
+    static_cast<LouvainResult&>(*r) = std::move(base);
+    return std::shared_ptr<const core::Result>(std::move(r));
+  };
+  switch (backend) {
+    case Backend::Core:
+      if (device) return std::make_shared<core::Result>(device->run(graph));
+      return std::make_shared<core::Result>(core::louvain(graph, config_.core));
+    case Backend::Seq: return wrap(seq::louvain(graph, config_.seq));
+    case Backend::Plm: return wrap(plm::louvain(graph, config_.plm));
+    case Backend::Multi: return wrap(multi::louvain(graph, config_.multi));
+    case Backend::Auto: break;  // resolved at submit
+  }
+  throw std::logic_error("svc: unresolved backend");
+}
+
+void Service::worker_loop(unsigned index) {
+  Impl& s = *impl_;
+  // Workers [0, devices) each own one pooled Louvain instance for
+  // their lifetime; the rest are device-less auxiliary workers.
+  core::Louvain* device =
+      index < s.devices.size() ? s.devices[index].get() : nullptr;
+  const auto eligible = [device](const std::shared_ptr<Job>& job) {
+    return device != nullptr || job->routed == Backend::Seq;
+  };
+
+  std::unique_lock<std::mutex> lock(s.m);
+  for (;;) {
+    s.cv_work.wait(lock, [&] {
+      if (s.stopping) return true;
+      if (s.paused) return false;
+      bool any = false;
+      s.queue.for_each([&](const std::shared_ptr<Job>& j) {
+        any = any || eligible(j);
+      });
+      return any;
+    });
+    if (s.stopping) {
+      if (!s.drain) return;
+      // Draining: leave once nothing this worker could ever run
+      // remains (core-routed leftovers belong to device workers).
+      bool mine = false;
+      s.queue.for_each(
+          [&](const std::shared_ptr<Job>& j) { mine = mine || eligible(j); });
+      if (!mine) return;
+    }
+
+    auto popped = s.queue.pop_if(eligible);
+    if (!popped) continue;
+    const std::shared_ptr<Job> job = *popped;
+
+    const auto now = Clock::now();
+    if (job->has_deadline && now >= job->deadline) {
+      finish(job, JobStatus::Expired);
+      continue;
+    }
+
+    job->status = JobStatus::Running;
+    job->start_sequence = ++s.start_counter;
+    job->queue_seconds = seconds_between(job->submitted, now);
+    ++s.running;
+    const std::shared_ptr<const graph::Csr> graph = job->graph;
+    lock.unlock();
+
+    // ---- backend execution, no service lock held ----
+    const bool caching = job->options.use_cache && config_.cache_capacity > 0;
+    std::shared_ptr<const core::Result> result;
+    bool from_cache = false;
+    std::string error;
+    util::Timer run_timer;
+    try {
+      // Re-probe: a duplicate submission may have completed while this
+      // one sat in the queue.
+      if (caching) {
+        result = s.cache.get(job->fp);
+        from_cache = result != nullptr;
+      }
+      if (!result) {
+        result = run_backend(*graph, job->routed, job->routed == Backend::Core
+                                                      ? device
+                                                      : nullptr);
+        if (caching) s.cache.put(job->fp, result);
+      }
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown backend error";
+    }
+    const double run_seconds = run_timer.seconds();
+    // -------------------------------------------------
+
+    lock.lock();
+    --s.running;
+    job->run_seconds = run_seconds;
+    if (!error.empty()) {
+      job->error = std::move(error);
+      finish(job, JobStatus::Failed);
+      continue;
+    }
+    job->result = result;
+    job->cache_hit = from_cache;
+    if (from_cache) {
+      ++s.counters.cache_hits;
+    } else {
+      if (caching) ++s.counters.cache_misses;
+      s.counters.run_seconds += run_seconds;
+      s.counters.queue_wait_seconds += job->queue_seconds;
+      switch (job->routed) {
+        case Backend::Core:
+          ++s.counters.ran_on_device;
+          s.counters.shared_spills += result->device.shared_spills;
+          break;
+        case Backend::Seq: ++s.counters.ran_sequential; break;
+        default: ++s.counters.ran_other; break;
+      }
+    }
+    finish(job, JobStatus::Completed);
+  }
+}
+
+}  // namespace glouvain::svc

@@ -1,0 +1,116 @@
+// The concurrent community-detection service: multiplexes a stream of
+// detection jobs over a pool of reusable core::Louvain devices.
+//
+//   svc::Service service({.devices = 2});
+//   svc::JobId id = service.submit(std::move(graph), {.priority = 3});
+//   ...
+//   svc::JobResult r = service.wait(id);   // r.result->community, ...
+//
+// Pipeline (see DESIGN.md "Serving"): submit() fingerprints the graph,
+// consults the LRU result cache (a hit completes immediately), applies
+// admission control (reject when the bounded priority queue is full),
+// and routes by estimated cost — tiny graphs go to the sequential
+// backend so they never occupy a simt device. Worker threads — one
+// permanently bound to each pooled core::Louvain instance, plus
+// `aux_workers` device-less workers that only take sequential jobs —
+// pop jobs in priority order, expire those whose deadline passed while
+// queued, run the backend, publish the result, and feed the cache.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/louvain.hpp"
+#include "graph/csr.hpp"
+#include "multi/multi.hpp"
+#include "plm/plm.hpp"
+#include "seq/louvain.hpp"
+#include "svc/cache.hpp"
+#include "svc/job.hpp"
+#include "svc/stats.hpp"
+
+namespace glouvain::svc {
+
+struct ServiceConfig {
+  /// Pooled core::Louvain instances; each gets a dedicated worker
+  /// thread that reuses the instance (device + arenas) across jobs.
+  unsigned devices = 2;
+  /// simt worker threads per pooled device (0 = hardware concurrency).
+  unsigned device_threads = 0;
+  /// Extra device-less workers that only run sequential-backend jobs,
+  /// so degraded tiny jobs do not wait behind device-sized ones.
+  unsigned aux_workers = 1;
+  /// Pending-job bound; submit() rejects beyond it (backpressure).
+  std::size_t queue_capacity = 64;
+  /// Result-cache entries (0 disables caching).
+  std::size_t cache_capacity = 32;
+  /// Backend::Auto degradation threshold: jobs with n + m at or below
+  /// this run on the sequential backend.
+  std::uint64_t seq_cost_limit = 1u << 13;
+  /// Workers do not start picking up jobs until resume() — lets tests
+  /// and batch clients stage a queue deterministically.
+  bool start_paused = false;
+
+  /// Algorithm configuration handed to every backend. `core.device`'s
+  /// worker count is overridden by `device_threads`.
+  core::Config core;
+  seq::Config seq;
+  plm::Config plm;
+  multi::Config multi;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceConfig& config = {});
+
+  /// Drains: queued jobs still run, then workers join. Use
+  /// shutdown(false) first to discard the backlog instead.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admit a job. Always returns a valid id whose status reports the
+  /// outcome: Rejected under backpressure, Completed for a cache hit,
+  /// Queued otherwise. The graph is owned by the service until the
+  /// job reaches a terminal state.
+  JobId submit(graph::Csr graph, const JobOptions& options = {});
+
+  /// Current status, without blocking. Unknown ids (including ids
+  /// already consumed by wait()) report Cancelled.
+  JobStatus poll(JobId id) const;
+
+  /// Block until the job is terminal and consume its record. Honors
+  /// the job's deadline: a queued job whose deadline fires during the
+  /// wait is expired from here. One waiter per job.
+  JobResult wait(JobId id);
+
+  /// Remove a still-queued job. False once it is running or terminal.
+  bool cancel(JobId id);
+
+  /// Release paused workers (see ServiceConfig::start_paused).
+  void resume();
+
+  /// Stop workers; drain=true finishes the backlog first, drain=false
+  /// cancels every queued job. Idempotent. Called by the destructor.
+  void shutdown(bool drain = true);
+
+  Stats stats() const;
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Job;
+  struct Worker;
+
+  void worker_loop(unsigned index);
+  std::shared_ptr<const core::Result> run_backend(const graph::Csr& graph,
+                                                  Backend backend,
+                                                  core::Louvain* device);
+  void finish(const std::shared_ptr<Job>& job, JobStatus status);
+
+  ServiceConfig config_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace glouvain::svc

@@ -1,0 +1,47 @@
+// Point-in-time service counters, the serving analogue of the
+// per-run DeviceStats: one struct a monitoring loop can poll and diff.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace glouvain::svc {
+
+struct Stats {
+  // Admission.
+  std::uint64_t submitted = 0;  ///< every submit() call
+  std::uint64_t accepted = 0;   ///< queued (or completed from cache)
+  std::uint64_t rejected = 0;   ///< backpressure: queue full at submit
+
+  // Outcomes (accepted jobs reach exactly one of these).
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;  ///< deadline passed while queued
+  std::uint64_t failed = 0;
+
+  // Cache (service-level view; hits at submit never enter the queue).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_entries = 0;
+
+  // Routing of accepted jobs.
+  std::uint64_t ran_on_device = 0;  ///< core backend, pooled device
+  std::uint64_t ran_sequential = 0; ///< degraded to the seq backend
+  std::uint64_t ran_other = 0;      ///< plm / multi backends
+
+  // Time accounting, summed over jobs (seconds).
+  double queue_wait_seconds = 0;  ///< submit -> start, run jobs only
+  double run_seconds = 0;         ///< backend execution time
+
+  // Device pool.
+  std::uint64_t shared_spills = 0;  ///< summed DeviceStats::shared_spills
+  unsigned devices = 0;             ///< pooled core::Louvain instances
+  unsigned device_threads = 0;      ///< simt workers per device
+
+  // Instantaneous.
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+};
+
+}  // namespace glouvain::svc

@@ -1,0 +1,452 @@
+// Service-layer tests: fingerprinting, the LRU result cache, the
+// bounded priority queue, and the Service itself — concurrent
+// submission from many threads, scheduling order, cancellation,
+// deadline expiry, cache-hit determinism, backpressure rejection, and
+// shutdown semantics. This suite carries the `stress` ctest label and
+// must stay clean under -fsanitize=thread (the `tsan` CMake preset).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gen/cliques.hpp"
+#include "gen/er.hpp"
+#include "seq/louvain.hpp"
+#include "svc/cache.hpp"
+#include "svc/fingerprint.hpp"
+#include "svc/queue.hpp"
+#include "svc/service.hpp"
+
+namespace glouvain {
+namespace {
+
+using namespace std::chrono_literals;
+
+graph::Csr small_graph(std::uint64_t variant) {
+  // Ring of cliques: cheap, deterministic, unambiguous communities.
+  return gen::ring_of_cliques(8 + static_cast<graph::VertexId>(variant % 4), 5);
+}
+
+graph::Csr device_sized_graph(std::uint64_t seed) {
+  // n + m above the default seq_cost_limit, so Auto routes to Core.
+  return gen::erdos_renyi(3000, 12000, seed);
+}
+
+// ---------------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, StableAcrossCopies) {
+  const auto g = small_graph(0);
+  const graph::Csr copy = g;
+  EXPECT_EQ(svc::fingerprint(g), svc::fingerprint(copy));
+  EXPECT_EQ(svc::fingerprint(g).hex(), svc::fingerprint(copy).hex());
+  EXPECT_EQ(svc::fingerprint(g).hex().size(), 32u);
+}
+
+TEST(Fingerprint, DistinguishesGraphs) {
+  const auto a = svc::fingerprint(small_graph(0));
+  const auto b = svc::fingerprint(small_graph(1));
+  const auto c = svc::fingerprint(device_sized_graph(1));
+  const auto d = svc::fingerprint(device_sized_graph(2));
+  EXPECT_NE(a, b);
+  EXPECT_NE(c, d);
+  EXPECT_NE(a, c);
+}
+
+// --------------------------------------------------------------------- queue
+
+TEST(BoundedPriorityQueue, PriorityThenFifoOrder) {
+  svc::BoundedPriorityQueue<int> q(8);
+  ASSERT_TRUE(q.push(1, /*priority=*/0, 10));
+  ASSERT_TRUE(q.push(2, /*priority=*/5, 20));
+  ASSERT_TRUE(q.push(3, /*priority=*/5, 30));
+  ASSERT_TRUE(q.push(4, /*priority=*/-1, 40));
+  EXPECT_EQ(q.pop().value(), 20);  // highest priority first
+  EXPECT_EQ(q.pop().value(), 30);  // FIFO within a priority
+  EXPECT_EQ(q.pop().value(), 10);
+  EXPECT_EQ(q.pop().value(), 40);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedPriorityQueue, CapacityAndErase) {
+  svc::BoundedPriorityQueue<int> q(2);
+  EXPECT_TRUE(q.push(1, 0, 10));
+  EXPECT_TRUE(q.push(2, 0, 20));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(3, 9, 30));  // bounded: rejected even at high priority
+  EXPECT_EQ(q.erase(1).value(), 10);
+  EXPECT_FALSE(q.erase(1).has_value());  // already gone
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_TRUE(q.push(3, 9, 30));
+  EXPECT_EQ(q.pop().value(), 30);
+}
+
+TEST(BoundedPriorityQueue, FilteredPop) {
+  svc::BoundedPriorityQueue<int> q(8);
+  q.push(1, 9, 11);  // best, but odd
+  q.push(2, 5, 22);
+  q.push(3, 1, 33);
+  const auto even = [](const int& v) { return v % 2 == 0; };
+  EXPECT_EQ(q.pop_if(even).value(), 22);
+  EXPECT_EQ(q.pop().value(), 11);
+}
+
+// --------------------------------------------------------------------- cache
+
+TEST(ResultCache, LruEviction) {
+  svc::ResultCache cache(2);
+  const auto key = [](std::uint64_t i) { return svc::Fingerprint{i, ~i}; };
+  const auto value = [] { return std::make_shared<core::Result>(); };
+
+  EXPECT_EQ(cache.get(key(1)), nullptr);
+  cache.put(key(1), value());
+  cache.put(key(2), value());
+  EXPECT_NE(cache.get(key(1)), nullptr);  // refreshes 1
+  cache.put(key(3), value());             // evicts 2 (least recent)
+  EXPECT_EQ(cache.get(key(2)), nullptr);
+  EXPECT_NE(cache.get(key(1)), nullptr);
+  EXPECT_NE(cache.get(key(3)), nullptr);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  svc::ResultCache cache(0);
+  cache.put(svc::Fingerprint{1, 2}, std::make_shared<core::Result>());
+  EXPECT_EQ(cache.get(svc::Fingerprint{1, 2}), nullptr);
+}
+
+// ------------------------------------------------------------------- service
+
+svc::ServiceConfig quiet_config() {
+  svc::ServiceConfig cfg;
+  cfg.devices = 2;
+  cfg.device_threads = 1;  // single-worker devices: deterministic core runs
+  cfg.aux_workers = 1;
+  cfg.queue_capacity = 256;
+  cfg.cache_capacity = 16;
+  return cfg;
+}
+
+TEST(Service, AutoRoutingDegradesTinyGraphs) {
+  svc::Service service(quiet_config());
+  const svc::JobId tiny = service.submit(small_graph(0));
+  const svc::JobId big = service.submit(device_sized_graph(1));
+  const svc::JobResult rt = service.wait(tiny);
+  const svc::JobResult rb = service.wait(big);
+  ASSERT_EQ(rt.status, svc::JobStatus::Completed);
+  ASSERT_EQ(rb.status, svc::JobStatus::Completed);
+  EXPECT_EQ(rt.backend, svc::Backend::Seq);
+  EXPECT_EQ(rb.backend, svc::Backend::Core);
+  const svc::Stats st = service.stats();
+  EXPECT_EQ(st.ran_sequential, 1u);
+  EXPECT_EQ(st.ran_on_device, 1u);
+  // The device-run result carries real DeviceStats; the degraded one
+  // never touched a device.
+  EXPECT_EQ(rb.result->device.workers, 1u);
+  EXPECT_EQ(rt.result->device.workers, 0u);
+}
+
+TEST(Service, ConcurrentSubmissionManyThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 4;  // 32 jobs total
+  svc::Service service(quiet_config());
+
+  std::vector<graph::Csr> graphs;
+  for (std::uint64_t v = 0; v < 4; ++v) graphs.push_back(small_graph(v));
+  graphs.push_back(device_sized_graph(9));
+
+  std::vector<std::vector<std::pair<std::size_t, svc::JobId>>> submitted(
+      kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        const std::size_t which =
+            static_cast<std::size_t>(t + j) % graphs.size();
+        svc::JobOptions jo;
+        jo.priority = j;
+        jo.use_cache = (t + j) % 2 == 0;  // exercise both paths
+        submitted[t].emplace_back(which,
+                                  service.submit(graphs[which], jo));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every job completes, and jobs on the same graph agree exactly
+  // (single-worker devices are deterministic, cached or not).
+  std::vector<double> modularity(graphs.size(), -2.0);
+  int completed = 0;
+  for (const auto& per_thread : submitted) {
+    for (const auto& [which, id] : per_thread) {
+      const svc::JobResult r = service.wait(id);
+      ASSERT_EQ(r.status, svc::JobStatus::Completed) << r.error;
+      ASSERT_NE(r.result, nullptr);
+      if (modularity[which] < -1.5) {
+        modularity[which] = r.result->modularity;
+      } else {
+        EXPECT_EQ(r.result->modularity, modularity[which]);
+      }
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, kThreads * kJobsPerThread);
+
+  const svc::Stats st = service.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(completed));
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(completed));
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.queue_depth, 0u);
+  EXPECT_EQ(st.running, 0u);
+}
+
+TEST(Service, PriorityOrderOnSingleDevice) {
+  svc::ServiceConfig cfg = quiet_config();
+  cfg.devices = 1;
+  cfg.aux_workers = 0;
+  cfg.start_paused = true;
+  svc::Service service(cfg);
+
+  const svc::JobId low = service.submit(small_graph(0), {.priority = 0});
+  const svc::JobId high = service.submit(small_graph(1), {.priority = 10});
+  const svc::JobId mid = service.submit(small_graph(2), {.priority = 5});
+  service.resume();
+
+  const auto r_low = service.wait(low);
+  const auto r_high = service.wait(high);
+  const auto r_mid = service.wait(mid);
+  ASSERT_EQ(r_low.status, svc::JobStatus::Completed);
+  EXPECT_LT(r_high.start_sequence, r_mid.start_sequence);
+  EXPECT_LT(r_mid.start_sequence, r_low.start_sequence);
+}
+
+TEST(Service, CancelQueuedJob) {
+  svc::ServiceConfig cfg = quiet_config();
+  cfg.devices = 1;
+  cfg.aux_workers = 0;
+  cfg.start_paused = true;
+  svc::Service service(cfg);
+
+  const svc::JobId keep = service.submit(small_graph(0));
+  const svc::JobId victim = service.submit(small_graph(1));
+  EXPECT_EQ(service.poll(victim), svc::JobStatus::Queued);
+  EXPECT_TRUE(service.cancel(victim));
+  EXPECT_EQ(service.poll(victim), svc::JobStatus::Cancelled);
+  EXPECT_FALSE(service.cancel(victim));       // already terminal
+  EXPECT_FALSE(service.cancel(9999));         // unknown id
+
+  service.resume();
+  EXPECT_EQ(service.wait(victim).status, svc::JobStatus::Cancelled);
+  const auto kept = service.wait(keep);
+  EXPECT_EQ(kept.status, svc::JobStatus::Completed);
+  EXPECT_FALSE(service.cancel(keep));  // completed jobs cannot cancel
+
+  const svc::Stats st = service.stats();
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.completed, 1u);
+}
+
+TEST(Service, DeadlineExpiresFromWaiter) {
+  svc::ServiceConfig cfg = quiet_config();
+  cfg.start_paused = true;  // workers never pick it up
+  svc::Service service(cfg);
+
+  const svc::JobId id =
+      service.submit(small_graph(0), {.deadline = 30ms});
+  const svc::JobResult r = service.wait(id);  // waiter fires the deadline
+  EXPECT_EQ(r.status, svc::JobStatus::Expired);
+  EXPECT_GE(r.total_seconds, 0.025);
+  EXPECT_EQ(service.stats().expired, 1u);
+  service.resume();
+}
+
+TEST(Service, DeadlineExpiresAtWorkerPop) {
+  svc::ServiceConfig cfg = quiet_config();
+  cfg.start_paused = true;
+  svc::Service service(cfg);
+
+  const svc::JobId id =
+      service.submit(small_graph(0), {.deadline = 10ms});
+  std::this_thread::sleep_for(30ms);  // deadline passes while paused
+  service.resume();
+  // The worker, not a waiter, must discover and expire it.
+  for (int i = 0; i < 200 && !svc::is_terminal(service.poll(id)); ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(service.poll(id), svc::JobStatus::Expired);
+  EXPECT_EQ(service.wait(id).status, svc::JobStatus::Expired);
+}
+
+TEST(Service, DeadlineMetWhenJobRuns) {
+  svc::Service service(quiet_config());
+  const svc::JobId id =
+      service.submit(small_graph(0), {.deadline = 10min});
+  EXPECT_EQ(service.wait(id).status, svc::JobStatus::Completed);
+}
+
+TEST(Service, BackpressureRejectsWhenQueueFull) {
+  svc::ServiceConfig cfg = quiet_config();
+  cfg.devices = 1;
+  cfg.aux_workers = 0;
+  cfg.queue_capacity = 4;
+  cfg.cache_capacity = 0;  // identical graphs must not short-circuit
+  cfg.start_paused = true;
+  svc::Service service(cfg);
+
+  std::vector<svc::JobId> accepted;
+  for (int i = 0; i < 4; ++i) accepted.push_back(service.submit(small_graph(0)));
+  const svc::JobId overflow = service.submit(small_graph(0));
+
+  for (const svc::JobId id : accepted) {
+    EXPECT_EQ(service.poll(id), svc::JobStatus::Queued);
+  }
+  EXPECT_EQ(service.poll(overflow), svc::JobStatus::Rejected);
+  const svc::JobResult r = service.wait(overflow);  // terminal: no block
+  EXPECT_EQ(r.status, svc::JobStatus::Rejected);
+
+  service.resume();
+  for (const svc::JobId id : accepted) {
+    EXPECT_EQ(service.wait(id).status, svc::JobStatus::Completed);
+  }
+  const svc::Stats st = service.stats();
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_EQ(st.accepted, 4u);
+}
+
+TEST(Service, CacheHitReturnsIdenticalCommunities) {
+  svc::Service service(quiet_config());
+  const auto g = device_sized_graph(5);
+
+  const svc::JobResult first = service.wait(service.submit(g));
+  ASSERT_EQ(first.status, svc::JobStatus::Completed);
+  EXPECT_FALSE(first.cache_hit);
+
+  const svc::JobResult second = service.wait(service.submit(g));
+  ASSERT_EQ(second.status, svc::JobStatus::Completed);
+  EXPECT_TRUE(second.cache_hit);
+  // Same fingerprint -> the same immutable result object.
+  EXPECT_EQ(second.result, first.result);
+  EXPECT_EQ(second.result->community, first.result->community);
+  EXPECT_EQ(second.run_seconds, 0.0);
+
+  // A fresh service recomputes and agrees exactly (single-worker
+  // devices are deterministic), so cached answers are not stale.
+  svc::Service fresh(quiet_config());
+  const svc::JobResult recomputed = fresh.wait(fresh.submit(g));
+  ASSERT_EQ(recomputed.status, svc::JobStatus::Completed);
+  EXPECT_EQ(recomputed.result->community, first.result->community);
+
+  const svc::Stats st = service.stats();
+  EXPECT_EQ(st.cache_hits, 1u);
+  EXPECT_EQ(st.cache_misses, 1u);
+}
+
+TEST(Service, CacheOptOutRecomputes) {
+  svc::Service service(quiet_config());
+  const auto g = small_graph(0);
+  const svc::JobResult first = service.wait(service.submit(g));
+  const svc::JobResult second =
+      service.wait(service.submit(g, {.use_cache = false}));
+  ASSERT_EQ(second.status, svc::JobStatus::Completed);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_NE(second.result, first.result);  // distinct run, same answer
+  EXPECT_EQ(second.result->community, first.result->community);
+}
+
+TEST(Service, ExplicitBackendSelection) {
+  svc::Service service(quiet_config());
+  // Force the tiny graph onto a device and the comparator backends.
+  const auto g = small_graph(0);
+  const svc::JobResult on_device =
+      service.wait(service.submit(g, {.backend = svc::Backend::Core,
+                                      .use_cache = false}));
+  const svc::JobResult on_plm =
+      service.wait(service.submit(g, {.backend = svc::Backend::Plm,
+                                      .use_cache = false}));
+  ASSERT_EQ(on_device.status, svc::JobStatus::Completed);
+  ASSERT_EQ(on_plm.status, svc::JobStatus::Completed);
+  EXPECT_EQ(on_device.backend, svc::Backend::Core);
+  EXPECT_EQ(on_plm.backend, svc::Backend::Plm);
+  // Ring of cliques has an unambiguous optimum: all engines agree.
+  EXPECT_NEAR(on_device.result->modularity, on_plm.result->modularity, 1e-9);
+}
+
+TEST(Service, ShutdownWithoutDrainCancelsBacklog) {
+  svc::ServiceConfig cfg = quiet_config();
+  cfg.start_paused = true;
+  svc::Service service(cfg);
+  const svc::JobId a = service.submit(small_graph(0));
+  const svc::JobId b = service.submit(small_graph(1));
+  service.shutdown(/*drain=*/false);
+  EXPECT_EQ(service.poll(a), svc::JobStatus::Cancelled);
+  EXPECT_EQ(service.poll(b), svc::JobStatus::Cancelled);
+  // Submissions after shutdown are rejected, not silently dropped.
+  const svc::JobId late = service.submit(small_graph(2));
+  EXPECT_EQ(service.poll(late), svc::JobStatus::Rejected);
+  EXPECT_EQ(service.stats().cancelled, 2u);
+}
+
+TEST(Service, WaitOnUnknownJobDoesNotBlock) {
+  svc::Service service(quiet_config());
+  EXPECT_EQ(service.wait(424242).status, svc::JobStatus::Cancelled);
+  EXPECT_EQ(service.poll(424242), svc::JobStatus::Cancelled);
+}
+
+// A denser end-to-end stress: submissions racing with cancellations
+// and polls from many threads, mixed deadlines, shared cache. The
+// invariant checked is conservation: every accepted job reaches
+// exactly one terminal state and the counters add up.
+TEST(Service, StressMixedTraffic) {
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 6;
+  svc::ServiceConfig cfg = quiet_config();
+  cfg.queue_capacity = 16;  // small enough that rejections can happen
+  svc::Service service(cfg);
+
+  std::vector<graph::Csr> graphs;
+  for (std::uint64_t v = 0; v < 3; ++v) graphs.push_back(small_graph(v));
+
+  std::atomic<int> terminal{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        svc::JobOptions jo;
+        jo.priority = (t * 7 + j) % 5;
+        if (j % 3 == 1) jo.deadline = 50ms;
+        const std::size_t which = static_cast<std::size_t>(t + j) % graphs.size();
+        const svc::JobId id = service.submit(graphs[which], jo);
+        if (j % 4 == 3) service.cancel(id);  // may or may not win the race
+        const svc::JobResult r = service.wait(id);
+        EXPECT_TRUE(svc::is_terminal(r.status));
+        if (r.status == svc::JobStatus::Completed) {
+          EXPECT_NE(r.result, nullptr);
+        }
+        ++terminal;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(terminal.load(), kThreads * kJobsPerThread);
+
+  const svc::Stats st = service.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kThreads * kJobsPerThread));
+  EXPECT_EQ(st.submitted, st.accepted + st.rejected);
+  EXPECT_EQ(st.accepted,
+            st.completed + st.cancelled + st.expired + st.failed);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.queue_depth, 0u);
+  EXPECT_EQ(st.running, 0u);
+}
+
+}  // namespace
+}  // namespace glouvain

@@ -4,13 +4,18 @@
 //   glouvain stats    --in g.bin
 //   glouvain detect   --in g.bin --algo core --out communities.txt
 //   glouvain convert  --in g.mtx --out g.bin
+//   glouvain batch    --manifest jobs.txt --devices 2
 //
 // `detect` writes one "<vertex> <community>" line per vertex and prints
-// modularity / timing to stdout.
+// modularity / timing to stdout. `batch` reads a manifest of graph
+// files (one `path [priority]` per line) and runs them concurrently
+// through the svc::Service layer.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/louvain.hpp"
 #include "gen/suite.hpp"
@@ -21,9 +26,11 @@
 #include "multi/multi.hpp"
 #include "plm/plm.hpp"
 #include "seq/louvain.hpp"
+#include "svc/service.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -40,6 +47,11 @@ int usage(const char* error = nullptr) {
                "  detect    run community detection\n"
                "            --in FILE --algo core|seq|plm|multi [--out FILE]\n"
                "            [--tbin X --tfinal Y] [--devices D] [--coloring]\n"
+               "            [--threads N] [--verbose]\n"
+               "  batch     run a manifest of graphs through the service\n"
+               "            --manifest FILE [--devices D] [--threads N]\n"
+               "            [--aux A] [--queue Q] [--cache C] [--repeat R]\n"
+               "            [--backend auto|core|seq|plm|multi] [--deadline MS]\n"
                "  stats     print graph statistics      --in FILE\n"
                "  convert   re-encode a graph file      --in FILE --out FILE\n"
                "  color     greedy parallel coloring    --in FILE\n");
@@ -78,6 +90,20 @@ int cmd_generate(util::Options& opt) {
   return 0;
 }
 
+void print_levels(const LouvainResult& result) {
+  util::Table table({"level", "vertices", "arcs", "sweeps", "Q after",
+                     "optimize s", "aggregate s"});
+  for (std::size_t l = 0; l < result.levels.size(); ++l) {
+    const LevelReport& r = result.levels[l];
+    table.add_row({std::to_string(l), std::to_string(r.vertices),
+                   std::to_string(r.arcs), std::to_string(r.iterations),
+                   util::Table::fixed(r.modularity_after, 5),
+                   util::Table::fixed(r.optimize_seconds, 4),
+                   util::Table::fixed(r.aggregate_seconds, 4)});
+  }
+  table.print(std::cout);
+}
+
 int cmd_detect(util::Options& opt) {
   const auto g = load_required(opt);
   const std::string algo =
@@ -87,17 +113,27 @@ int cmd_detect(util::Options& opt) {
   const double t_final = opt.get_double("tfinal", 1e-6, "fine threshold");
   const auto devices = static_cast<unsigned>(
       opt.get_int("devices", 2, "simulated devices (multi only)"));
+  const auto threads = static_cast<unsigned>(opt.get_int(
+      "threads", 0, "simt device worker threads (0 = hardware)"));
   const bool coloring = opt.get_flag("coloring", "serialize moves by graph coloring");
+  const bool verbose =
+      opt.get_flag("verbose", "print per-level timings and device stats");
 
   ThresholdSchedule thresholds{.t_bin = t_bin, .t_final = t_final,
                                .adaptive_limit = 100'000, .adaptive = true};
   LouvainResult result;
+  core::DeviceStats device_stats;
+  bool have_device_stats = false;
   if (algo == "core" || algo == "multi") {
     core::Config cfg;
     cfg.thresholds = thresholds;
     cfg.use_coloring = coloring;
+    cfg.device.worker_threads = threads;
     if (algo == "core") {
-      result = core::louvain(g, cfg);
+      const core::Result cr = core::louvain(g, cfg);
+      device_stats = cr.device;
+      have_device_stats = true;
+      result = cr;
     } else {
       multi::Config mcfg;
       mcfg.num_devices = devices;
@@ -121,6 +157,7 @@ int cmd_detect(util::Options& opt) {
   } else if (algo == "plm") {
     plm::Config cfg;
     cfg.thresholds = thresholds;
+    cfg.threads = threads;
     result = plm::louvain(g, cfg);
   } else {
     return usage("unknown --algo");
@@ -131,6 +168,17 @@ int cmd_detect(util::Options& opt) {
               algo.c_str(), result.modularity,
               static_cast<unsigned long long>(stats.num_communities),
               result.levels.size(), result.total_seconds);
+  if (verbose) {
+    print_levels(result);
+    if (have_device_stats) {
+      std::printf("device: %u workers, %llu shared-arena spills\n",
+                  device_stats.workers,
+                  static_cast<unsigned long long>(device_stats.shared_spills));
+    }
+    if (result.first_phase_teps > 0) {
+      std::printf("first-phase TEPS: %.3g\n", result.first_phase_teps);
+    }
+  }
   if (!out.empty()) {
     std::ofstream os(out);
     for (std::size_t v = 0; v < result.community.size(); ++v) {
@@ -138,6 +186,123 @@ int cmd_detect(util::Options& opt) {
     }
     std::printf("communities written to %s\n", out.c_str());
   }
+  return 0;
+}
+
+svc::Backend parse_backend(const std::string& name) {
+  if (name == "auto") return svc::Backend::Auto;
+  if (name == "core") return svc::Backend::Core;
+  if (name == "seq") return svc::Backend::Seq;
+  if (name == "plm") return svc::Backend::Plm;
+  if (name == "multi") return svc::Backend::Multi;
+  throw std::runtime_error("unknown --backend: " + name);
+}
+
+int cmd_batch(util::Options& opt) {
+  const std::string manifest_path =
+      opt.get_string("manifest", "", "manifest file: one `path [priority]` per line");
+  svc::ServiceConfig cfg;
+  cfg.devices = static_cast<unsigned>(
+      opt.get_int("devices", 2, "pooled simt devices"));
+  cfg.device_threads = static_cast<unsigned>(opt.get_int(
+      "threads", 0, "simt worker threads per device (0 = hardware)"));
+  cfg.aux_workers = static_cast<unsigned>(
+      opt.get_int("aux", 1, "device-less workers for sequential jobs"));
+  cfg.queue_capacity = static_cast<std::size_t>(
+      opt.get_int("queue", 256, "pending-job bound (backpressure beyond)"));
+  cfg.cache_capacity = static_cast<std::size_t>(
+      opt.get_int("cache", 32, "result-cache entries (0 = off)"));
+  cfg.seq_cost_limit = static_cast<std::uint64_t>(opt.get_int(
+      "seq-limit", 1 << 13, "n+m at or below this runs on the seq backend"));
+  const svc::Backend backend = parse_backend(
+      opt.get_string("backend", "auto", "auto | core | seq | plm | multi"));
+  const auto repeat = static_cast<int>(
+      opt.get_int("repeat", 1, "submit the whole manifest this many times"));
+  const auto deadline_ms = opt.get_int(
+      "deadline", 0, "per-job deadline in milliseconds (0 = none)");
+  if (manifest_path.empty()) return usage("--manifest is required for batch");
+
+  struct Entry {
+    std::string path;
+    int priority = 0;
+  };
+  std::vector<Entry> entries;
+  std::ifstream is(manifest_path);
+  if (!is) throw std::runtime_error("cannot open manifest: " + manifest_path);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    Entry e;
+    if (!(ls >> e.path) || e.path[0] == '#' || e.path[0] == '%') continue;
+    ls >> e.priority;
+    entries.push_back(std::move(e));
+  }
+  if (entries.empty()) return usage("manifest lists no graphs");
+
+  // Load each distinct file once; repeated passes resubmit the same
+  // graphs, which is exactly what exercises the result cache.
+  std::vector<graph::Csr> graphs;
+  graphs.reserve(entries.size());
+  for (const Entry& e : entries) graphs.push_back(graph::load_auto(e.path));
+
+  svc::Service service(cfg);
+  struct Submitted {
+    svc::JobId id;
+    const Entry* entry;
+    int pass;
+  };
+  std::vector<Submitted> jobs;
+  util::Timer wall;
+  for (int pass = 0; pass < repeat; ++pass) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      svc::JobOptions jo;
+      jo.priority = entries[i].priority;
+      jo.backend = backend;
+      jo.deadline = std::chrono::milliseconds(deadline_ms);
+      jobs.push_back({service.submit(graphs[i], jo), &entries[i], pass});
+    }
+  }
+
+  util::Table table({"job", "graph", "pass", "status", "backend", "cache",
+                     "Q", "queue ms", "run ms"});
+  for (const Submitted& s : jobs) {
+    const svc::JobResult r = service.wait(s.id);
+    table.add_row(
+        {std::to_string(s.id), s.entry->path, std::to_string(s.pass),
+         svc::to_string(r.status), svc::to_string(r.backend),
+         r.cache_hit ? "hit" : "-",
+         r.result ? util::Table::fixed(r.result->modularity, 5) : "-",
+         util::Table::fixed(r.queue_seconds * 1e3, 2),
+         util::Table::fixed(r.run_seconds * 1e3, 2)});
+  }
+  const double total = wall.seconds();
+  table.print(std::cout);
+
+  const svc::Stats st = service.stats();
+  std::printf("\n%zu jobs in %.3fs (%.1f jobs/s)\n", jobs.size(), total,
+              static_cast<double>(jobs.size()) / total);
+  std::printf("accepted %llu  rejected %llu  completed %llu  cancelled %llu  "
+              "expired %llu  failed %llu\n",
+              static_cast<unsigned long long>(st.accepted),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.cancelled),
+              static_cast<unsigned long long>(st.expired),
+              static_cast<unsigned long long>(st.failed));
+  std::printf("cache hits %llu  misses %llu  entries %zu  evictions %llu\n",
+              static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(st.cache_misses),
+              st.cache_entries,
+              static_cast<unsigned long long>(st.cache_evictions));
+  std::printf("routing: device %llu  sequential %llu  other %llu\n",
+              static_cast<unsigned long long>(st.ran_on_device),
+              static_cast<unsigned long long>(st.ran_sequential),
+              static_cast<unsigned long long>(st.ran_other));
+  std::printf("devices %u x %u threads, %llu shared-arena spills; "
+              "queue wait %.3fs, run %.3fs\n",
+              st.devices, st.device_threads,
+              static_cast<unsigned long long>(st.shared_spills),
+              st.queue_wait_seconds, st.run_seconds);
   return 0;
 }
 
@@ -201,6 +366,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(opt);
     if (command == "detect") return cmd_detect(opt);
+    if (command == "batch") return cmd_batch(opt);
     if (command == "stats") return cmd_stats(opt);
     if (command == "convert") return cmd_convert(opt);
     if (command == "color") return cmd_color(opt);
