@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "core/louvain.hpp"
 #include "gen/suite.hpp"
 #include "graph/csr.hpp"
+#include "obs/recorder.hpp"
 #include "plm/plm.hpp"
 #include "seq/louvain.hpp"
 #include "util/options.hpp"
@@ -53,29 +55,44 @@ struct AlgoRun {
   double teps = 0;
 };
 
-inline AlgoRun run_seq(const graph::Csr& g, bool adaptive) {
+inline AlgoRun run_seq(const graph::Csr& g, bool adaptive,
+                       obs::Recorder* rec = nullptr) {
   seq::Config cfg;
   cfg.thresholds = paper_thresholds();
   cfg.thresholds.adaptive = adaptive;
-  const auto r = seq::louvain(g, cfg);
+  const auto r = seq::louvain(g, cfg, rec);
   return {r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
           r.first_phase_teps};
 }
 
-inline AlgoRun run_plm(const graph::Csr& g) {
+inline AlgoRun run_plm(const graph::Csr& g, obs::Recorder* rec = nullptr) {
   plm::Config cfg;
   cfg.thresholds = paper_thresholds();
-  const auto r = plm::louvain(g, cfg);
+  const auto r = plm::louvain(g, cfg, rec);
   return {r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
           r.first_phase_teps};
 }
 
-inline AlgoRun run_core(const graph::Csr& g,
-                        core::Config cfg = core::Config{}) {
+inline AlgoRun run_core(const graph::Csr& g, core::Config cfg = core::Config{},
+                        obs::Recorder* rec = nullptr) {
   cfg.thresholds = paper_thresholds();
-  const auto r = core::louvain(g, cfg);
+  const auto r = core::louvain(g, cfg, rec);
   return {r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
           r.first_phase_teps};
+}
+
+/// `--trace PREFIX` support: when the flag is set, returns a live
+/// Recorder for each named run and writes PREFIX-<tag>.json after it.
+inline void write_trace(const obs::Recorder& rec, const std::string& prefix,
+                        const std::string& tag) {
+  const std::string path = prefix + "-" + tag + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write trace %s\n", path.c_str());
+    return;
+  }
+  rec.write_chrome_trace(os);
+  std::printf("trace written to %s\n", path.c_str());
 }
 
 }  // namespace glouvain::bench

@@ -53,6 +53,8 @@ int main(int argc, char** argv) {
   const std::int64_t seed = opt.get_int("seed", 1, "generator seed");
   const auto limit = static_cast<graph::VertexId>(
       opt.get_int("adaptive-limit", 2000, "t_bin applies while |V| > limit"));
+  const std::string trace_prefix = opt.get_string(
+      "trace", "", "write chrome://tracing JSON to PREFIX-<graph>.json");
   if (opt.help_requested()) {
     std::printf("%s", opt.usage("Figures 5-6: per-stage time breakdown").c_str());
     return 0;
@@ -68,14 +70,26 @@ int main(int argc, char** argv) {
   cfg.thresholds.adaptive_limit = limit;
 
   {
+    obs::Recorder rec;
+    obs::Recorder* recp = trace_prefix.empty() ? nullptr : &rec;
     const auto g = gen::suite_entry("road").build(scale, static_cast<std::uint64_t>(seed));
-    const auto r = core::louvain(g, cfg);
+    const auto r = core::louvain(g, cfg, recp);
     breakdown("Figure 5", "road", "road_usa", r);
+    if (recp) {
+      rec.write_phase_table(std::cout);
+      bench::write_trace(rec, trace_prefix, "road");
+    }
   }
   {
+    obs::Recorder rec;
+    obs::Recorder* recp = trace_prefix.empty() ? nullptr : &rec;
     const auto g = gen::suite_entry("nlpkkt").build(scale, static_cast<std::uint64_t>(seed));
-    const auto r = core::louvain(g, cfg);
+    const auto r = core::louvain(g, cfg, recp);
     breakdown("Figure 6", "nlpkkt", "nlpkkt200", r);
+    if (recp) {
+      rec.write_phase_table(std::cout);
+      bench::write_trace(rec, trace_prefix, "nlpkkt");
+    }
   }
   return 0;
 }

@@ -130,5 +130,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.cache_misses),
               static_cast<unsigned long long>(st.ran_on_device),
               static_cast<unsigned long long>(st.ran_sequential));
+  std::printf("phases:  optimize %.3fs, aggregate %.3fs across %llu levels "
+              "(%llu sweeps)\n",
+              st.optimize_seconds, st.aggregate_seconds,
+              static_cast<unsigned long long>(st.levels_total),
+              static_cast<unsigned long long>(st.sweeps_total));
   return speedup > 10.0 ? 0 : 1;
 }

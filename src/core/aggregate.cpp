@@ -5,6 +5,7 @@
 
 #include "core/buckets.hpp"
 #include "core/hash_map.hpp"
+#include "obs/recorder.hpp"
 #include "prim/scan.hpp"
 #include "simt/atomics.hpp"
 #include "simt/lane_group.hpp"
@@ -24,12 +25,15 @@ using graph::Weight;
 
 AggregationResult aggregate(simt::Device& device, const Csr& graph,
                             const Config& config,
-                            std::span<const Community> community) {
+                            std::span<const Community> community,
+                            obs::Recorder* rec) {
   const VertexId n = graph.num_vertices();
   auto& pool = device.pool();
+  obs::Span phase_span(rec, "aggregate");
 
   // --- Task (i): size and degree bound of every community
   // (Algorithm 3 lines 2-6, atomic histograms).
+  const std::size_t sizes_span = rec ? rec->begin_span("aggregate/sizes") : 0;
   std::vector<VertexId> com_size(n, 0);
   std::vector<EdgeIdx> com_degree(n, 0);
   device.for_each(n, [&](std::size_t v) {
@@ -37,9 +41,12 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
     simt::atomic_add(com_size[c], VertexId{1});
     simt::atomic_add(com_degree[c], graph.degree(static_cast<VertexId>(v)));
   });
+  if (rec) rec->end_span(sizes_span);
 
   // --- Task (ii): consecutive numbering of non-empty communities
   // (lines 7-12: flag + prefix sum).
+  const std::size_t number_span =
+      rec ? rec->begin_span("aggregate/numbering") : 0;
   std::vector<VertexId> flags(n);
   device.for_each(n, [&](std::size_t c) { flags[c] = com_size[c] ? 1 : 0; });
   std::vector<VertexId> new_id(n);
@@ -54,8 +61,10 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
   std::vector<EdgeIdx> edge_pos(n);
   const EdgeIdx scratch_arcs = prim::exclusive_scan(
       std::span<const EdgeIdx>(com_degree), std::span<EdgeIdx>(edge_pos), pool);
+  if (rec) rec->end_span(number_span);
 
   // --- Task (iv) setup: order vertices by community (lines 15-19).
+  const std::size_t order_span = rec ? rec->begin_span("aggregate/order") : 0;
   std::vector<EdgeIdx> com_size_wide(com_size.begin(), com_size.end());
   std::vector<EdgeIdx> vertex_start(n + 1);
   vertex_start[n] = prim::exclusive_scan(
@@ -67,6 +76,7 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
     const EdgeIdx slot = simt::atomic_add(cursor[community[v]], EdgeIdx{1});
     com[slot] = static_cast<VertexId>(v);
   });
+  if (rec) rec->end_span(order_span);
 
   // --- mergeCommunity over work buckets (lines 20-23). Communities are
   // binned by their degree-sum bound; each task hashes the closed
@@ -77,11 +87,26 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
   std::vector<EdgeIdx> merged_degree(n, 0);
 
   const BucketScheme& scheme = config.aggregation_buckets;
-  const Binned binned =
-      bin_by_key(n, scheme, [&](VertexId c) { return com_degree[c]; }, pool);
+  const Binned binned = [&] {
+    obs::Span span(rec, "aggregate/binning");
+    return bin_by_key(n, scheme, [&](VertexId c) { return com_degree[c]; },
+                      pool);
+  }();
+  if (rec) {
+    for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
+      rec->count("aggregate/bucket_occupancy",
+                 static_cast<double>(binned.bucket(b).size()),
+                 static_cast<std::int64_t>(b));
+    }
+  }
 
   auto adjacency = graph.adjacency();
   auto edge_weights = graph.edge_weights();
+
+  std::vector<std::string> bucket_names(scheme.num_buckets());
+  for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
+    bucket_names[b] = "aggregate/bucket" + std::to_string(b);
+  }
 
   for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
     auto bucket = binned.bucket(b);
@@ -90,6 +115,7 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
     const bool use_global = b >= scheme.global_from;
     const std::size_t grain = use_global ? 1 : 0;
 
+    obs::Span kernel_span(rec, bucket_names[b]);
     device.launch(bucket.size(), grain, [&](simt::TaskContext& ctx) {
       const Community c = bucket[ctx.task()];
       if (com_size[c] == 0 || com_degree[c] == 0) return;
@@ -140,6 +166,7 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
 
   // --- Compaction (the prefix-sum + move pass after line 23): gather
   // per-new-vertex degrees, scan, and copy rows into their final slots.
+  obs::Span compact_span(rec, "aggregate/compact");
   std::vector<EdgeIdx> new_degree(num_communities, 0);
   device.for_each(n, [&](std::size_t c) {
     if (new_id[c] != graph::kInvalidVertex) {

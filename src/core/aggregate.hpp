@@ -9,6 +9,10 @@
 #include "graph/csr.hpp"
 #include "simt/device.hpp"
 
+namespace glouvain::obs {
+class Recorder;
+}
+
 namespace glouvain::core {
 
 struct AggregationResult {
@@ -21,8 +25,12 @@ struct AggregationResult {
 };
 
 /// community[v] must be a label < graph.num_vertices() for every v.
+/// `recorder` (optional) receives the "aggregate" span tree — community
+/// sizing, numbering, member ordering, binning, per-bucket merge
+/// kernels, compaction — plus a bucket-occupancy counter.
 AggregationResult aggregate(simt::Device& device, const graph::Csr& graph,
                             const Config& config,
-                            std::span<const graph::Community> community);
+                            std::span<const graph::Community> community,
+                            obs::Recorder* recorder = nullptr);
 
 }  // namespace glouvain::core

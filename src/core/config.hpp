@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "detect/options.hpp"
 #include "graph/types.hpp"
 #include "simt/device.hpp"
 
@@ -64,8 +65,10 @@ enum class UpdateStrategy {
   Relaxed,
 };
 
-struct Config {
-  ThresholdSchedule thresholds;
+/// The shared knobs (thresholds, max_levels, max_sweeps_per_level,
+/// threads) live in the detect::Options base; only the GPU-style
+/// backend's own machinery remains here.
+struct Config : detect::Options {
   BucketScheme modopt_buckets = BucketScheme::paper_modopt();
   BucketScheme aggregation_buckets = BucketScheme::paper_aggregation();
   UpdateStrategy update = UpdateStrategy::Bucketed;
@@ -86,8 +89,6 @@ struct Config {
   /// Overrides commit_subrounds when true. Ablated in
   /// `bench/ablation_subrounds`.
   bool use_coloring = false;
-  int max_levels = 64;
-  int max_sweeps_per_level = 1000;
   simt::DeviceConfig device;
 };
 

@@ -1,6 +1,7 @@
 #include "core/louvain.hpp"
 
 #include "metrics/partition.hpp"
+#include "obs/recorder.hpp"
 #include "simt/atomics.hpp"
 #include "util/timer.hpp"
 
@@ -10,12 +11,27 @@ namespace {
 using graph::Community;
 using graph::Csr;
 using graph::VertexId;
+
+/// The device honours Options::threads unless the device section names
+/// an explicit worker count of its own.
+simt::DeviceConfig resolve_device(const Config& config) {
+  simt::DeviceConfig dev = config.device;
+  if (dev.worker_threads == 0) dev.worker_threads = config.threads;
+  return dev;
+}
 }  // namespace
 
 Louvain::Louvain(const Config& config)
-    : config_(config), device_(std::make_unique<simt::Device>(config.device)) {}
+    : config_(config),
+      device_(std::make_unique<simt::Device>(resolve_device(config))) {}
 
 Louvain::~Louvain() = default;
+
+void Louvain::set_config(const Config& config) {
+  const simt::DeviceConfig keep = config_.device;
+  config_ = config;
+  config_.device = keep;  // the live device's shape is immutable
+}
 
 PhaseResult Louvain::run_phase(const Csr& graph,
                                std::vector<Community>& community,
@@ -27,7 +43,7 @@ PhaseResult Louvain::run_phase(const Csr& graph,
   return pr;
 }
 
-Result Louvain::run(const Csr& graph) {
+Result Louvain::run(const Csr& graph, obs::Recorder* rec) {
   util::Timer total_timer;
   device_->clear_spills();
 
@@ -39,8 +55,10 @@ Result Louvain::run(const Csr& graph) {
 
   Csr current = graph;
   double prev_q = -1.0;
+  std::uint64_t prev_spills = 0;
 
   for (int level = 0; level < config_.max_levels; ++level) {
+    if (rec) rec->set_level(level);
     LevelReport report;
     report.vertices = current.num_vertices();
     report.arcs = current.num_arcs();
@@ -53,7 +71,7 @@ Result Louvain::run(const Csr& graph) {
     PhaseState state;
     state.reset(current, *device_);
     const PhaseResult phase =
-        optimize_phase(*device_, current, config_, state, threshold);
+        optimize_phase(*device_, current, config_, state, threshold, rec);
     report.optimize_seconds = opt_timer.seconds();
     report.iterations = phase.sweeps;
     report.modularity_after = phase.modularity;
@@ -71,24 +89,37 @@ Result Louvain::run(const Csr& graph) {
 
     util::Timer agg_timer;
     const AggregationResult agg =
-        aggregate(*device_, current, config_, state.community);
+        aggregate(*device_, current, config_, state.community, rec);
 
     // Fold this level into the original-vertex mapping:
     // community(orig) = new_id[ phase community of current vertex ].
-    std::vector<Community> dense(current.num_vertices());
-    device_->for_each(current.num_vertices(), [&](std::size_t v) {
-      dense[v] = agg.new_id[state.community[v]];
-    });
-    result.community = metrics::flatten(result.community, dense);
-    result.dendrogram.push_level(dense);
+    {
+      obs::Span fold_span(rec, "fold");
+      std::vector<Community> dense(current.num_vertices());
+      device_->for_each(current.num_vertices(), [&](std::size_t v) {
+        dense[v] = agg.new_id[state.community[v]];
+      });
+      result.community = metrics::flatten(result.community, dense);
+      result.dendrogram.push_level(dense);
+    }
     report.aggregate_seconds = agg_timer.seconds();
     result.levels.push_back(report);
+
+    if (rec) {
+      rec->count("level/vertices", static_cast<double>(report.vertices));
+      rec->count("level/arcs", static_cast<double>(report.arcs));
+      const std::uint64_t spills = device_->total_spills();
+      rec->count("level/shared_spills",
+                 static_cast<double>(spills - prev_spills));
+      prev_spills = spills;
+    }
 
     const bool shrunk = agg.contracted.num_vertices() < current.num_vertices();
     prev_q = phase.modularity;
     current = agg.contracted;
     if (converged || !shrunk) break;
   }
+  if (rec) rec->set_level(-1);
 
   result.modularity = prev_q;
   result.total_seconds = total_timer.seconds();
@@ -97,9 +128,9 @@ Result Louvain::run(const Csr& graph) {
   return result;
 }
 
-Result louvain(const Csr& graph, const Config& config) {
+Result louvain(const Csr& graph, const Config& config, obs::Recorder* rec) {
   Louvain runner(config);
-  return runner.run(graph);
+  return runner.run(graph, rec);
 }
 
 }  // namespace glouvain::core

@@ -8,7 +8,8 @@
 //
 // A Louvain instance owns its device (thread pool + shared-memory
 // arenas) and can be reused across runs. For one-off calls the free
-// function louvain() constructs a temporary instance.
+// function louvain() constructs a temporary instance. Pass an
+// obs::Recorder to run() for the per-level phase/kernel span tree.
 #pragma once
 
 #include <memory>
@@ -16,20 +17,20 @@
 #include "core/aggregate.hpp"
 #include "core/config.hpp"
 #include "core/modopt.hpp"
+#include "detect/result.hpp"
 #include "graph/csr.hpp"
+
+namespace glouvain::obs {
+class Recorder;
+}
 
 namespace glouvain::core {
 
-/// Extra diagnostics beyond the common LouvainResult.
-struct DeviceStats {
-  std::uint64_t shared_spills = 0;  ///< hash tables that overflowed the
-                                    ///< shared arena into heap storage
-  unsigned workers = 0;             ///< device worker threads used
-};
-
-struct Result : LouvainResult {
-  DeviceStats device;
-};
+/// The uniform result currency lives in detect/result.hpp; these
+/// aliases keep every pre-existing core::Result call site (tests,
+/// benches, the svc result cache) source-compatible.
+using DeviceStats = detect::DeviceStats;
+using Result = detect::Result;
 
 class Louvain {
  public:
@@ -39,14 +40,20 @@ class Louvain {
   Louvain(const Louvain&) = delete;
   Louvain& operator=(const Louvain&) = delete;
 
-  /// Run the full multi-level pipeline on `graph`.
-  Result run(const graph::Csr& graph);
+  /// Run the full multi-level pipeline on `graph`. `recorder` (optional)
+  /// receives per-level modopt/aggregate span trees and counters.
+  Result run(const graph::Csr& graph, obs::Recorder* recorder = nullptr);
 
   /// Run a single modularity-optimization phase starting from the
   /// all-singletons partition (exposed for tests and benches).
   PhaseResult run_phase(const graph::Csr& graph,
                         std::vector<graph::Community>& community,
                         double threshold);
+
+  /// Replace the algorithm configuration, keeping the device (thread
+  /// pool + arenas) warm. The new config's device section is ignored —
+  /// construct a fresh Louvain to change device shape.
+  void set_config(const Config& config);
 
   const Config& config() const noexcept { return config_; }
   simt::Device& device() noexcept { return *device_; }
@@ -57,6 +64,7 @@ class Louvain {
 };
 
 /// One-shot convenience wrapper.
-Result louvain(const graph::Csr& graph, const Config& config = {});
+Result louvain(const graph::Csr& graph, const Config& config = {},
+               obs::Recorder* recorder = nullptr);
 
 }  // namespace glouvain::core

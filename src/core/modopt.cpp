@@ -6,6 +6,7 @@
 #include "core/buckets.hpp"
 #include "graph/coloring.hpp"
 #include "core/hash_map.hpp"
+#include "obs/recorder.hpp"
 #include "simt/atomics.hpp"
 #include "simt/lane_group.hpp"
 #include "util/primes.hpp"
@@ -107,13 +108,18 @@ void compute_move(const Csr& graph, PhaseState& state, Weight m2, VertexId v,
   state.move_gain[v] = move ? 2.0 * (best.gain - stay_gain) / m2 : 0.0;
 }
 
+struct CommitResult {
+  double gain = 0;          ///< accumulated predicted modularity gain
+  std::size_t moved = 0;    ///< vertices that changed community
+};
+
 /// Commit newComm for the vertices of one bucket and update a_c and the
 /// community sizes incrementally (equivalent to the paper's "recompute
 /// a_c in parallel", Algorithm 1 lines 8-11, but O(bucket) not O(n)).
-/// Returns the accumulated predicted modularity gain of the commits.
-double commit_moves(simt::Device& device, PhaseState& state,
-                    std::span<const VertexId> vertices) {
+CommitResult commit_moves(simt::Device& device, PhaseState& state,
+                          std::span<const VertexId> vertices) {
   std::vector<double> gain_partial(device.workers(), 0.0);
+  std::vector<std::size_t> moved_partial(device.workers(), 0);
   device.pool().parallel_for(vertices.size(), [&](std::size_t i, unsigned worker) {
     const VertexId v = vertices[i];
     const Community to = state.new_comm[v];
@@ -126,9 +132,13 @@ double commit_moves(simt::Device& device, PhaseState& state,
     simt::atomic_add(state.com_size[to], VertexId{1});
     state.community[v] = to;
     gain_partial[worker] += state.move_gain[v];
+    ++moved_partial[worker];
   });
-  double total = 0;
-  for (double g : gain_partial) total += g;
+  CommitResult total;
+  for (unsigned w = 0; w < device.workers(); ++w) {
+    total.gain += gain_partial[w];
+    total.moved += moved_partial[w];
+  }
   return total;
 }
 
@@ -187,17 +197,34 @@ double device_modularity(simt::Device& device, const Csr& graph,
 
 PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
                            const Config& config, PhaseState& state,
-                           double threshold) {
+                           double threshold, obs::Recorder* rec) {
   const VertexId n = graph.num_vertices();
   const Weight m2 = graph.total_weight();
   PhaseResult result;
   if (n == 0 || m2 <= 0) return result;
+  obs::Span phase_span(rec, "modopt");
 
   const BucketScheme& scheme = config.modopt_buckets;
   // Degrees are fixed within a phase, so one binning serves every sweep
   // (the pseudocode re-partitions per sweep; the result is identical).
-  const Binned binned = bin_by_key(
-      n, scheme, [&](VertexId v) { return graph.degree(v); }, device.pool());
+  const Binned binned = [&] {
+    obs::Span span(rec, "modopt/binning");
+    return bin_by_key(
+        n, scheme, [&](VertexId v) { return graph.degree(v); }, device.pool());
+  }();
+  if (rec) {
+    for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
+      rec->count("modopt/bucket_occupancy",
+                 static_cast<double>(binned.bucket(b).size()),
+                 static_cast<std::int64_t>(b));
+    }
+  }
+  // One interned name per degree-bucket kernel so the exporters can
+  // break sweep time down the way Figure 6 does.
+  std::vector<std::string> bucket_names(scheme.num_buckets());
+  for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
+    bucket_names[b] = "modopt/bucket" + std::to_string(b);
+  }
 
   // Sub-round grouping within each bucket: vertices of one bucket are
   // reordered so sub-round classes are contiguous, preserving relative
@@ -220,6 +247,7 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
                ? coloring.color[v]
                : static_cast<unsigned>(util::hash64(v) % subrounds);
   };
+  const std::size_t order_span = rec ? rec->begin_span("modopt/order") : 0;
   std::vector<VertexId> order(binned.order);
   // sub_begin[b * subrounds + s] .. [b * subrounds + s + 1) is the
   // half-open range of bucket b's sub-round s within `order`.
@@ -239,13 +267,19 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     }
     sub_begin.back() = n;
   }
+  if (rec) rec->end_span(order_span);
 
-  double current_q = device_modularity(device, graph, state.community, state.tot);
+  double current_q = [&] {
+    obs::Span span(rec, "modopt/modularity");
+    return device_modularity(device, graph, state.community, state.tot);
+  }();
 
   while (result.sweeps < config.max_sweeps_per_level) {
     ++result.sweeps;
     util::Timer sweep_timer;
+    obs::Span sweep_span(rec, "modopt/sweep");
     double sweep_gain = 0;
+    std::size_t sweep_moved = 0;
 
     for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
       const unsigned lanes = scheme.lanes[b];
@@ -262,39 +296,53 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
         if (lo >= hi) continue;
         std::span<const VertexId> group_vertices(order.data() + lo, hi - lo);
 
-        device.launch(group_vertices.size(), grain, [&](simt::TaskContext& ctx) {
-          const VertexId v = group_vertices[ctx.task()];
-          const EdgeIdx deg = graph.degree(v);
-          if (deg == 0) {
-            state.new_comm[v] = state.community[v];
-            state.move_gain[v] = 0;
-            return;
-          }
-          const std::size_t cap =
-              static_cast<std::size_t>(util::hash_capacity_for_degree(deg));
-          auto keys = use_global ? ctx.shared().alloc_global<Community>(cap)
-                                 : ctx.shared().alloc<Community>(cap);
-          auto weights = use_global ? ctx.shared().alloc_global<Weight>(cap)
-                                    : ctx.shared().alloc<Weight>(cap);
-          // Task-local table: this lane group runs inside one OS thread
-          // (see hash_map.hpp for why no host atomics are needed here).
-          LocalCommunityHashMap table(keys, weights);
-          table.clear();
-          compute_move(graph, state, m2, v, simt::LaneGroup(lanes), table);
-        });
+        {
+          obs::Span kernel_span(rec, bucket_names[b]);
+          device.launch(group_vertices.size(), grain, [&](simt::TaskContext& ctx) {
+            const VertexId v = group_vertices[ctx.task()];
+            const EdgeIdx deg = graph.degree(v);
+            if (deg == 0) {
+              state.new_comm[v] = state.community[v];
+              state.move_gain[v] = 0;
+              return;
+            }
+            const std::size_t cap =
+                static_cast<std::size_t>(util::hash_capacity_for_degree(deg));
+            auto keys = use_global ? ctx.shared().alloc_global<Community>(cap)
+                                   : ctx.shared().alloc<Community>(cap);
+            auto weights = use_global ? ctx.shared().alloc_global<Weight>(cap)
+                                      : ctx.shared().alloc<Weight>(cap);
+            // Task-local table: this lane group runs inside one OS thread
+            // (see hash_map.hpp for why no host atomics are needed here).
+            LocalCommunityHashMap table(keys, weights);
+            table.clear();
+            compute_move(graph, state, m2, v, simt::LaneGroup(lanes), table);
+          });
+        }
 
         if (config.update == UpdateStrategy::Bucketed) {
-          sweep_gain += commit_moves(device, state, group_vertices);
+          obs::Span commit_span(rec, "modopt/commit");
+          const CommitResult commit = commit_moves(device, state, group_vertices);
+          sweep_gain += commit.gain;
+          sweep_moved += commit.moved;
         }
       }
     }
 
     if (config.update == UpdateStrategy::Relaxed) {
-      sweep_gain += commit_moves(device, state,
-                                 std::span<const VertexId>(binned.order));
+      obs::Span commit_span(rec, "modopt/commit");
+      const CommitResult commit = commit_moves(
+          device, state, std::span<const VertexId>(binned.order));
+      sweep_gain += commit.gain;
+      sweep_moved += commit.moved;
     }
 
     if (result.sweeps == 1) result.first_sweep_seconds = sweep_timer.seconds();
+    if (rec) {
+      rec->count("modopt/moved_frac",
+                 static_cast<double>(sweep_moved) / static_cast<double>(n),
+                 result.sweeps - 1);
+    }
 
     // Algorithm 1 line 12: repeat until the accumulated modularity gain
     // of a sweep drops below the threshold. The cheap accumulated
@@ -304,6 +352,7 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     // catches oscillation (real gain <= 0 while predictions stay
     // positive).
     if (sweep_gain < threshold) break;
+    obs::Span q_span(rec, "modopt/modularity");
     const double new_q =
         device_modularity(device, graph, state.community, state.tot);
     if (new_q - current_q < threshold) {
@@ -313,6 +362,8 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     current_q = new_q;
   }
 
+  if (rec) rec->count("modopt/sweeps", result.sweeps);
+  obs::Span final_q_span(rec, "modopt/modularity");
   result.modularity = device_modularity(device, graph, state.community, state.tot);
   return result;
 }

@@ -8,6 +8,10 @@
 #include "graph/csr.hpp"
 #include "simt/device.hpp"
 
+namespace glouvain::obs {
+class Recorder;
+}
+
 namespace glouvain::core {
 
 /// Mutable per-phase device state (the GPU-resident arrays).
@@ -37,10 +41,13 @@ struct PhaseResult {
 /// buckets until the per-sweep modularity gain drops below `threshold`
 /// (Algorithm 1). `state` must be reset() for `graph` first; on return
 /// state.community holds the computed assignment (labels are vertex ids,
-/// not renumbered).
+/// not renumbered). `recorder` (optional) receives the "modopt" span
+/// tree — binning, per-bucket kernel launches, commits, modularity
+/// evaluations — plus bucket-occupancy / moved-fraction counters.
 PhaseResult optimize_phase(simt::Device& device, const graph::Csr& graph,
                            const Config& config, PhaseState& state,
-                           double threshold);
+                           double threshold,
+                           obs::Recorder* recorder = nullptr);
 
 /// Modularity of the current assignment from the device arrays
 /// (parallel; used for the sweep-termination test).

@@ -1,0 +1,26 @@
+// The shared algorithm options every detection backend understands —
+// the consolidation of the former near-duplicate core::Config /
+// seq::Config / plm::Config common fields. Backend-specific knobs live
+// in extension structs that INHERIT from Options (core::Config,
+// seq::Config, plm::Config are now thin derived types), so existing
+// call sites compile unchanged while detect::Detector::run() can slice
+// a uniform Options into any backend. Header-only and dependency-free
+// below every backend.
+#pragma once
+
+#include "core/common.hpp"
+
+namespace glouvain::detect {
+
+struct Options {
+  /// The paper's adaptive t_bin/t_final schedule (§5).
+  ThresholdSchedule thresholds;
+  int max_levels = 64;
+  int max_sweeps_per_level = 1000;
+  /// Worker threads: the simt device's lane workers for `core` (0 =
+  /// hardware concurrency), the shared pool for `plm` (0 = global pool
+  /// as-is); ignored by the strictly sequential backend.
+  unsigned threads = 0;
+};
+
+}  // namespace glouvain::detect

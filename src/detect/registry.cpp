@@ -1,0 +1,153 @@
+#include "detect/detector.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "core/louvain.hpp"
+#include "obs/recorder.hpp"
+#include "plm/plm.hpp"
+#include "seq/louvain.hpp"
+
+namespace glouvain::detect {
+
+namespace {
+
+Result from_louvain(LouvainResult&& base) {
+  Result r;
+  static_cast<LouvainResult&>(r) = std::move(base);
+  return r;
+}
+
+/// GPU-style Louvain on the software SIMT device. Keeps its device
+/// (thread pool + shared arenas) warm across runs — the svc device
+/// pool holds one of these per pooled slot — and rebuilds it only when
+/// the requested worker-thread count changes.
+class CoreDetector final : public Detector {
+ public:
+  explicit CoreDetector(const Extensions& ext) : base_(ext.core) {}
+
+  std::string_view name() const noexcept override { return "core"; }
+
+  Result run(const graph::Csr& graph, const Options& options,
+             obs::Recorder* recorder) override {
+    core::Config cfg = base_;
+    static_cast<Options&>(cfg) = options;
+    const unsigned want =
+        cfg.device.worker_threads ? cfg.device.worker_threads : cfg.threads;
+    if (!runner_ || want != runner_threads_) {
+      runner_ = std::make_unique<core::Louvain>(cfg);
+      runner_threads_ = want;
+    } else {
+      runner_->set_config(cfg);
+    }
+    return runner_->run(graph, recorder);
+  }
+
+ private:
+  core::Config base_;
+  std::unique_ptr<core::Louvain> runner_;
+  unsigned runner_threads_ = ~0u;
+};
+
+class SeqDetector final : public Detector {
+ public:
+  std::string_view name() const noexcept override { return "seq"; }
+
+  Result run(const graph::Csr& graph, const Options& options,
+             obs::Recorder* recorder) override {
+    seq::Config cfg;
+    static_cast<Options&>(cfg) = options;
+    return from_louvain(seq::louvain(graph, cfg, recorder));
+  }
+};
+
+class PlmDetector final : public Detector {
+ public:
+  std::string_view name() const noexcept override { return "plm"; }
+
+  Result run(const graph::Csr& graph, const Options& options,
+             obs::Recorder* recorder) override {
+    plm::Config cfg;
+    static_cast<Options&>(cfg) = options;
+    return from_louvain(plm::louvain(graph, cfg, recorder));
+  }
+};
+
+class MultiDetector final : public Detector {
+ public:
+  explicit MultiDetector(const Extensions& ext) : ext_(ext) {}
+
+  std::string_view name() const noexcept override { return "multi"; }
+
+  Result run(const graph::Csr& graph, const Options& options,
+             obs::Recorder* recorder) override {
+    multi::Config cfg = ext_.multi;
+    cfg.device = ext_.core;  // the core extension governs every device
+    static_cast<Options&>(cfg.device) = options;
+    multi::Result mr = multi::louvain(graph, cfg, recorder);
+    return static_cast<Result&&>(std::move(mr));  // slice off multi extras
+  }
+
+ private:
+  Extensions ext_;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Factory, std::less<>> factories;
+
+  Registry() {
+    factories.emplace("core", [](const Extensions& ext) {
+      return std::make_unique<CoreDetector>(ext);
+    });
+    factories.emplace("seq", [](const Extensions&) {
+      return std::make_unique<SeqDetector>();
+    });
+    factories.emplace("plm", [](const Extensions&) {
+      return std::make_unique<PlmDetector>();
+    });
+    factories.emplace("multi", [](const Extensions& ext) {
+      return std::make_unique<MultiDetector>(ext);
+    });
+  }
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<Detector>> make(std::string_view backend,
+                                               const Extensions& ext) {
+  Factory factory;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.factories.find(backend);
+    if (it == reg.factories.end()) {
+      return util::Status::invalid_argument("unknown detection backend: " +
+                                            std::string(backend));
+    }
+    factory = it->second;
+  }
+  return factory(ext);
+}
+
+std::vector<std::string> backend_names() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [name, factory] : reg.factories) names.push_back(name);
+  return names;
+}
+
+bool register_backend(std::string name, Factory factory) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.factories.emplace(std::move(name), std::move(factory)).second;
+}
+
+}  // namespace glouvain::detect

@@ -1,0 +1,26 @@
+// The uniform detection result returned by every backend through the
+// detect::Detector interface: the common LouvainResult (community
+// labels, modularity, per-level reports, dendrogram, timings) plus the
+// device diagnostics that are zero for backends that never touch a
+// simt device. core::Result is an alias of this type, so the service
+// cache and all existing call sites share one currency.
+#pragma once
+
+#include <cstdint>
+
+#include "core/common.hpp"
+
+namespace glouvain::detect {
+
+/// Diagnostics of the software SIMT device (zeroes for seq/plm).
+struct DeviceStats {
+  std::uint64_t shared_spills = 0;  ///< hash tables that overflowed the
+                                    ///< shared arena into heap storage
+  unsigned workers = 0;             ///< device worker threads used
+};
+
+struct Result : LouvainResult {
+  DeviceStats device;
+};
+
+}  // namespace glouvain::detect

@@ -14,14 +14,23 @@ namespace glouvain::graph {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& path, const std::string& what) {
-  throw std::runtime_error("graph io: " + path + ": " + what);
+using util::Status;
+using util::StatusOr;
+
+std::string msg(const std::string& path, const std::string& what) {
+  return "graph io: " + path + ": " + what;
 }
 
-std::ifstream open_text(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) fail(path, "cannot open");
-  return in;
+Status cannot_open(const std::string& path) {
+  return Status::not_found(msg(path, "cannot open"));
+}
+
+Status malformed(const std::string& path, const std::string& what) {
+  return Status::invalid_argument(msg(path, what));
+}
+
+Status io_failure(const std::string& path, const std::string& what) {
+  return Status::io_error(msg(path, what));
 }
 
 bool is_comment(const std::string& line) {
@@ -32,10 +41,22 @@ bool is_comment(const std::string& line) {
   return true;  // blank
 }
 
+/// The throwing wrappers preserve the historical exception contract:
+/// the status message already carries "graph io: <path>: <what>".
+Csr value_or_throw(StatusOr<Csr> result) {
+  if (!result.ok()) throw std::runtime_error(std::string(result.status().message()));
+  return std::move(result).value();
+}
+
+void ok_or_throw(const Status& status) {
+  if (!status.ok()) throw std::runtime_error(std::string(status.message()));
+}
+
 }  // namespace
 
-Csr load_edge_list(const std::string& path) {
-  std::ifstream in = open_text(path);
+StatusOr<Csr> try_load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return cannot_open(path);
   std::vector<Edge> edges;
   std::string line;
   while (std::getline(in, line)) {
@@ -43,18 +64,24 @@ Csr load_edge_list(const std::string& path) {
     std::istringstream ss(line);
     unsigned long long u, v;
     double w = 1.0;
-    if (!(ss >> u >> v)) fail(path, "bad edge line: " + line);
+    if (!(ss >> u >> v)) return malformed(path, "bad edge line: " + line);
     ss >> w;
     edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v), w});
   }
+  if (in.bad()) return io_failure(path, "read error");
   return build_csr(std::move(edges));
 }
 
-Csr load_matrix_market(const std::string& path) {
-  std::ifstream in = open_text(path);
+Csr load_edge_list(const std::string& path) {
+  return value_or_throw(try_load_edge_list(path));
+}
+
+StatusOr<Csr> try_load_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return cannot_open(path);
   std::string header;
   if (!std::getline(in, header) || header.rfind("%%MatrixMarket", 0) != 0) {
-    fail(path, "missing MatrixMarket banner");
+    return malformed(path, "missing MatrixMarket banner");
   }
   const bool pattern = header.find("pattern") != std::string::npos;
 
@@ -63,8 +90,8 @@ Csr load_matrix_market(const std::string& path) {
   }
   std::istringstream dims(line);
   unsigned long long rows, cols, nnz;
-  if (!(dims >> rows >> cols >> nnz)) fail(path, "bad size line");
-  if (rows != cols) fail(path, "matrix is not square");
+  if (!(dims >> rows >> cols >> nnz)) return malformed(path, "bad size line");
+  if (rows != cols) return malformed(path, "matrix is not square");
 
   std::vector<Edge> edges;
   edges.reserve(nnz);
@@ -73,26 +100,34 @@ Csr load_matrix_market(const std::string& path) {
     std::istringstream ss(line);
     unsigned long long r, c;
     double w = 1.0;
-    if (!(ss >> r >> c)) fail(path, "bad entry line: " + line);
+    if (!(ss >> r >> c)) return malformed(path, "bad entry line: " + line);
     if (!pattern) ss >> w;
-    if (r == 0 || c == 0 || r > rows || c > cols) fail(path, "entry out of range");
+    if (r == 0 || c == 0 || r > rows || c > cols) {
+      return malformed(path, "entry out of range");
+    }
     // Graph use: take |value| as weight, ignore numerically-zero entries.
     w = std::abs(w);
     if (w == 0.0) w = 1.0;
     edges.push_back({static_cast<VertexId>(r - 1), static_cast<VertexId>(c - 1), w});
   }
+  if (in.bad()) return io_failure(path, "read error");
   // Upper/lower duplicates in general matrices merge in the builder.
   return build_csr(static_cast<VertexId>(rows), std::move(edges));
 }
 
-Csr load_metis(const std::string& path) {
-  std::ifstream in = open_text(path);
+Csr load_matrix_market(const std::string& path) {
+  return value_or_throw(try_load_matrix_market(path));
+}
+
+StatusOr<Csr> try_load_metis(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return cannot_open(path);
   std::string line;
   while (std::getline(in, line) && is_comment(line)) {
   }
   std::istringstream hdr(line);
   unsigned long long n, m, fmt = 0;
-  if (!(hdr >> n >> m)) fail(path, "bad METIS header");
+  if (!(hdr >> n >> m)) return malformed(path, "bad METIS header");
   hdr >> fmt;
   const bool has_edge_weights = (fmt % 10) == 1;
   const bool has_vertex_weights = (fmt / 10 % 10) == 1;
@@ -113,27 +148,36 @@ Csr load_metis(const std::string& path) {
     unsigned long long nb;
     while (ss >> nb) {
       double w = 1.0;
-      if (has_edge_weights && !(ss >> w)) fail(path, "missing edge weight");
-      if (nb == 0 || nb > n) fail(path, "neighbor out of range");
+      if (has_edge_weights && !(ss >> w)) return malformed(path, "missing edge weight");
+      if (nb == 0 || nb > n) return malformed(path, "neighbor out of range");
       if (nb - 1 >= v) {  // keep each undirected edge once
         edges.push_back({static_cast<VertexId>(v), static_cast<VertexId>(nb - 1), w});
       }
     }
     ++v;
   }
-  if (v != n) fail(path, "fewer adjacency rows than header promises");
+  if (in.bad()) return io_failure(path, "read error");
+  if (v != n) return malformed(path, "fewer adjacency rows than header promises");
   return build_csr(static_cast<VertexId>(n), std::move(edges));
 }
 
-Csr load_auto(const std::string& path) {
+Csr load_metis(const std::string& path) {
+  return value_or_throw(try_load_metis(path));
+}
+
+StatusOr<Csr> try_load_auto(const std::string& path) {
   auto ends_with = [&](const char* suffix) {
     const std::size_t len = std::strlen(suffix);
     return path.size() >= len && path.compare(path.size() - len, len, suffix) == 0;
   };
-  if (ends_with(".mtx")) return load_matrix_market(path);
-  if (ends_with(".graph") || ends_with(".metis")) return load_metis(path);
-  if (ends_with(".bin")) return load_binary(path);
-  return load_edge_list(path);
+  if (ends_with(".mtx")) return try_load_matrix_market(path);
+  if (ends_with(".graph") || ends_with(".metis")) return try_load_metis(path);
+  if (ends_with(".bin")) return try_load_binary(path);
+  return try_load_edge_list(path);
+}
+
+Csr load_auto(const std::string& path) {
+  return value_or_throw(try_load_auto(path));
 }
 
 namespace {
@@ -164,9 +208,9 @@ std::vector<T> read_vec(std::ifstream& in) {
 }
 }  // namespace
 
-void save_binary(const Csr& graph, const std::string& path) {
+Status try_save_binary(const Csr& graph, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) fail(path, "cannot open for writing");
+  if (!out) return cannot_open(path);
   out.write(kMagic, sizeof kMagic);
   std::vector<EdgeIdx> offsets(graph.offsets().begin(), graph.offsets().end());
   std::vector<VertexId> adj(graph.adjacency().begin(), graph.adjacency().end());
@@ -174,25 +218,36 @@ void save_binary(const Csr& graph, const std::string& path) {
   write_vec(out, offsets);
   write_vec(out, adj);
   write_vec(out, weights);
-  if (!out) fail(path, "write error");
+  if (!out) return io_failure(path, "write error");
+  return Status::ok_status();
 }
 
-Csr load_binary(const std::string& path) {
+void save_binary(const Csr& graph, const std::string& path) {
+  ok_or_throw(try_save_binary(graph, path));
+}
+
+StatusOr<Csr> try_load_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) fail(path, "cannot open");
+  if (!in) return cannot_open(path);
   char magic[8];
   in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) fail(path, "bad magic");
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return malformed(path, "bad magic");
+  }
   auto offsets = read_vec<EdgeIdx>(in);
   auto adj = read_vec<VertexId>(in);
   auto weights = read_vec<Weight>(in);
-  if (!in) fail(path, "truncated file");
+  if (!in) return io_failure(path, "truncated file");
   return Csr(std::move(offsets), std::move(adj), std::move(weights));
 }
 
-void save_edge_list(const Csr& graph, const std::string& path) {
+Csr load_binary(const std::string& path) {
+  return value_or_throw(try_load_binary(path));
+}
+
+Status try_save_edge_list(const Csr& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) fail(path, "cannot open for writing");
+  if (!out) return cannot_open(path);
   for (VertexId u = 0; u < graph.num_vertices(); ++u) {
     auto nbrs = graph.neighbors(u);
     auto ws = graph.weights(u);
@@ -202,6 +257,12 @@ void save_edge_list(const Csr& graph, const std::string& path) {
       }
     }
   }
+  if (!out) return io_failure(path, "write error");
+  return Status::ok_status();
+}
+
+void save_edge_list(const Csr& graph, const std::string& path) {
+  ok_or_throw(try_save_edge_list(graph, path));
 }
 
 }  // namespace glouvain::graph

@@ -1,11 +1,19 @@
 // Graph file formats. Three text formats cover the collections the
 // paper draws from (Florida: MatrixMarket; SNAP: edge lists; DIMACS/
 // METIS meshes), plus a fast binary snapshot for benchmark re-runs.
+//
+// Each operation comes in two flavours: a `try_*` variant returning
+// util::Status / util::StatusOr (missing file -> kNotFound, malformed
+// content -> kInvalidArgument, mid-stream read/write failure ->
+// kIoError; the CLI maps these to distinct exit codes), and the
+// original throwing wrapper (std::runtime_error with the same message)
+// for callers that prefer exceptions.
 #pragma once
 
 #include <string>
 
 #include "graph/csr.hpp"
+#include "util/status.hpp"
 
 namespace glouvain::graph {
 
@@ -13,26 +21,33 @@ namespace glouvain::graph {
 /// skipped. Vertices may be sparse ids; they are NOT compacted — ids
 /// are used verbatim, so n = max id + 1. Each undirected edge should
 /// appear once; duplicates merge.
+util::StatusOr<Csr> try_load_edge_list(const std::string& path);
 Csr load_edge_list(const std::string& path);
 
 /// MatrixMarket `%%MatrixMarket matrix coordinate (real|pattern|integer)
 /// (general|symmetric)` files, 1-indexed. Symmetric files give the
 /// lower triangle once; general files are symmetrized by merge.
+util::StatusOr<Csr> try_load_matrix_market(const std::string& path);
 Csr load_matrix_market(const std::string& path);
 
 /// METIS .graph: header `n m [fmt]`, then one line of neighbors per
 /// vertex (1-indexed), weights if fmt says so.
+util::StatusOr<Csr> try_load_metis(const std::string& path);
 Csr load_metis(const std::string& path);
 
 /// Dispatch on extension: .mtx → MatrixMarket, .graph/.metis → METIS,
 /// .bin → binary, anything else → edge list.
+util::StatusOr<Csr> try_load_auto(const std::string& path);
 Csr load_auto(const std::string& path);
 
 /// Compact binary snapshot (magic + sizes + raw arrays, little-endian).
+util::Status try_save_binary(const Csr& graph, const std::string& path);
 void save_binary(const Csr& graph, const std::string& path);
+util::StatusOr<Csr> try_load_binary(const std::string& path);
 Csr load_binary(const std::string& path);
 
 /// Write as a plain `u v w` edge list (each undirected edge once).
+util::Status try_save_edge_list(const Csr& graph, const std::string& path);
 void save_edge_list(const Csr& graph, const std::string& path);
 
 }  // namespace glouvain::graph

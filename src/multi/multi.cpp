@@ -5,6 +5,7 @@
 #include "graph/ops.hpp"
 #include "metrics/modularity.hpp"
 #include "metrics/partition.hpp"
+#include "obs/recorder.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -16,15 +17,17 @@ using graph::Csr;
 using graph::VertexId;
 }  // namespace
 
-Result louvain(const Csr& graph, const Config& config) {
+Result louvain(const Csr& graph, const Config& config, obs::Recorder* rec) {
   util::Timer total_timer;
   Result result;
   const VertexId n = graph.num_vertices();
   const unsigned devices = std::max(1u, config.num_devices);
   result.devices_used = devices;
   if (n == 0) return result;
+  if (rec) rec->count("multi/devices", devices);
 
   // --- 1. Partition vertices across devices.
+  const std::size_t part_span = rec ? rec->begin_span("multi/partition") : 0;
   std::vector<std::vector<VertexId>> members(devices);
   for (VertexId v = 0; v < n; ++v) {
     const unsigned d =
@@ -33,11 +36,13 @@ Result louvain(const Csr& graph, const Config& config) {
             : static_cast<unsigned>(util::hash64(v ^ config.seed) % devices);
     members[d].push_back(v);
   }
+  if (rec) rec->end_span(part_span);
 
   // --- 2. Independent local Louvain per device on the induced
   // subgraph. Devices are simulated sequentially (they share this
   // host); each run uses the full worker pool, so wall-clock measures
   // total work, not distributed latency.
+  const std::size_t local_span = rec ? rec->begin_span("multi/local") : 0;
   std::vector<Community> global_label(n, 0);
   Community label_base = 0;
   core::Config local_config = config.device;
@@ -45,7 +50,7 @@ Result louvain(const Csr& graph, const Config& config) {
   for (unsigned d = 0; d < devices; ++d) {
     if (members[d].empty()) continue;
     const Csr local = graph::induced_subgraph(graph, members[d]);
-    const core::Result local_result = core::louvain(local, local_config);
+    const core::Result local_result = core::louvain(local, local_config, rec);
     Community local_count = 0;
     for (std::size_t i = 0; i < members[d].size(); ++i) {
       const Community c = local_result.community[i];
@@ -54,19 +59,24 @@ Result louvain(const Csr& graph, const Config& config) {
     }
     label_base += local_count;
   }
+  if (rec) rec->end_span(local_span);
 
   metrics::renumber(global_label);
   result.local_modularity = metrics::modularity(graph, global_label);
+  if (rec) rec->count("multi/local_modularity", result.local_modularity);
 
   // --- 3. Contract the full graph by the union partition (cut edges
   // re-enter here) and finish on one device.
+  const std::size_t merge_span = rec ? rec->begin_span("multi/merge") : 0;
   const Csr contracted = graph::contract_reference(graph, global_label);
-  const core::Result finish = core::louvain(contracted, config.device);
+  if (rec) rec->end_span(merge_span);
+  const core::Result finish = core::louvain(contracted, config.device, rec);
 
   result.community = metrics::flatten(global_label, finish.community);
   result.modularity = metrics::modularity(graph, result.community);
   result.levels = finish.levels;
   result.first_phase_teps = finish.first_phase_teps;
+  result.device = finish.device;
   result.total_seconds = total_timer.seconds();
   return result;
 }

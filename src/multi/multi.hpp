@@ -21,7 +21,12 @@
 
 #include "core/config.hpp"
 #include "core/louvain.hpp"
+#include "detect/result.hpp"
 #include "graph/csr.hpp"
+
+namespace glouvain::obs {
+class Recorder;
+}
 
 namespace glouvain::multi {
 
@@ -43,13 +48,18 @@ struct Config {
   std::uint64_t seed = 1;
 };
 
-struct Result : LouvainResult {
+struct Result : detect::Result {
   /// Modularity of the union of local partitions BEFORE the global
   /// finishing pass (quantifies what the coarse phase alone achieves).
   double local_modularity = 0;
   unsigned devices_used = 0;
 };
 
-Result louvain(const graph::Csr& graph, const Config& config = {});
+/// `recorder` (optional) receives "multi/partition", "multi/local"
+/// (with the per-device core runs nested inside), "multi/merge" spans
+/// and the finishing run's full span tree, plus counters
+/// "multi/local_modularity" and "multi/devices".
+Result louvain(const graph::Csr& graph, const Config& config = {},
+               obs::Recorder* recorder = nullptr);
 
 }  // namespace glouvain::multi

@@ -1,0 +1,227 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace glouvain::obs {
+
+namespace {
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Recorder::Recorder() : epoch_ns_(steady_ns()) {}
+
+std::int64_t Recorder::now_ns() const noexcept { return steady_ns() - epoch_ns_; }
+
+std::uint32_t Recorder::intern(std::string_view name) {
+  const auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::size_t Recorder::begin_span(std::string_view name) {
+  SpanRecord span;
+  span.name = intern(name);
+  span.parent = open_.empty() ? -1 : static_cast<std::int32_t>(open_.back());
+  span.level = level_;
+  span.start_ns = now_ns();
+  const std::size_t index = spans_.size();
+  spans_.push_back(span);
+  open_.push_back(index);
+  return index;
+}
+
+void Recorder::end_span(std::size_t index) {
+  if (index >= spans_.size()) return;
+  spans_[index].duration_ns = now_ns() - spans_[index].start_ns;
+  // Spans close LIFO under RAII; tolerate out-of-order closes by
+  // popping through the target so validate() can report the rest.
+  while (!open_.empty()) {
+    const std::size_t top = open_.back();
+    open_.pop_back();
+    if (top == index) break;
+  }
+}
+
+void Recorder::count(std::string_view name, double delta, std::int64_t bin) {
+  const std::uint32_t id = intern(name);
+  const auto key = std::make_tuple(id, static_cast<std::int32_t>(level_), bin);
+  const auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) {
+    counters_[it->second].value += delta;
+    return;
+  }
+  counter_index_.emplace(key, counters_.size());
+  counters_.push_back({id, level_, bin, delta});
+}
+
+void Recorder::clear() {
+  spans_.clear();
+  open_.clear();
+  counters_.clear();
+  counter_index_.clear();
+  level_ = -1;
+  epoch_ns_ = steady_ns();
+}
+
+double Recorder::recorded_seconds() const noexcept {
+  double total_ns = 0;
+  for (const SpanRecord& s : spans_) {
+    if (s.parent < 0 && s.duration_ns >= 0) {
+      total_ns += static_cast<double>(s.duration_ns);
+    }
+  }
+  return total_ns * 1e-9;
+}
+
+std::string Recorder::validate() const {
+  if (!open_.empty()) {
+    return "span '" + names_[spans_[open_.back()].name] + "' never closed";
+  }
+  std::vector<std::int64_t> child_sum(spans_.size(), 0);
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    const std::string label(names_[s.name]);
+    if (s.duration_ns < 0) return "span '" + label + "' has no duration";
+    if (s.parent >= 0) {
+      const SpanRecord& p = spans_[static_cast<std::size_t>(s.parent)];
+      if (s.start_ns < p.start_ns ||
+          s.start_ns + s.duration_ns > p.start_ns + p.duration_ns) {
+        return "span '" + label + "' escapes its parent '" +
+               names_[p.name] + "'";
+      }
+      child_sum[static_cast<std::size_t>(s.parent)] += s.duration_ns;
+    }
+  }
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (child_sum[i] > spans_[i].duration_ns) {
+      return "children of span '" + names_[spans_[i].name] +
+             "' outlast their parent";
+    }
+  }
+  return {};
+}
+
+void Recorder::write_phase_table(std::ostream& os) const {
+  // Aggregate spans by (level, stage name); stages keep first-seen
+  // order within their level so the table reads in execution order.
+  struct Row {
+    std::int64_t total_ns = 0;
+    std::uint64_t calls = 0;
+    std::size_t first_index = 0;
+  };
+  std::map<std::pair<std::int32_t, std::uint32_t>, Row> grouped;
+  std::map<std::int32_t, std::int64_t> level_total;  // root spans per level
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    if (s.duration_ns < 0) continue;
+    Row& row = grouped[{s.level, s.name}];
+    if (row.calls == 0) row.first_index = i;
+    row.total_ns += s.duration_ns;
+    ++row.calls;
+    if (s.parent < 0) level_total[s.level] += s.duration_ns;
+  }
+
+  std::vector<std::pair<std::pair<std::int32_t, std::uint32_t>, Row>> rows(
+      grouped.begin(), grouped.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.first.first != b.first.first) return a.first.first < b.first.first;
+    return a.second.first_index < b.second.first_index;
+  });
+
+  util::Table table({"level", "stage", "calls", "seconds", "share"});
+  for (const auto& [key, row] : rows) {
+    const std::int64_t total = level_total.count(key.first)
+                                   ? level_total[key.first]
+                                   : std::int64_t{0};
+    table.add_row(
+        {key.first < 0 ? "-" : std::to_string(key.first),
+         std::string(names_[key.second]), std::to_string(row.calls),
+         util::Table::fixed(static_cast<double>(row.total_ns) * 1e-9, 5),
+         total > 0 ? util::Table::percent(static_cast<double>(row.total_ns) /
+                                              static_cast<double>(total),
+                                          0)
+                   : "-"});
+  }
+  table.print(os);
+
+  if (!counters_.empty()) {
+    util::Table ctable({"level", "counter", "bin", "value"});
+    for (const CounterRecord& c : counters_) {
+      ctable.add_row({c.level < 0 ? "-" : std::to_string(c.level),
+                      std::string(names_[c.name]),
+                      c.bin < 0 ? "-" : std::to_string(c.bin),
+                      util::Table::fixed(c.value, 4)});
+    }
+    os << '\n';
+    ctable.print(os);
+  }
+}
+
+void Recorder::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans_) {
+    if (s.duration_ns < 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"";
+    json_escape(os, names_[s.name]);
+    // Microsecond floats, the unit chrome://tracing expects.
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "\",\"cat\":\"glouvain\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":0,\"tid\":0,\"args\":{\"level\":%d}}",
+                  static_cast<double>(s.start_ns) * 1e-3,
+                  static_cast<double>(s.duration_ns) * 1e-3, s.level);
+    os << buf;
+  }
+  os << "\n],\"counters\":[";
+  first = true;
+  for (const CounterRecord& c : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"";
+    json_escape(os, names_[c.name]);
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "\",\"level\":%d,\"bin\":%lld,\"value\":%.9g}", c.level,
+                  static_cast<long long>(c.bin), c.value);
+    os << buf;
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace glouvain::obs

@@ -5,6 +5,7 @@
 
 #include "metrics/modularity.hpp"
 #include "metrics/partition.hpp"
+#include "obs/recorder.hpp"
 #include "prim/scan.hpp"
 #include "simt/atomics.hpp"
 #include "simt/thread_pool.hpp"
@@ -23,7 +24,8 @@ using graph::Weight;
 /// One modularity-optimization phase with immediate (asynchronous)
 /// moves. Returns the number of sweeps.
 int optimize_phase(const Csr& graph, std::vector<Community>& community,
-                   double threshold, int max_sweeps, double* final_q) {
+                   double threshold, int max_sweeps, double* final_q,
+                   obs::Recorder* rec) {
   const VertexId n = graph.num_vertices();
   const Weight m2 = graph.total_weight();
   auto& pool = simt::ThreadPool::global();
@@ -49,6 +51,7 @@ int optimize_phase(const Csr& graph, std::vector<Community>& community,
 
   while (sweeps < max_sweeps) {
     ++sweeps;
+    obs::Span sweep_span(rec, "modopt/sweep");
 
     pool.parallel_for(n, [&](std::size_t vi, unsigned worker) {
       const auto v = static_cast<VertexId>(vi);
@@ -118,6 +121,7 @@ int optimize_phase(const Csr& graph, std::vector<Community>& community,
     if (gain < threshold) break;
   }
 
+  if (rec) rec->count("modopt/sweeps", sweeps);
   if (final_q) *final_q = current_q;
   return sweeps;
 }
@@ -188,7 +192,8 @@ Csr contract_parallel(const Csr& graph, const std::vector<Community>& community,
 
 }  // namespace
 
-LouvainResult louvain(const Csr& graph, const Config& config) {
+LouvainResult louvain(const Csr& graph, const Config& config,
+                      obs::Recorder* rec) {
   util::Timer total_timer;
   LouvainResult result;
   result.community.resize(graph.num_vertices());
@@ -198,6 +203,7 @@ LouvainResult louvain(const Csr& graph, const Config& config) {
   double prev_q = -1.0;
 
   for (int level = 0; level < config.max_levels; ++level) {
+    if (rec) rec->set_level(level);
     LevelReport report;
     report.vertices = current.num_vertices();
     report.arcs = current.num_arcs();
@@ -208,8 +214,11 @@ LouvainResult louvain(const Csr& graph, const Config& config) {
     util::Timer opt_timer;
     std::vector<Community> phase_community;
     double q = 0;
-    report.iterations = optimize_phase(current, phase_community, threshold,
-                                       config.max_sweeps_per_level, &q);
+    {
+      obs::Span opt_span(rec, "modopt");
+      report.iterations = optimize_phase(current, phase_community, threshold,
+                                         config.max_sweeps_per_level, &q, rec);
+    }
     report.optimize_seconds = opt_timer.seconds();
     report.modularity_after = q;
 
@@ -223,18 +232,27 @@ LouvainResult louvain(const Csr& graph, const Config& config) {
     const bool converged = prev_q >= -0.5 && (q - prev_q) < config.thresholds.t_final;
 
     util::Timer agg_timer;
-    const Community num_communities = metrics::renumber(phase_community);
-    result.community = metrics::flatten(result.community, phase_community);
-    result.dendrogram.push_level(phase_community);
-    Csr contracted = contract_parallel(current, phase_community, num_communities);
+    Csr contracted;
+    {
+      obs::Span agg_span(rec, "aggregate");
+      const Community num_communities = metrics::renumber(phase_community);
+      result.community = metrics::flatten(result.community, phase_community);
+      result.dendrogram.push_level(phase_community);
+      contracted = contract_parallel(current, phase_community, num_communities);
+    }
     report.aggregate_seconds = agg_timer.seconds();
     result.levels.push_back(report);
+    if (rec) {
+      rec->count("level/vertices", static_cast<double>(report.vertices));
+      rec->count("level/arcs", static_cast<double>(report.arcs));
+    }
 
     const bool shrunk = contracted.num_vertices() < current.num_vertices();
     prev_q = q;
     current = std::move(contracted);
     if (converged || !shrunk) break;
   }
+  if (rec) rec->set_level(-1);
 
   result.modularity = prev_q;
   result.total_seconds = total_timer.seconds();

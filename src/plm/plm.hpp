@@ -10,17 +10,22 @@
 #pragma once
 
 #include "core/common.hpp"
+#include "detect/options.hpp"
 #include "graph/csr.hpp"
+
+namespace glouvain::obs {
+class Recorder;
+}
 
 namespace glouvain::plm {
 
-struct Config {
-  ThresholdSchedule thresholds;
-  int max_levels = 64;
-  int max_sweeps_per_level = 1000;
-  unsigned threads = 0;  ///< 0 = use the global pool as-is
-};
+/// All knobs are the shared detect::Options (threads = 0 uses the
+/// global pool as-is); PLM has no backend-specific extensions.
+struct Config : detect::Options {};
 
-LouvainResult louvain(const graph::Csr& graph, const Config& config = {});
+/// `recorder` (optional) receives per-level "modopt"/"aggregate" spans
+/// comparable with the core backend's.
+LouvainResult louvain(const graph::Csr& graph, const Config& config = {},
+                      obs::Recorder* recorder = nullptr);
 
 }  // namespace glouvain::plm

@@ -4,6 +4,7 @@
 
 #include "graph/ops.hpp"
 #include "metrics/partition.hpp"
+#include "obs/recorder.hpp"
 #include "util/timer.hpp"
 
 namespace glouvain::seq {
@@ -28,7 +29,8 @@ double modularity_from(const std::vector<Weight>& in,
 }  // namespace
 
 int optimize_phase(const Csr& graph, std::vector<Community>& community,
-                   double threshold, int max_sweeps, double* final_modularity) {
+                   double threshold, int max_sweeps, double* final_modularity,
+                   obs::Recorder* rec) {
   const VertexId n = graph.num_vertices();
   const Weight m2 = graph.total_weight();
 
@@ -55,7 +57,9 @@ int optimize_phase(const Csr& graph, std::vector<Community>& community,
 
   while (sweeps < max_sweeps) {
     ++sweeps;
+    obs::Span sweep_span(rec, "modopt/sweep");
     bool moved = false;
+    std::size_t moved_count = 0;
 
     for (VertexId v = 0; v < n; ++v) {
       const Community old_c = community[v];
@@ -102,9 +106,18 @@ int optimize_phase(const Csr& graph, std::vector<Community>& community,
       tot[best_c] += k;
       in[best_c] += 2 * d_best + loops[v];
       community[v] = best_c;
-      if (best_c != old_c) moved = true;
+      if (best_c != old_c) {
+        moved = true;
+        ++moved_count;
+      }
 
       for (const Community c : touched) neigh_weight[c] = -1;
+    }
+
+    if (rec && n > 0) {
+      rec->count("modopt/moved_frac",
+                 static_cast<double>(moved_count) / static_cast<double>(n),
+                 sweeps - 1);
     }
 
     const double new_q = modularity_from(in, tot, m2);
@@ -113,11 +126,13 @@ int optimize_phase(const Csr& graph, std::vector<Community>& community,
     if (!moved || gain < threshold) break;
   }
 
+  if (rec) rec->count("modopt/sweeps", sweeps);
   if (final_modularity) *final_modularity = current_q;
   return sweeps;
 }
 
-LouvainResult louvain(const Csr& graph, const Config& config) {
+LouvainResult louvain(const Csr& graph, const Config& config,
+                      obs::Recorder* rec) {
   util::Timer total_timer;
   LouvainResult result;
   result.community.resize(graph.num_vertices());
@@ -127,6 +142,7 @@ LouvainResult louvain(const Csr& graph, const Config& config) {
   double prev_q = -1.0;
 
   for (int level = 0; level < config.max_levels; ++level) {
+    if (rec) rec->set_level(level);
     LevelReport report;
     report.vertices = current.num_vertices();
     report.arcs = current.num_arcs();
@@ -137,8 +153,11 @@ LouvainResult louvain(const Csr& graph, const Config& config) {
     util::Timer opt_timer;
     std::vector<Community> phase_community;
     double q = 0;
-    report.iterations = optimize_phase(current, phase_community, threshold,
-                                       config.max_sweeps_per_level, &q);
+    {
+      obs::Span opt_span(rec, "modopt");
+      report.iterations = optimize_phase(current, phase_community, threshold,
+                                         config.max_sweeps_per_level, &q, rec);
+    }
     report.optimize_seconds = opt_timer.seconds();
     report.modularity_after = q;
 
@@ -154,20 +173,28 @@ LouvainResult louvain(const Csr& graph, const Config& config) {
     const bool converged = prev_q >= -0.5 && (q - prev_q) < config.thresholds.t_final;
 
     util::Timer agg_timer;
-    metrics::renumber(phase_community);
-    result.community = metrics::flatten(result.community, phase_community);
-    result.dendrogram.push_level(phase_community);
-
     std::vector<VertexId> new_id;
-    Csr contracted = graph::contract_reference(current, phase_community, &new_id);
+    Csr contracted;
+    {
+      obs::Span agg_span(rec, "aggregate");
+      metrics::renumber(phase_community);
+      result.community = metrics::flatten(result.community, phase_community);
+      result.dendrogram.push_level(phase_community);
+      contracted = graph::contract_reference(current, phase_community, &new_id);
+    }
     report.aggregate_seconds = agg_timer.seconds();
     result.levels.push_back(report);
+    if (rec) {
+      rec->count("level/vertices", static_cast<double>(report.vertices));
+      rec->count("level/arcs", static_cast<double>(report.arcs));
+    }
 
     const bool shrunk = contracted.num_vertices() < current.num_vertices();
     prev_q = q;
     current = std::move(contracted);
     if (converged || !shrunk) break;
   }
+  if (rec) rec->set_level(-1);
 
   result.modularity = prev_q;
   result.total_seconds = total_timer.seconds();

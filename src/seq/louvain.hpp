@@ -7,18 +7,26 @@
 #pragma once
 
 #include "core/common.hpp"
+#include "detect/options.hpp"
 #include "graph/csr.hpp"
+
+namespace glouvain::obs {
+class Recorder;
+}
 
 namespace glouvain::seq {
 
-struct Config {
-  ThresholdSchedule thresholds{.adaptive = false};
-  int max_levels = 64;
-  int max_sweeps_per_level = 1000;
+/// All knobs are the shared detect::Options; the sequential baseline
+/// defaults to the exact (non-adaptive) threshold schedule and ignores
+/// Options::threads.
+struct Config : detect::Options {
+  Config() { thresholds.adaptive = false; }
 };
 
-/// Full multi-level run.
-LouvainResult louvain(const graph::Csr& graph, const Config& config = {});
+/// Full multi-level run. `recorder` (optional) receives per-level
+/// "modopt"/"aggregate" spans comparable with the core backend's.
+LouvainResult louvain(const graph::Csr& graph, const Config& config = {},
+                      obs::Recorder* recorder = nullptr);
 
 /// One modularity-optimization phase on `graph` starting from the
 /// all-singletons partition; `community` receives the result (dense
@@ -26,6 +34,7 @@ LouvainResult louvain(const graph::Csr& graph, const Config& config = {});
 /// Returns the number of sweeps executed. Exposed for unit tests.
 int optimize_phase(const graph::Csr& graph,
                    std::vector<graph::Community>& community, double threshold,
-                   int max_sweeps, double* final_modularity = nullptr);
+                   int max_sweeps, double* final_modularity = nullptr,
+                   obs::Recorder* recorder = nullptr);
 
 }  // namespace glouvain::seq

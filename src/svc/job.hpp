@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/louvain.hpp"
+#include "util/status.hpp"
 
 namespace glouvain::svc {
 
@@ -74,5 +75,26 @@ struct JobResult {
   std::uint64_t start_sequence = 0;
   std::string error;  ///< set iff status == Failed
 };
+
+/// Map a terminal JobResult onto the shared Status vocabulary (so batch
+/// clients and the CLI derive exit codes uniformly). Non-terminal
+/// states report kFailedPrecondition.
+inline util::Status to_status(const JobResult& r) {
+  switch (r.status) {
+    case JobStatus::Completed: return util::Status::ok_status();
+    case JobStatus::Rejected:
+      return util::Status::resource_exhausted("job rejected: queue full");
+    case JobStatus::Expired:
+      return util::Status::deadline_exceeded("job expired before running");
+    case JobStatus::Cancelled: return util::Status::cancelled("job cancelled");
+    case JobStatus::Failed:
+      return util::Status::internal(r.error.empty() ? "backend failed"
+                                                    : r.error);
+    case JobStatus::Queued:
+    case JobStatus::Running:
+      return util::Status::failed_precondition("job not terminal");
+  }
+  return util::Status::internal("unknown job status");
+}
 
 }  // namespace glouvain::svc

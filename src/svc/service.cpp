@@ -2,8 +2,8 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <map>
 #include <mutex>
-#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -89,7 +89,16 @@ struct Service::Impl {
   ResultCache cache;
   Stats counters;  ///< monotonic part; instantaneous fields unused here
 
-  std::vector<std::unique_ptr<core::Louvain>> devices;
+  /// Extensions handed to every detect::make() call: the configured
+  /// ext with the shared options folded in and the pooled-device
+  /// thread count applied.
+  detect::Extensions run_ext;
+  unsigned device_threads_resolved = 0;
+
+  /// Pooled stateful detectors, one per device worker; each keeps its
+  /// simt device warm across jobs. Only the owning worker touches its
+  /// entry after construction.
+  std::vector<std::unique_ptr<detect::Detector>> devices;
   std::vector<std::thread> threads;
 };
 
@@ -99,11 +108,19 @@ Service::Service(const ServiceConfig& config)
   if (config_.devices == 0) config_.devices = 1;
   impl_->paused = config_.start_paused;
 
-  core::Config device_cfg = config_.core;
-  device_cfg.device.worker_threads = config_.device_threads;
+  impl_->run_ext = config_.ext;
+  static_cast<detect::Options&>(impl_->run_ext.core) = config_.options;
+  impl_->run_ext.core.device.worker_threads = config_.device_threads;
+  impl_->device_threads_resolved =
+      config_.device_threads
+          ? config_.device_threads
+          : (config_.options.threads ? config_.options.threads
+                                     : std::thread::hardware_concurrency());
+
   impl_->devices.reserve(config_.devices);
   for (unsigned d = 0; d < config_.devices; ++d) {
-    impl_->devices.push_back(std::make_unique<core::Louvain>(device_cfg));
+    auto made = detect::make("core", impl_->run_ext);
+    impl_->devices.push_back(std::move(made.value()));
   }
 
   const unsigned total = config_.devices + config_.aux_workers;
@@ -161,6 +178,17 @@ JobId Service::submit(graph::Csr graph, const JobOptions& options) {
     impl_->cv_work.notify_all();
   }
   return job->id;
+}
+
+util::StatusOr<JobId> Service::try_submit(graph::Csr graph,
+                                          const JobOptions& options) {
+  const JobId id = submit(std::move(graph), options);
+  if (poll(id) == JobStatus::Rejected) {
+    wait(id);  // consume the record; Rejected is terminal, no block
+    return util::Status::resource_exhausted(
+        "svc: queue full, job rejected at admission");
+  }
+  return id;
 }
 
 JobStatus Service::poll(JobId id) const {
@@ -251,9 +279,7 @@ Stats Service::stats() const {
   s.queue_depth = impl_->queue.size();
   s.running = impl_->running;
   s.devices = static_cast<unsigned>(impl_->devices.size());
-  s.device_threads = impl_->devices.empty()
-                         ? 0
-                         : impl_->devices.front()->device().workers();
+  s.device_threads = impl_->device_threads_resolved;
   return s;
 }
 
@@ -276,35 +302,29 @@ void Service::finish(const std::shared_ptr<Job>& job, JobStatus status) {
   impl_->cv_done.notify_all();
 }
 
-std::shared_ptr<const core::Result> Service::run_backend(
-    const graph::Csr& graph, Backend backend, core::Louvain* device) {
-  // Wrap backends that return a plain LouvainResult; their DeviceStats
-  // stay zero (no simt device involved).
-  const auto wrap = [](LouvainResult&& base) {
-    auto r = std::make_shared<core::Result>();
-    static_cast<LouvainResult&>(*r) = std::move(base);
-    return std::shared_ptr<const core::Result>(std::move(r));
-  };
-  switch (backend) {
-    case Backend::Core:
-      if (device) return std::make_shared<core::Result>(device->run(graph));
-      return std::make_shared<core::Result>(core::louvain(graph, config_.core));
-    case Backend::Seq: return wrap(seq::louvain(graph, config_.seq));
-    case Backend::Plm: return wrap(plm::louvain(graph, config_.plm));
-    case Backend::Multi: return wrap(multi::louvain(graph, config_.multi));
-    case Backend::Auto: break;  // resolved at submit
-  }
-  throw std::logic_error("svc: unresolved backend");
-}
-
 void Service::worker_loop(unsigned index) {
   Impl& s = *impl_;
-  // Workers [0, devices) each own one pooled Louvain instance for
+  // Workers [0, devices) each own one pooled stateful detector for
   // their lifetime; the rest are device-less auxiliary workers.
-  core::Louvain* device =
+  detect::Detector* pooled =
       index < s.devices.size() ? s.devices[index].get() : nullptr;
-  const auto eligible = [device](const std::shared_ptr<Job>& job) {
-    return device != nullptr || job->routed == Backend::Seq;
+  // Non-pooled backends are instantiated through the registry on first
+  // use and cached per worker (detectors are single-threaded).
+  std::map<std::string, std::unique_ptr<detect::Detector>, std::less<>> local;
+  const auto detector_for =
+      [&](Backend b) -> util::StatusOr<detect::Detector*> {
+    if (b == Backend::Core && pooled) return pooled;
+    auto& slot = local[to_string(b)];
+    if (!slot) {
+      auto made = detect::make(to_string(b), s.run_ext);
+      if (!made.ok()) return made.status();
+      slot = std::move(made.value());
+    }
+    return slot.get();
+  };
+  const auto eligible = [pooled](const std::shared_ptr<Job>& job) {
+    // Aux workers only take jobs the cost router degraded off-device.
+    return pooled != nullptr || job->routed == Backend::Seq;
   };
 
   std::unique_lock<std::mutex> lock(s.m);
@@ -321,7 +341,7 @@ void Service::worker_loop(unsigned index) {
     if (s.stopping) {
       if (!s.drain) return;
       // Draining: leave once nothing this worker could ever run
-      // remains (core-routed leftovers belong to device workers).
+      // remains (device-routed leftovers belong to device workers).
       bool mine = false;
       s.queue.for_each(
           [&](const std::shared_ptr<Job>& j) { mine = mine || eligible(j); });
@@ -359,10 +379,14 @@ void Service::worker_loop(unsigned index) {
         from_cache = result != nullptr;
       }
       if (!result) {
-        result = run_backend(*graph, job->routed, job->routed == Backend::Core
-                                                      ? device
-                                                      : nullptr);
-        if (caching) s.cache.put(job->fp, result);
+        auto detector = detector_for(job->routed);
+        if (!detector.ok()) {
+          error = detector.status().to_string();
+        } else {
+          result = std::make_shared<core::Result>(
+              (*detector)->run(*graph, config_.options));
+          if (caching) s.cache.put(job->fp, result);
+        }
       }
     } catch (const std::exception& e) {
       error = e.what();
@@ -388,6 +412,12 @@ void Service::worker_loop(unsigned index) {
       if (caching) ++s.counters.cache_misses;
       s.counters.run_seconds += run_seconds;
       s.counters.queue_wait_seconds += job->queue_seconds;
+      for (const LevelReport& level : result->levels) {
+        s.counters.optimize_seconds += level.optimize_seconds;
+        s.counters.aggregate_seconds += level.aggregate_seconds;
+        s.counters.sweeps_total += static_cast<std::uint64_t>(level.iterations);
+        ++s.counters.levels_total;
+      }
       switch (job->routed) {
         case Backend::Core:
           ++s.counters.ran_on_device;

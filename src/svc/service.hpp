@@ -1,5 +1,5 @@
 // The concurrent community-detection service: multiplexes a stream of
-// detection jobs over a pool of reusable core::Louvain devices.
+// detection jobs over a pool of reusable detect::Detector instances.
 //
 //   svc::Service service({.devices = 2});
 //   svc::JobId id = service.submit(std::move(graph), {.priority = 3});
@@ -11,29 +11,29 @@
 // admission control (reject when the bounded priority queue is full),
 // and routes by estimated cost — tiny graphs go to the sequential
 // backend so they never occupy a simt device. Worker threads — one
-// permanently bound to each pooled core::Louvain instance, plus
-// `aux_workers` device-less workers that only take sequential jobs —
-// pop jobs in priority order, expire those whose deadline passed while
-// queued, run the backend, publish the result, and feed the cache.
+// permanently bound to each pooled "core" detector (whose simt device
+// + arenas stay warm across jobs), plus `aux_workers` device-less
+// workers that only take sequential jobs — pop jobs in priority order,
+// expire those whose deadline passed while queued, run the job's
+// backend through the detect::make() registry (no per-backend dispatch
+// here), publish the result, and feed the cache.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 
-#include "core/louvain.hpp"
+#include "detect/detector.hpp"
 #include "graph/csr.hpp"
-#include "multi/multi.hpp"
-#include "plm/plm.hpp"
-#include "seq/louvain.hpp"
 #include "svc/cache.hpp"
 #include "svc/job.hpp"
 #include "svc/stats.hpp"
+#include "util/status.hpp"
 
 namespace glouvain::svc {
 
 struct ServiceConfig {
-  /// Pooled core::Louvain instances; each gets a dedicated worker
-  /// thread that reuses the instance (device + arenas) across jobs.
+  /// Pooled "core" detectors; each gets a dedicated worker thread that
+  /// reuses the instance (device + arenas) across jobs.
   unsigned devices = 2;
   /// simt worker threads per pooled device (0 = hardware concurrency).
   unsigned device_threads = 0;
@@ -51,12 +51,12 @@ struct ServiceConfig {
   /// and batch clients stage a queue deterministically.
   bool start_paused = false;
 
-  /// Algorithm configuration handed to every backend. `core.device`'s
-  /// worker count is overridden by `device_threads`.
-  core::Config core;
-  seq::Config seq;
-  plm::Config plm;
-  multi::Config multi;
+  /// Shared algorithm options handed to every backend. For pooled core
+  /// devices, `device_threads` above supersedes options.threads.
+  detect::Options options;
+  /// Backend-specific extension knobs forwarded to detect::make().
+  /// The Options slice inside ext.core is overwritten by `options`.
+  detect::Extensions ext;
 };
 
 class Service {
@@ -75,6 +75,12 @@ class Service {
   /// Queued otherwise. The graph is owned by the service until the
   /// job reaches a terminal state.
   JobId submit(graph::Csr graph, const JobOptions& options = {});
+
+  /// Status-reporting admission: backpressure comes back as
+  /// kResourceExhausted (no job record is left behind) instead of a
+  /// Rejected job the caller must wait() on.
+  util::StatusOr<JobId> try_submit(graph::Csr graph,
+                                   const JobOptions& options = {});
 
   /// Current status, without blocking. Unknown ids (including ids
   /// already consumed by wait()) report Cancelled.
@@ -100,12 +106,8 @@ class Service {
 
  private:
   struct Job;
-  struct Worker;
 
   void worker_loop(unsigned index);
-  std::shared_ptr<const core::Result> run_backend(const graph::Csr& graph,
-                                                  Backend backend,
-                                                  core::Louvain* device);
   void finish(const std::shared_ptr<Job>& job, JobStatus status);
 
   ServiceConfig config_;

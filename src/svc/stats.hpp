@@ -34,6 +34,13 @@ struct Stats {
   double queue_wait_seconds = 0;  ///< submit -> start, run jobs only
   double run_seconds = 0;         ///< backend execution time
 
+  // Phase breakdown, aggregated from completed jobs' per-level reports
+  // (the service-wide view of the obs phase table).
+  double optimize_seconds = 0;   ///< summed modularity-optimization time
+  double aggregate_seconds = 0;  ///< summed contraction time
+  std::uint64_t levels_total = 0;  ///< hierarchy levels built
+  std::uint64_t sweeps_total = 0;  ///< optimization sweeps executed
+
   // Device pool.
   std::uint64_t shared_spills = 0;  ///< summed DeviceStats::shared_spills
   unsigned devices = 0;             ///< pooled core::Louvain instances

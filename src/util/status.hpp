@@ -1,0 +1,150 @@
+// Small Status / StatusOr error vocabulary shared by the I/O layer,
+// the service, and the CLI. Replaces ad-hoc bool/exception reporting
+// where the caller wants to branch on the *kind* of failure: each code
+// maps to a distinct process exit code (exit_code()) and carries a
+// human-readable message. Header-only; no dependencies beyond std.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace glouvain::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< malformed input / unknown name
+  kNotFound,           ///< missing file, unknown id
+  kIoError,            ///< read/write failed mid-stream
+  kResourceExhausted,  ///< backpressure: a bounded queue refused work
+  kDeadlineExceeded,   ///< a deadline fired before the work ran
+  kCancelled,          ///< the caller withdrew the work
+  kFailedPrecondition, ///< object not in a state to accept the call
+  kUnavailable,        ///< transient: retry may succeed
+  kInternal,           ///< a backend threw / invariant broke
+};
+
+inline const char* to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  ///< OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok_status() { return {}; }
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status io_error(std::string m) {
+    return {StatusCode::kIoError, std::move(m)};
+  }
+  static Status resource_exhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  static Status cancelled(std::string m) {
+    return {StatusCode::kCancelled, std::move(m)};
+  }
+  static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "ok";
+    std::string s = util::to_string(code_);
+    if (!message_.empty()) s += ": " + message_;
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Process exit code for a Status: 0 for OK, a distinct small integer
+/// per failure code (documented in README "Exit codes").
+inline int exit_code(const Status& status) noexcept {
+  switch (status.code()) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kIoError: return 4;
+    case StatusCode::kResourceExhausted: return 5;
+    case StatusCode::kDeadlineExceeded: return 6;
+    case StatusCode::kCancelled: return 7;
+    case StatusCode::kFailedPrecondition: return 8;
+    case StatusCode::kUnavailable: return 9;
+    case StatusCode::kInternal: return 10;
+  }
+  return 10;
+}
+
+/// A value or the Status explaining its absence. Accessing value() on
+/// an error throws std::logic_error (programming error, not data
+/// error) — check ok() first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      status_ = Status::internal("StatusOr constructed from OK status");
+    }
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return status_.ok(); }
+  const Status& status() const noexcept { return status_; }
+
+  T& value() & { return checked(); }
+  const T& value() const& { return const_cast<StatusOr*>(this)->checked(); }
+  T&& value() && { return std::move(checked()); }
+
+  T& operator*() & { return checked(); }
+  const T& operator*() const& { return const_cast<StatusOr*>(this)->checked(); }
+  T* operator->() { return &checked(); }
+  const T* operator->() const {
+    return &const_cast<StatusOr*>(this)->checked();
+  }
+
+ private:
+  T& checked() {
+    if (!value_) throw std::logic_error("StatusOr: value() on " + status_.to_string());
+    return *value_;
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace glouvain::util

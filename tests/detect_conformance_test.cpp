@@ -1,0 +1,206 @@
+// Backend-conformance suite for the unified detect:: API: every
+// registered Detector must produce valid labels and comparable
+// modularity on the same seeded inputs, and must emit a well-formed
+// span tree when a Recorder is attached.
+#include "detect/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "obs/recorder.hpp"
+#include "svc/service.hpp"
+
+namespace glouvain {
+namespace {
+
+graph::Csr sbm_graph() {
+  gen::SbmParams p;
+  p.num_vertices = 1 << 11;
+  p.num_communities = 16;
+  p.intra_degree = 12.0;
+  p.inter_degree = 2.0;
+  p.seed = 42;
+  return gen::planted_partition(p).graph;
+}
+
+graph::Csr rmat_graph() {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8.0;
+  return gen::rmat(p, 7);
+}
+
+detect::Options small_options() {
+  detect::Options options;
+  options.threads = 2;
+  return options;
+}
+
+void check_labels(const detect::Result& result, graph::VertexId n,
+                  const std::string& backend) {
+  ASSERT_EQ(result.community.size(), static_cast<std::size_t>(n)) << backend;
+  for (const graph::Community c : result.community) {
+    ASSERT_LT(c, n) << backend;
+  }
+}
+
+TEST(DetectRegistry, BuiltInBackendsAreRegistered) {
+  const auto names = detect::backend_names();
+  const std::set<std::string> have(names.begin(), names.end());
+  for (const char* expected : {"core", "seq", "plm", "multi"}) {
+    EXPECT_TRUE(have.count(expected)) << expected;
+  }
+}
+
+TEST(DetectRegistry, UnknownBackendYieldsInvalidArgument) {
+  const auto d = detect::make("no-such-backend");
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(DetectRegistry, RegisterExtendsAndRejectsDuplicates) {
+  struct Fake : detect::Detector {
+    std::string_view name() const noexcept override { return "fake"; }
+    detect::Result run(const graph::Csr&, const detect::Options&,
+                       obs::Recorder*) override {
+      return {};
+    }
+  };
+  const bool added = detect::register_backend(
+      "conformance-fake", [](const detect::Extensions&) {
+        return std::make_unique<Fake>();
+      });
+  EXPECT_TRUE(added);
+  EXPECT_FALSE(detect::register_backend(
+      "conformance-fake",
+      [](const detect::Extensions&) { return std::make_unique<Fake>(); }));
+  const auto d = detect::make("conformance-fake");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->name(), "fake");
+}
+
+TEST(DetectConformance, EveryBackendAgreesOnPlantedCommunities) {
+  const graph::Csr g = sbm_graph();
+  const auto options = small_options();
+
+  auto seq = detect::make("seq");
+  ASSERT_TRUE(seq.ok());
+  const detect::Result reference = (*seq)->run(g, options);
+  ASSERT_GT(reference.modularity, 0.3);
+
+  for (const char* backend : {"core", "seq", "plm", "multi"}) {
+    SCOPED_TRACE(backend);
+    auto d = detect::make(backend);
+    ASSERT_TRUE(d.ok()) << d.status().to_string();
+    const detect::Result result = (*d)->run(g, options);
+    check_labels(result, g.num_vertices(), backend);
+    EXPECT_NEAR(result.modularity, reference.modularity, 0.08);
+    EXPECT_FALSE(result.levels.empty());
+  }
+}
+
+TEST(DetectConformance, EveryBackendHandlesSkewedDegrees) {
+  const graph::Csr g = rmat_graph();
+  const auto options = small_options();
+  for (const char* backend : {"core", "seq", "plm", "multi"}) {
+    SCOPED_TRACE(backend);
+    auto d = detect::make(backend);
+    ASSERT_TRUE(d.ok());
+    const detect::Result result = (*d)->run(g, options);
+    check_labels(result, g.num_vertices(), backend);
+    EXPECT_GE(result.modularity, 0.0);
+  }
+}
+
+TEST(DetectConformance, EveryBackendEmitsAWellFormedSpanTree) {
+  const graph::Csr g = sbm_graph();
+  const auto options = small_options();
+  for (const char* backend : {"core", "seq", "plm", "multi"}) {
+    SCOPED_TRACE(backend);
+    auto d = detect::make(backend);
+    ASSERT_TRUE(d.ok());
+    obs::Recorder rec;
+    const detect::Result result = (*d)->run(g, options, &rec);
+    EXPECT_TRUE(rec.validate().empty()) << rec.validate();
+    EXPECT_FALSE(rec.spans().empty());
+    // Recorded root spans cannot exceed the run's own wall clock by
+    // more than scheduling noise.
+    EXPECT_LE(rec.recorded_seconds(), result.total_seconds + 0.25);
+    // Every backend must at least time the two Louvain phases.
+    std::set<std::string> names;
+    for (const obs::SpanRecord& s : rec.spans()) {
+      names.insert(std::string(rec.name(s.name)));
+    }
+    EXPECT_TRUE(names.count("modopt")) << backend;
+    EXPECT_TRUE(names.count("aggregate")) << backend;
+  }
+}
+
+TEST(DetectConformance, CoreSpansCoverTheKernelStages) {
+  const graph::Csr g = rmat_graph();
+  auto d = detect::make("core");
+  ASSERT_TRUE(d.ok());
+  obs::Recorder rec;
+  (void)(*d)->run(g, small_options(), &rec);
+  std::set<std::string> names;
+  for (const obs::SpanRecord& s : rec.spans()) {
+    names.insert(std::string(rec.name(s.name)));
+  }
+  EXPECT_TRUE(names.count("modopt/binning"));
+  EXPECT_TRUE(names.count("modopt/sweep"));
+  EXPECT_TRUE(names.count("modopt/commit"));
+  EXPECT_TRUE(names.count("aggregate/binning"));
+  EXPECT_TRUE(names.count("fold"));
+  // At least one degree-bucket kernel span in each phase.
+  EXPECT_TRUE(std::any_of(names.begin(), names.end(), [](const std::string& n) {
+    return n.rfind("modopt/bucket", 0) == 0 && n != "modopt/bucket_occupancy";
+  }));
+  EXPECT_TRUE(std::any_of(names.begin(), names.end(), [](const std::string& n) {
+    return n.rfind("aggregate/bucket", 0) == 0 &&
+           n != "aggregate/bucket_occupancy";
+  }));
+}
+
+TEST(DetectConformance, DetectorsAreReusableAcrossRuns) {
+  const graph::Csr a = sbm_graph();
+  const graph::Csr b = rmat_graph();
+  auto d = detect::make("core");
+  ASSERT_TRUE(d.ok());
+  const detect::Result ra = (*d)->run(a, small_options());
+  const detect::Result rb = (*d)->run(b, small_options());
+  check_labels(ra, a.num_vertices(), "core run 1");
+  check_labels(rb, b.num_vertices(), "core run 2");
+}
+
+TEST(DetectConformance, ServiceRunsEveryBackend) {
+  svc::ServiceConfig cfg;
+  cfg.devices = 1;
+  cfg.device_threads = 2;
+  cfg.aux_workers = 1;
+  cfg.options.threads = 2;
+  const graph::Csr g = sbm_graph();
+  svc::Service service(cfg);
+  for (const svc::Backend b : {svc::Backend::Core, svc::Backend::Seq,
+                               svc::Backend::Plm, svc::Backend::Multi}) {
+    SCOPED_TRACE(svc::to_string(b));
+    svc::JobOptions jo;
+    jo.backend = b;
+    jo.use_cache = false;
+    const auto id = service.try_submit(g, jo);
+    ASSERT_TRUE(id.ok()) << id.status().to_string();
+    const svc::JobResult r = service.wait(*id);
+    EXPECT_EQ(r.status, svc::JobStatus::Completed) << r.error;
+    ASSERT_TRUE(r.result);
+    EXPECT_GT(r.result->modularity, 0.3);
+    EXPECT_TRUE(svc::to_status(r).ok());
+  }
+}
+
+}  // namespace
+}  // namespace glouvain

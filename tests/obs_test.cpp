@@ -1,0 +1,139 @@
+// Unit tests for the obs::Recorder instrumentation substrate: span
+// tree construction, counter accumulation, structural validation, and
+// both exporters.
+#include "obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace glouvain::obs {
+namespace {
+
+TEST(Recorder, SpansFormATree) {
+  Recorder rec;
+  {
+    Span root(&rec, "modopt");
+    {
+      Span sweep(&rec, "modopt/sweep");
+      Span kernel(&rec, "modopt/bucket0");
+    }
+  }
+  ASSERT_EQ(rec.spans().size(), 3u);
+  EXPECT_EQ(rec.spans()[0].parent, -1);
+  EXPECT_EQ(rec.spans()[1].parent, 0);
+  EXPECT_EQ(rec.spans()[2].parent, 1);
+  EXPECT_EQ(rec.name(rec.spans()[0].name), "modopt");
+  EXPECT_EQ(rec.name(rec.spans()[2].name), "modopt/bucket0");
+  for (const SpanRecord& s : rec.spans()) EXPECT_GE(s.duration_ns, 0);
+  EXPECT_TRUE(rec.validate().empty()) << rec.validate();
+}
+
+TEST(Recorder, LevelTagsAttachToSpansAndCounters) {
+  Recorder rec;
+  rec.set_level(3);
+  {
+    Span s(&rec, "aggregate");
+    rec.count("level/vertices", 128);
+  }
+  rec.set_level(-1);
+  EXPECT_EQ(rec.spans()[0].level, 3);
+  ASSERT_EQ(rec.counters().size(), 1u);
+  EXPECT_EQ(rec.counters()[0].level, 3);
+  EXPECT_DOUBLE_EQ(rec.counters()[0].value, 128);
+}
+
+TEST(Recorder, CountersAccumulateByNameLevelAndBin) {
+  Recorder rec;
+  rec.count("modopt/bucket_occupancy", 10, /*bin=*/2);
+  rec.count("modopt/bucket_occupancy", 5, /*bin=*/2);
+  rec.count("modopt/bucket_occupancy", 7, /*bin=*/3);
+  rec.count("modopt/sweeps", 4);
+  ASSERT_EQ(rec.counters().size(), 3u);
+  EXPECT_DOUBLE_EQ(rec.counters()[0].value, 15);
+  EXPECT_EQ(rec.counters()[0].bin, 2);
+  EXPECT_DOUBLE_EQ(rec.counters()[1].value, 7);
+  EXPECT_EQ(rec.counters()[2].bin, -1);
+}
+
+TEST(Recorder, ValidateFlagsUnclosedSpan) {
+  Recorder rec;
+  (void)rec.begin_span("modopt");
+  const std::string problem = rec.validate();
+  EXPECT_NE(problem.find("never closed"), std::string::npos) << problem;
+}
+
+TEST(Recorder, NullRecorderSpanIsANoop) {
+  Span s(nullptr, "anything");  // must not crash or allocate a recorder
+  SUCCEED();
+}
+
+TEST(Recorder, ClearDropsDataButKeepsWorking) {
+  Recorder rec;
+  { Span s(&rec, "modopt"); }
+  rec.count("x", 1);
+  rec.clear();
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_TRUE(rec.counters().empty());
+  { Span s(&rec, "aggregate"); }
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_TRUE(rec.validate().empty());
+}
+
+TEST(Recorder, RecordedSecondsSumsRoots) {
+  Recorder rec;
+  { Span a(&rec, "a"); }
+  { Span b(&rec, "b"); }
+  EXPECT_GE(rec.recorded_seconds(), 0.0);
+  // Two closed roots: total equals the sum of their durations.
+  const double expect = (static_cast<double>(rec.spans()[0].duration_ns) +
+                         static_cast<double>(rec.spans()[1].duration_ns)) *
+                        1e-9;
+  EXPECT_DOUBLE_EQ(rec.recorded_seconds(), expect);
+}
+
+TEST(Recorder, ChromeTraceLooksLikeJson) {
+  Recorder rec;
+  rec.set_level(0);
+  {
+    Span s(&rec, "modopt");
+    rec.count("modopt/sweeps", 2);
+  }
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"modopt\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"level\":0}"), std::string::npos);
+}
+
+TEST(Recorder, PhaseTableRendersStagesAndCounters) {
+  Recorder rec;
+  rec.set_level(0);
+  {
+    Span phase(&rec, "modopt");
+    { Span k(&rec, "modopt/bucket1"); }
+  }
+  rec.count("modopt/moved_frac", 0.5, 0);
+  std::ostringstream os;
+  rec.write_phase_table(os);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("modopt/bucket1"), std::string::npos);
+  EXPECT_NE(table.find("moved_frac"), std::string::npos);
+}
+
+TEST(Recorder, NamesAreInternedAcrossClear) {
+  Recorder rec;
+  { Span s(&rec, "modopt"); }
+  const std::uint32_t id = rec.spans()[0].name;
+  rec.clear();
+  { Span s(&rec, "modopt"); }
+  EXPECT_EQ(rec.spans()[0].name, id);
+}
+
+}  // namespace
+}  // namespace glouvain::obs

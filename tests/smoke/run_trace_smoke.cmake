@@ -1,0 +1,42 @@
+# End-to-end smoke for the observability pipeline, run by ctest:
+#   generate a small suite graph, run `glouvain detect --trace`, then
+#   validate the emitted JSON against schemas/trace.schema.json and
+#   require the stage spans the ISSUE names (binning, degree-bucket
+#   kernels, commit, aggregation).
+#
+# Expects: GLOUVAIN, TRACE_CHECK, SCHEMA, WORK_DIR.
+foreach(var GLOUVAIN TRACE_CHECK SCHEMA WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_trace_smoke.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(graph "${WORK_DIR}/smoke_graph.bin")
+set(trace "${WORK_DIR}/smoke_trace.json")
+
+execute_process(
+  COMMAND "${GLOUVAIN}" generate --family pokec --scale 0.05 --seed 7
+          --out "${graph}"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "glouvain generate failed (${rv})")
+endif()
+
+execute_process(
+  COMMAND "${GLOUVAIN}" detect --in "${graph}" --backend core
+          --trace "${trace}" --threads 2
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "glouvain detect --trace failed (${rv})")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_CHECK}" --schema "${SCHEMA}" --trace "${trace}"
+          --require modopt/binning --require modopt/bucket
+          --require modopt/commit --require modopt/sweep
+          --require aggregate --require aggregate/bucket --require fold
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "trace_check failed (${rv})")
+endif()

@@ -2,14 +2,20 @@
 //
 //   glouvain generate --family rmat --scale 14 --out g.bin
 //   glouvain stats    --in g.bin
-//   glouvain detect   --in g.bin --algo core --out communities.txt
+//   glouvain detect   --in g.bin --backend core --trace trace.json
 //   glouvain convert  --in g.mtx --out g.bin
 //   glouvain batch    --manifest jobs.txt --devices 2
 //
 // `detect` writes one "<vertex> <community>" line per vertex and prints
-// modularity / timing to stdout. `batch` reads a manifest of graph
+// modularity / timing to stdout; `--trace FILE` additionally records
+// the per-level phase/kernel span tree and dumps it as chrome://tracing
+// JSON plus a phase table on stdout. `batch` reads a manifest of graph
 // files (one `path [priority]` per line) and runs them concurrently
 // through the svc::Service layer.
+//
+// Every backend is reached through the detect::make() registry — there
+// is no per-backend dispatch here. Errors exit with the distinct codes
+// of util::exit_code (2 = bad input, 3 = not found, 4 = I/O, ...).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -17,18 +23,17 @@
 #include <string>
 #include <vector>
 
-#include "core/louvain.hpp"
+#include "detect/detector.hpp"
 #include "gen/suite.hpp"
 #include "graph/coloring.hpp"
 #include "graph/io.hpp"
 #include "graph/ops.hpp"
 #include "metrics/partition.hpp"
-#include "multi/multi.hpp"
-#include "plm/plm.hpp"
-#include "seq/louvain.hpp"
+#include "obs/recorder.hpp"
 #include "svc/service.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -45,9 +50,9 @@ int usage(const char* error = nullptr) {
                "  generate  build a synthetic suite graph and save it\n"
                "            --family <name|list> --scale S --seed N --out FILE\n"
                "  detect    run community detection\n"
-               "            --in FILE --algo core|seq|plm|multi [--out FILE]\n"
-               "            [--tbin X --tfinal Y] [--devices D] [--coloring]\n"
-               "            [--threads N] [--verbose]\n"
+               "            --in FILE --backend core|seq|plm|multi [--out FILE]\n"
+               "            [--trace FILE] [--tbin X --tfinal Y] [--devices D]\n"
+               "            [--coloring] [--threads N] [--verbose]\n"
                "  batch     run a manifest of graphs through the service\n"
                "            --manifest FILE [--devices D] [--threads N]\n"
                "            [--aux A] [--queue Q] [--cache C] [--repeat R]\n"
@@ -58,10 +63,16 @@ int usage(const char* error = nullptr) {
   return error ? 1 : 0;
 }
 
-graph::Csr load_required(util::Options& opt) {
+/// Print a non-ok status and return its distinct process exit code.
+int fail_status(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return util::exit_code(status);
+}
+
+util::StatusOr<graph::Csr> load_required(util::Options& opt) {
   const std::string in = opt.get_string("in", "", "input graph file");
-  if (in.empty()) throw std::runtime_error("--in is required");
-  return graph::load_auto(in);
+  if (in.empty()) return util::Status::invalid_argument("--in is required");
+  return graph::try_load_auto(in);
 }
 
 int cmd_generate(util::Options& opt) {
@@ -80,11 +91,11 @@ int cmd_generate(util::Options& opt) {
   }
   if (out.empty()) return usage("--out is required for generate");
   const auto g = gen::suite_entry(family).build(scale, static_cast<std::uint64_t>(seed));
-  if (out.size() > 4 && out.compare(out.size() - 4, 4, ".bin") == 0) {
-    graph::save_binary(g, out);
-  } else {
-    graph::save_edge_list(g, out);
-  }
+  const util::Status saved =
+      (out.size() > 4 && out.compare(out.size() - 4, 4, ".bin") == 0)
+          ? graph::try_save_binary(g, out)
+          : graph::try_save_edge_list(g, out);
+  if (!saved.ok()) return fail_status(saved);
   std::printf("wrote %s: %u vertices, %llu edges\n", out.c_str(),
               g.num_vertices(), static_cast<unsigned long long>(g.num_edges()));
   return 0;
@@ -105,10 +116,18 @@ void print_levels(const LouvainResult& result) {
 }
 
 int cmd_detect(util::Options& opt) {
-  const auto g = load_required(opt);
+  auto loaded = load_required(opt);
+  if (!loaded.ok()) return fail_status(loaded.status());
+  const graph::Csr g = std::move(loaded).value();
+
+  std::string backend =
+      opt.get_string("backend", "", "core | seq | plm | multi");
   const std::string algo =
-      opt.get_string("algo", "core", "core | seq | plm | multi");
+      opt.get_string("algo", "core", "deprecated alias of --backend");
+  if (backend.empty()) backend = algo;
   const std::string out = opt.get_string("out", "", "community output file");
+  const std::string trace_path =
+      opt.get_string("trace", "", "write chrome://tracing JSON here");
   const double t_bin = opt.get_double("tbin", 1e-2, "coarse threshold");
   const double t_final = opt.get_double("tfinal", 1e-6, "fine threshold");
   const auto devices = static_cast<unsigned>(
@@ -119,83 +138,86 @@ int cmd_detect(util::Options& opt) {
   const bool verbose =
       opt.get_flag("verbose", "print per-level timings and device stats");
 
-  ThresholdSchedule thresholds{.t_bin = t_bin, .t_final = t_final,
-                               .adaptive_limit = 100'000, .adaptive = true};
-  LouvainResult result;
-  core::DeviceStats device_stats;
-  bool have_device_stats = false;
-  if (algo == "core" || algo == "multi") {
-    core::Config cfg;
-    cfg.thresholds = thresholds;
-    cfg.use_coloring = coloring;
-    cfg.device.worker_threads = threads;
-    if (algo == "core") {
-      const core::Result cr = core::louvain(g, cfg);
-      device_stats = cr.device;
-      have_device_stats = true;
-      result = cr;
-    } else {
-      multi::Config mcfg;
-      mcfg.num_devices = devices;
-      mcfg.device = cfg;
-      mcfg.partition =
-          opt.get_string("partition", "random", "block | random (multi only)") ==
-                  "block"
-              ? multi::PartitionStrategy::Block
-              : multi::PartitionStrategy::Random;
-      mcfg.local_levels = static_cast<int>(
-          opt.get_int("local-levels", 1, "local levels before merge (multi only)"));
-      const multi::Result mr = multi::louvain(g, mcfg);
-      std::printf("coarse phase alone: Q = %.5f on %u devices\n",
-                  mr.local_modularity, mr.devices_used);
-      result = mr;
-    }
-  } else if (algo == "seq") {
-    seq::Config cfg;
-    cfg.thresholds = thresholds;
-    result = seq::louvain(g, cfg);
-  } else if (algo == "plm") {
-    plm::Config cfg;
-    cfg.thresholds = thresholds;
-    cfg.threads = threads;
-    result = plm::louvain(g, cfg);
-  } else {
-    return usage("unknown --algo");
-  }
+  detect::Options options;
+  options.thresholds = ThresholdSchedule{.t_bin = t_bin, .t_final = t_final,
+                                         .adaptive_limit = 100'000,
+                                         .adaptive = true};
+  options.threads = threads;
+
+  detect::Extensions ext;
+  ext.core.use_coloring = coloring;
+  ext.core.device.worker_threads = threads;
+  ext.multi.num_devices = devices;
+  ext.multi.partition =
+      opt.get_string("partition", "random", "block | random (multi only)") ==
+              "block"
+          ? multi::PartitionStrategy::Block
+          : multi::PartitionStrategy::Random;
+  ext.multi.local_levels = static_cast<int>(
+      opt.get_int("local-levels", 1, "local levels before merge (multi only)"));
+
+  auto detector = detect::make(backend, ext);
+  if (!detector.ok()) return fail_status(detector.status());
+
+  // A recorder is attached only when someone will read it; otherwise
+  // the run takes the nullptr (zero-overhead) path.
+  obs::Recorder recorder;
+  obs::Recorder* rec = (!trace_path.empty() || verbose) ? &recorder : nullptr;
+  const detect::Result result = (*detector)->run(g, options, rec);
 
   const auto stats = metrics::partition_stats(result.community);
   std::printf("%s: Q = %.5f, %llu communities, %zu levels, %.3fs\n",
-              algo.c_str(), result.modularity,
+              backend.c_str(), result.modularity,
               static_cast<unsigned long long>(stats.num_communities),
               result.levels.size(), result.total_seconds);
   if (verbose) {
     print_levels(result);
-    if (have_device_stats) {
+    if (result.device.workers > 0) {
       std::printf("device: %u workers, %llu shared-arena spills\n",
-                  device_stats.workers,
-                  static_cast<unsigned long long>(device_stats.shared_spills));
+                  result.device.workers,
+                  static_cast<unsigned long long>(result.device.shared_spills));
     }
     if (result.first_phase_teps > 0) {
       std::printf("first-phase TEPS: %.3g\n", result.first_phase_teps);
     }
+  }
+  if (rec) {
+    recorder.write_phase_table(std::cout);
+    const std::string problem = recorder.validate();
+    if (!problem.empty()) {
+      std::fprintf(stderr, "warning: span tree malformed: %s\n", problem.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (os) recorder.write_chrome_trace(os);
+    if (!os) {
+      return fail_status(
+          util::Status::io_error("cannot write trace: " + trace_path));
+    }
+    std::printf("trace written to %s\n", trace_path.c_str());
   }
   if (!out.empty()) {
     std::ofstream os(out);
     for (std::size_t v = 0; v < result.community.size(); ++v) {
       os << v << ' ' << result.community[v] << '\n';
     }
+    if (!os) {
+      return fail_status(
+          util::Status::io_error("cannot write communities: " + out));
+    }
     std::printf("communities written to %s\n", out.c_str());
   }
   return 0;
 }
 
-svc::Backend parse_backend(const std::string& name) {
+util::StatusOr<svc::Backend> parse_backend(const std::string& name) {
   if (name == "auto") return svc::Backend::Auto;
   if (name == "core") return svc::Backend::Core;
   if (name == "seq") return svc::Backend::Seq;
   if (name == "plm") return svc::Backend::Plm;
   if (name == "multi") return svc::Backend::Multi;
-  throw std::runtime_error("unknown --backend: " + name);
+  return util::Status::invalid_argument("unknown --backend: " + name);
 }
 
 int cmd_batch(util::Options& opt) {
@@ -214,8 +236,9 @@ int cmd_batch(util::Options& opt) {
       opt.get_int("cache", 32, "result-cache entries (0 = off)"));
   cfg.seq_cost_limit = static_cast<std::uint64_t>(opt.get_int(
       "seq-limit", 1 << 13, "n+m at or below this runs on the seq backend"));
-  const svc::Backend backend = parse_backend(
+  const auto backend = parse_backend(
       opt.get_string("backend", "auto", "auto | core | seq | plm | multi"));
+  if (!backend.ok()) return fail_status(backend.status());
   const auto repeat = static_cast<int>(
       opt.get_int("repeat", 1, "submit the whole manifest this many times"));
   const auto deadline_ms = opt.get_int(
@@ -228,7 +251,10 @@ int cmd_batch(util::Options& opt) {
   };
   std::vector<Entry> entries;
   std::ifstream is(manifest_path);
-  if (!is) throw std::runtime_error("cannot open manifest: " + manifest_path);
+  if (!is) {
+    return fail_status(
+        util::Status::not_found("cannot open manifest: " + manifest_path));
+  }
   std::string line;
   while (std::getline(is, line)) {
     std::istringstream ls(line);
@@ -243,7 +269,11 @@ int cmd_batch(util::Options& opt) {
   // graphs, which is exactly what exercises the result cache.
   std::vector<graph::Csr> graphs;
   graphs.reserve(entries.size());
-  for (const Entry& e : entries) graphs.push_back(graph::load_auto(e.path));
+  for (const Entry& e : entries) {
+    auto g = graph::try_load_auto(e.path);
+    if (!g.ok()) return fail_status(g.status());
+    graphs.push_back(std::move(g).value());
+  }
 
   svc::Service service(cfg);
   struct Submitted {
@@ -252,14 +282,22 @@ int cmd_batch(util::Options& opt) {
     int pass;
   };
   std::vector<Submitted> jobs;
+  util::Status worst = util::Status::ok_status();
   util::Timer wall;
   for (int pass = 0; pass < repeat; ++pass) {
     for (std::size_t i = 0; i < entries.size(); ++i) {
       svc::JobOptions jo;
       jo.priority = entries[i].priority;
-      jo.backend = backend;
+      jo.backend = *backend;
       jo.deadline = std::chrono::milliseconds(deadline_ms);
-      jobs.push_back({service.submit(graphs[i], jo), &entries[i], pass});
+      auto id = service.try_submit(graphs[i], jo);
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit %s (pass %d): %s\n", entries[i].path.c_str(),
+                     pass, id.status().to_string().c_str());
+        if (worst.ok()) worst = id.status();
+        continue;
+      }
+      jobs.push_back({*id, &entries[i], pass});
     }
   }
 
@@ -267,6 +305,8 @@ int cmd_batch(util::Options& opt) {
                      "Q", "queue ms", "run ms"});
   for (const Submitted& s : jobs) {
     const svc::JobResult r = service.wait(s.id);
+    const util::Status status = svc::to_status(r);
+    if (!status.ok() && worst.ok()) worst = status;
     table.add_row(
         {std::to_string(s.id), s.entry->path, std::to_string(s.pass),
          svc::to_string(r.status), svc::to_string(r.backend),
@@ -303,11 +343,18 @@ int cmd_batch(util::Options& opt) {
               st.devices, st.device_threads,
               static_cast<unsigned long long>(st.shared_spills),
               st.queue_wait_seconds, st.run_seconds);
-  return 0;
+  std::printf("phases: optimize %.3fs, aggregate %.3fs over %llu levels, "
+              "%llu sweeps\n",
+              st.optimize_seconds, st.aggregate_seconds,
+              static_cast<unsigned long long>(st.levels_total),
+              static_cast<unsigned long long>(st.sweeps_total));
+  return util::exit_code(worst);
 }
 
 int cmd_stats(util::Options& opt) {
-  const auto g = load_required(opt);
+  auto loaded = load_required(opt);
+  if (!loaded.ok()) return fail_status(loaded.status());
+  const graph::Csr g = std::move(loaded).value();
   const auto stats = graph::degree_stats(g);
   std::printf("vertices:    %u\n", g.num_vertices());
   std::printf("edges:       %llu (%llu loops)\n",
@@ -333,20 +380,24 @@ int cmd_stats(util::Options& opt) {
 }
 
 int cmd_convert(util::Options& opt) {
-  const auto g = load_required(opt);
+  auto loaded = load_required(opt);
+  if (!loaded.ok()) return fail_status(loaded.status());
+  const graph::Csr g = std::move(loaded).value();
   const std::string out = opt.get_string("out", "", "output file (.bin/.txt)");
   if (out.empty()) return usage("--out is required for convert");
-  if (out.size() > 4 && out.compare(out.size() - 4, 4, ".bin") == 0) {
-    graph::save_binary(g, out);
-  } else {
-    graph::save_edge_list(g, out);
-  }
+  const util::Status saved =
+      (out.size() > 4 && out.compare(out.size() - 4, 4, ".bin") == 0)
+          ? graph::try_save_binary(g, out)
+          : graph::try_save_edge_list(g, out);
+  if (!saved.ok()) return fail_status(saved);
   std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 
 int cmd_color(util::Options& opt) {
-  const auto g = load_required(opt);
+  auto loaded = load_required(opt);
+  if (!loaded.ok()) return fail_status(loaded.status());
+  const graph::Csr g = std::move(loaded).value();
   const auto coloring = graph::color_graph(g);
   std::printf("colors: %u (max degree + 1 bound: %llu), %d speculative rounds\n",
               coloring.num_colors,

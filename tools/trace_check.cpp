@@ -1,0 +1,404 @@
+// trace_check — validate a `glouvain detect --trace` JSON dump against
+// schemas/trace.schema.json without any external JSON dependency.
+//
+//   trace_check --schema schemas/trace.schema.json --trace out.json
+//               [--require PREFIX]...
+//
+// The validator implements the JSON-Schema subset the checked-in schema
+// actually uses: type, properties, required, items, enum, minimum.
+// Each --require PREFIX additionally demands at least one traceEvents
+// entry whose name equals PREFIX or starts with it (so
+// `--require modopt/bucket` is satisfied by any degree-bucket kernel).
+//
+// Exit codes: 0 valid, 1 schema/requirement violation, 2 usage,
+// 3 cannot read an input file, 4 JSON parse error.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+struct Json {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> items;                            // Array
+  std::vector<std::pair<std::string, Json>> members;  // Object
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(Json& out, std::string& error) {
+    if (!value(out)) {
+      error = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing content at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // The recorder only escapes control characters; encode the
+            // code point as UTF-8 (BMP only, no surrogate pairing).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    try {
+      out = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("bad number");
+    }
+    return true;
+  }
+
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.type = Json::Type::Object;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+        ++pos_;
+        Json member;
+        if (!value(member)) return false;
+        out.members.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.type = Json::Type::Array;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        Json item;
+        if (!value(item)) return false;
+        out.items.push_back(std::move(item));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.type = Json::Type::String;
+      return string(out.str);
+    }
+    if (c == 't') {
+      out.type = Json::Type::Bool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.type = Json::Type::Bool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.type = Json::Type::Null;
+      return literal("null");
+    }
+    out.type = Json::Type::Number;
+    return number(out.number);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ------------------------------------------------- schema-subset check
+
+bool is_integer(const Json& v) {
+  return v.type == Json::Type::Number && std::floor(v.number) == v.number &&
+         std::isfinite(v.number);
+}
+
+bool type_matches(const Json& value, const std::string& name) {
+  switch (value.type) {
+    case Json::Type::Null: return name == "null";
+    case Json::Type::Bool: return name == "boolean";
+    case Json::Type::Number:
+      return name == "number" || (name == "integer" && is_integer(value));
+    case Json::Type::String: return name == "string";
+    case Json::Type::Array: return name == "array";
+    case Json::Type::Object: return name == "object";
+  }
+  return false;
+}
+
+bool json_equal(const Json& a, const Json& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case Json::Type::Null: return true;
+    case Json::Type::Bool: return a.boolean == b.boolean;
+    case Json::Type::Number: return a.number == b.number;
+    case Json::Type::String: return a.str == b.str;
+    default: return false;  // enum members are scalars in our schema
+  }
+}
+
+bool validate(const Json& value, const Json& schema, const std::string& path,
+              std::string& error) {
+  if (const Json* type = schema.find("type")) {
+    if (!type_matches(value, type->str)) {
+      error = path + ": expected type '" + type->str + "'";
+      return false;
+    }
+  }
+  if (const Json* req = schema.find("required")) {
+    for (const Json& key : req->items) {
+      if (!value.find(key.str)) {
+        error = path + ": missing required member '" + key.str + "'";
+        return false;
+      }
+    }
+  }
+  if (const Json* props = schema.find("properties")) {
+    for (const auto& [key, sub] : props->members) {
+      if (const Json* member = value.find(key)) {
+        if (!validate(*member, sub, path + "." + key, error)) return false;
+      }
+    }
+  }
+  if (const Json* items = schema.find("items")) {
+    for (std::size_t i = 0; i < value.items.size(); ++i) {
+      if (!validate(value.items[i], *items,
+                    path + "[" + std::to_string(i) + "]", error)) {
+        return false;
+      }
+    }
+  }
+  if (const Json* choices = schema.find("enum")) {
+    bool matched = false;
+    for (const Json& choice : choices->items) {
+      if (json_equal(value, choice)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      error = path + ": value not in enum";
+      return false;
+    }
+  }
+  if (const Json* minimum = schema.find("minimum")) {
+    if (value.type == Json::Type::Number && value.number < minimum->number) {
+      error = path + ": below minimum " + std::to_string(minimum->number);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_check --schema FILE --trace FILE "
+               "[--require PREFIX]...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path, trace_path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--schema" && i + 1 < argc) schema_path = argv[++i];
+    else if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    else if (arg == "--require" && i + 1 < argc) required.push_back(argv[++i]);
+    else return usage();
+  }
+  if (schema_path.empty() || trace_path.empty()) return usage();
+
+  std::string schema_text, trace_text;
+  if (!read_file(schema_path, schema_text)) {
+    std::fprintf(stderr, "trace_check: cannot read %s\n", schema_path.c_str());
+    return 3;
+  }
+  if (!read_file(trace_path, trace_text)) {
+    std::fprintf(stderr, "trace_check: cannot read %s\n", trace_path.c_str());
+    return 3;
+  }
+
+  Json schema, trace;
+  std::string error;
+  if (!Parser(schema_text).parse(schema, error)) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", schema_path.c_str(),
+                 error.c_str());
+    return 4;
+  }
+  if (!Parser(trace_text).parse(trace, error)) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", trace_path.c_str(),
+                 error.c_str());
+    return 4;
+  }
+
+  if (!validate(trace, schema, "$", error)) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", trace_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  const Json* events = trace.find("traceEvents");
+  const Json* counters = trace.find("counters");
+  for (const std::string& prefix : required) {
+    bool found = false;
+    for (const Json& event : events->items) {
+      const Json* name = event.find("name");
+      if (name && name->str.rfind(prefix, 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "trace_check: no span named '%s*' in %s\n",
+                   prefix.c_str(), trace_path.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("trace_check: %s ok (%zu spans, %zu counters)\n",
+              trace_path.c_str(), events->items.size(),
+              counters->items.size());
+  return 0;
+}
