@@ -1,5 +1,7 @@
 #include "core/louvain.hpp"
 
+#include <stdexcept>
+
 #include "metrics/partition.hpp"
 #include "obs/recorder.hpp"
 #include "simt/atomics.hpp"
@@ -44,6 +46,31 @@ PhaseResult Louvain::run_phase(const Csr& graph,
 }
 
 Result Louvain::run(const Csr& graph, obs::Recorder* rec) {
+  return run_impl(graph, {}, {}, /*warm=*/false, rec);
+}
+
+Result Louvain::run_warm(const Csr& graph, std::span<const Community> seed,
+                         std::span<const graph::VertexId> frontier,
+                         obs::Recorder* rec) {
+  if (seed.size() != graph.num_vertices()) {
+    throw std::invalid_argument("run_warm: seed size != num_vertices");
+  }
+  for (const Community c : seed) {
+    if (c >= graph.num_vertices()) {
+      throw std::invalid_argument("run_warm: seed label out of range");
+    }
+  }
+  for (const graph::VertexId v : frontier) {
+    if (v >= graph.num_vertices()) {
+      throw std::invalid_argument("run_warm: frontier vertex out of range");
+    }
+  }
+  return run_impl(graph, seed, frontier, /*warm=*/true, rec);
+}
+
+Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
+                         std::span<const graph::VertexId> frontier, bool warm,
+                         obs::Recorder* rec) {
   util::Timer total_timer;
   device_->clear_spills();
 
@@ -67,11 +94,21 @@ Result Louvain::run(const Csr& graph, obs::Recorder* rec) {
     const double threshold =
         config_.thresholds.threshold_for(current.num_vertices());
 
+    // Level 0 of a warm run starts from the seeded partition and sweeps
+    // only the frontier; every later level is a normal cold phase on
+    // the (much smaller) contracted graph.
+    const bool warm_level = warm && level == 0;
     util::Timer opt_timer;
     PhaseState state;
-    state.reset(current, *device_);
-    const PhaseResult phase =
-        optimize_phase(*device_, current, config_, state, threshold, rec);
+    if (warm_level) {
+      state.reset_from(current, *device_, seed);
+    } else {
+      state.reset(current, *device_);
+    }
+    const PhaseResult phase = optimize_phase(
+        *device_, current, config_, state,
+        warm_level ? frontier : std::span<const graph::VertexId>{}, threshold,
+        rec);
     report.optimize_seconds = opt_timer.seconds();
     report.iterations = phase.sweeps;
     report.modularity_after = phase.modularity;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/aggregate.hpp"
 #include "core/config.hpp"
@@ -44,6 +45,16 @@ class Louvain {
   /// receives per-level modopt/aggregate span trees and counters.
   Result run(const graph::Csr& graph, obs::Recorder* recorder = nullptr);
 
+  /// Warm-start run (the dynamic-graph path): level 0 starts from
+  /// `seed` (one label < num_vertices per vertex) and re-optimizes only
+  /// `frontier` (empty = every vertex); subsequent levels run the
+  /// normal contraction hierarchy. The returned modularity is exact
+  /// for the final partition, directly comparable to run()'s.
+  Result run_warm(const graph::Csr& graph,
+                  std::span<const graph::Community> seed,
+                  std::span<const graph::VertexId> frontier,
+                  obs::Recorder* recorder = nullptr);
+
   /// Run a single modularity-optimization phase starting from the
   /// all-singletons partition (exposed for tests and benches).
   PhaseResult run_phase(const graph::Csr& graph,
@@ -59,6 +70,11 @@ class Louvain {
   simt::Device& device() noexcept { return *device_; }
 
  private:
+  Result run_impl(const graph::Csr& graph,
+                  std::span<const graph::Community> seed,
+                  std::span<const graph::VertexId> frontier, bool warm,
+                  obs::Recorder* recorder);
+
   Config config_;
   std::unique_ptr<simt::Device> device_;
 };

@@ -165,6 +165,34 @@ void PhaseState::reset(const Csr& graph, simt::Device& device) {
   });
 }
 
+void PhaseState::reset_from(const Csr& graph, simt::Device& device,
+                            std::span<const Community> seed) {
+  const VertexId n = graph.num_vertices();
+  assert(seed.size() == n);
+  strengths.resize(n);
+  loops.resize(n);
+  community.resize(n);
+  new_comm.resize(n);
+  tot.resize(n);
+  com_size.resize(n);
+  move_gain.resize(n);
+  device.for_each(n, [&](std::size_t v) {
+    const auto vid = static_cast<VertexId>(v);
+    assert(seed[v] < n);
+    strengths[v] = graph.strength(vid);
+    loops[v] = graph.loop_weight(vid);
+    community[v] = seed[v];
+    new_comm[v] = seed[v];
+    tot[v] = 0;
+    com_size[v] = 0;
+    move_gain[v] = 0;
+  });
+  device.for_each(n, [&](std::size_t v) {
+    simt::atomic_add(tot[seed[v]], strengths[v]);
+    simt::atomic_add(com_size[seed[v]], VertexId{1});
+  });
+}
+
 double device_modularity(simt::Device& device, const Csr& graph,
                          const std::vector<Community>& community,
                          const std::vector<Weight>& tot) {
@@ -198,20 +226,41 @@ double device_modularity(simt::Device& device, const Csr& graph,
 PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
                            const Config& config, PhaseState& state,
                            double threshold, obs::Recorder* rec) {
+  return optimize_phase(device, graph, config, state,
+                        std::span<const VertexId>{}, threshold, rec);
+}
+
+PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
+                           const Config& config, PhaseState& state,
+                           std::span<const VertexId> active,
+                           double threshold, obs::Recorder* rec) {
   const VertexId n = graph.num_vertices();
   const Weight m2 = graph.total_weight();
   PhaseResult result;
   if (n == 0 || m2 <= 0) return result;
   obs::Span phase_span(rec, "modopt");
 
+  // An empty subset means the classic full phase over every vertex.
+  std::vector<VertexId> all;
+  if (active.empty()) {
+    all.resize(n);
+    device.for_each(n, [&](std::size_t v) { all[v] = static_cast<VertexId>(v); });
+    active = all;
+  }
+  const std::size_t num_active = active.size();
+
   const BucketScheme& scheme = config.modopt_buckets;
   // Degrees are fixed within a phase, so one binning serves every sweep
   // (the pseudocode re-partitions per sweep; the result is identical).
-  const Binned binned = [&] {
+  // Binning runs over subset positions, then maps back to vertex ids.
+  Binned binned = [&] {
     obs::Span span(rec, "modopt/binning");
     return bin_by_key(
-        n, scheme, [&](VertexId v) { return graph.degree(v); }, device.pool());
+        num_active, scheme,
+        [&](VertexId i) { return graph.degree(active[i]); }, device.pool());
   }();
+  device.for_each(num_active,
+                  [&](std::size_t i) { binned.order[i] = active[binned.order[i]]; });
   if (rec) {
     for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
       rec->count("modopt/bucket_occupancy",
@@ -265,7 +314,7 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
         for (VertexId v : classes[s]) order[at++] = v;
       }
     }
-    sub_begin.back() = n;
+    sub_begin.back() = num_active;
   }
   if (rec) rec->end_span(order_span);
 
@@ -340,7 +389,8 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     if (result.sweeps == 1) result.first_sweep_seconds = sweep_timer.seconds();
     if (rec) {
       rec->count("modopt/moved_frac",
-                 static_cast<double>(sweep_moved) / static_cast<double>(n),
+                 static_cast<double>(sweep_moved) /
+                     static_cast<double>(num_active),
                  result.sweeps - 1);
     }
 

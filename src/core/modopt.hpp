@@ -2,6 +2,7 @@
 // the software SIMT device.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
@@ -29,6 +30,12 @@ struct PhaseState {
 
   /// Initialize for a fresh phase: every vertex its own community.
   void reset(const graph::Csr& graph, simt::Device& device);
+
+  /// Initialize from an existing partition (warm start): `seed` holds
+  /// one community label < graph.num_vertices() per vertex; a_c and
+  /// |c| are accumulated from the members. Labels need not be dense.
+  void reset_from(const graph::Csr& graph, simt::Device& device,
+                  std::span<const graph::Community> seed);
 };
 
 struct PhaseResult {
@@ -46,6 +53,17 @@ struct PhaseResult {
 /// evaluations — plus bucket-occupancy / moved-fraction counters.
 PhaseResult optimize_phase(simt::Device& device, const graph::Csr& graph,
                            const Config& config, PhaseState& state,
+                           double threshold,
+                           obs::Recorder* recorder = nullptr);
+
+/// Restricted phase for warm starts: only the vertices in `active` are
+/// binned into the degree buckets and may move; everything else keeps
+/// its seeded community (use PhaseState::reset_from first). The
+/// stopping rule and the modularity evaluation still see the whole
+/// graph, so the returned modularity is exact.
+PhaseResult optimize_phase(simt::Device& device, const graph::Csr& graph,
+                           const Config& config, PhaseState& state,
+                           std::span<const graph::VertexId> active,
                            double threshold,
                            obs::Recorder* recorder = nullptr);
 

@@ -8,9 +8,26 @@
 // below every backend.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "core/common.hpp"
 
 namespace glouvain::detect {
+
+/// Warm-start request: seed the level-0 partition from a previous run
+/// instead of all-singletons and re-optimize only `frontier` before
+/// falling through to the normal aggregation hierarchy. Produced by the
+/// stream subsystem (stream::Session computes the frontier from a
+/// delta); honored by the "core" and "seq" backends, ignored — a full
+/// cold run, never a stale result — by backends without a warm path.
+struct WarmStart {
+  /// Previous partition: one dense label (< num_vertices) per vertex.
+  std::vector<graph::Community> seed;
+  /// Vertices the level-0 sweep may move; empty = every vertex (a full
+  /// re-optimization that still skips the singleton bootstrap).
+  std::vector<graph::VertexId> frontier;
+};
 
 struct Options {
   /// The paper's adaptive t_bin/t_final schedule (§5).
@@ -21,6 +38,9 @@ struct Options {
   /// hardware concurrency), the shared pool for `plm` (0 = global pool
   /// as-is); ignored by the strictly sequential backend.
   unsigned threads = 0;
+  /// Null = cold start. Shared so copying Options never copies the
+  /// O(n) seed/frontier arrays.
+  std::shared_ptr<const WarmStart> warm_start;
 };
 
 }  // namespace glouvain::detect

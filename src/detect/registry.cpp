@@ -32,6 +32,8 @@ class CoreDetector final : public Detector {
              obs::Recorder* recorder) override {
     core::Config cfg = base_;
     static_cast<Options&>(cfg) = options;
+    cfg.warm_start.reset();  // passed explicitly below; keep the kept
+                             // config from pinning the seed arrays
     const unsigned want =
         cfg.device.worker_threads ? cfg.device.worker_threads : cfg.threads;
     if (!runner_ || want != runner_threads_) {
@@ -39,6 +41,10 @@ class CoreDetector final : public Detector {
       runner_threads_ = want;
     } else {
       runner_->set_config(cfg);
+    }
+    if (options.warm_start) {
+      return runner_->run_warm(graph, options.warm_start->seed,
+                               options.warm_start->frontier, recorder);
     }
     return runner_->run(graph, recorder);
   }
@@ -57,6 +63,11 @@ class SeqDetector final : public Detector {
              obs::Recorder* recorder) override {
     seq::Config cfg;
     static_cast<Options&>(cfg) = options;
+    if (options.warm_start) {
+      return from_louvain(seq::louvain_warm(graph, options.warm_start->seed,
+                                            options.warm_start->frontier, cfg,
+                                            recorder));
+    }
     return from_louvain(seq::louvain(graph, cfg, recorder));
   }
 };

@@ -1,0 +1,130 @@
+#include "gen/churn.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_set>
+#include <utility>
+
+#include "util/prng.hpp"
+
+namespace glouvain::gen {
+
+namespace {
+
+using graph::Community;
+using graph::VertexId;
+
+std::uint64_t edge_key(VertexId u, VertexId v) noexcept {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// The evolving undirected edge set: a swap-erase vector for uniform
+/// sampling plus a hash set for O(1) membership.
+struct EdgeSet {
+  std::vector<std::pair<VertexId, VertexId>> list;
+  std::unordered_set<std::uint64_t> present;
+
+  bool contains(VertexId u, VertexId v) const {
+    return present.count(edge_key(u, v)) != 0;
+  }
+
+  void insert(VertexId u, VertexId v) {
+    present.insert(edge_key(u, v));
+    list.emplace_back(u, v);
+  }
+
+  /// Remove and return a uniformly random edge.
+  std::pair<VertexId, VertexId> pop_random(util::Xoshiro256& rng) {
+    const std::size_t i = rng.next_below(list.size());
+    const auto edge = list[i];
+    list[i] = list.back();
+    list.pop_back();
+    present.erase(edge_key(edge.first, edge.second));
+    return edge;
+  }
+};
+
+}  // namespace
+
+std::vector<stream::Delta> churn(const graph::Csr& graph,
+                                 std::span<const Community> community,
+                                 const ChurnParams& params) {
+  const VertexId n = graph.num_vertices();
+  util::Xoshiro256 rng(params.seed);
+
+  EdgeSet edges;
+  edges.list.reserve(graph.num_arcs() / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : graph.neighbors(u)) {
+      if (u <= v) edges.insert(u, v);  // each undirected edge once
+    }
+  }
+
+  // Members of every community, for intra-community endpoint sampling.
+  Community num_comms = 0;
+  for (VertexId v = 0; v < n && v < community.size(); ++v) {
+    num_comms = std::max(num_comms, static_cast<Community>(community[v] + 1));
+  }
+  std::vector<std::vector<VertexId>> members(num_comms);
+  for (VertexId v = 0; v < n && v < community.size(); ++v) {
+    members[community[v]].push_back(v);
+  }
+
+  std::vector<stream::Delta> deltas;
+  deltas.reserve(params.epochs);
+  for (std::uint64_t epoch = 0; epoch < params.epochs; ++epoch) {
+    stream::Delta delta;
+    delta.stamp = epoch + 1;
+
+    const std::size_t churn_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(params.churn_fraction *
+                                    static_cast<double>(edges.list.size())));
+
+    for (std::size_t i = 0; i < churn_count && !edges.list.empty(); ++i) {
+      const auto [u, v] = edges.pop_random(rng);
+      delta.deletions.push_back({u, v, 1.0});
+    }
+
+    // Merging epochs stitch one random community pair together.
+    Community merge_a = 0;
+    Community merge_b = 0;
+    if (params.mode == ChurnMode::CommunityMerging && num_comms >= 2) {
+      merge_a = static_cast<Community>(rng.next_below(num_comms));
+      do {
+        merge_b = static_cast<Community>(rng.next_below(num_comms));
+      } while (merge_b == merge_a);
+    }
+
+    std::size_t inserted = 0;
+    // Rejection sampling: duplicate or degenerate picks retry, with a
+    // generous attempt bound so near-clique communities cannot spin.
+    for (std::size_t attempt = 0;
+         inserted < churn_count && attempt < churn_count * 64; ++attempt) {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (params.mode == ChurnMode::CommunityMerging && num_comms >= 2) {
+        const auto& from = members[merge_a];
+        const auto& to = members[merge_b];
+        if (from.empty() || to.empty()) break;
+        u = from[rng.next_below(from.size())];
+        v = to[rng.next_below(to.size())];
+      } else {
+        if (num_comms == 0) break;  // no labels: nothing to preserve
+        const auto& pool = members[rng.next_below(num_comms)];
+        if (pool.size() < 2) continue;
+        u = pool[rng.next_below(pool.size())];
+        v = pool[rng.next_below(pool.size())];
+      }
+      if (u == v || edges.contains(u, v)) continue;
+      edges.insert(u, v);
+      delta.insertions.push_back({u, v, 1.0});
+      ++inserted;
+    }
+
+    deltas.push_back(std::move(delta));
+  }
+  return deltas;
+}
+
+}  // namespace glouvain::gen

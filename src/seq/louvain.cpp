@@ -1,6 +1,7 @@
 #include "seq/louvain.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "graph/ops.hpp"
 #include "metrics/partition.hpp"
@@ -26,24 +27,46 @@ double modularity_from(const std::vector<Weight>& in,
   return q;
 }
 
-}  // namespace
-
-int optimize_phase(const Csr& graph, std::vector<Community>& community,
-                   double threshold, int max_sweeps, double* final_modularity,
-                   obs::Recorder* rec) {
+/// The shared phase body. A non-empty `seed` replaces the singleton
+/// bootstrap (in/tot are accumulated from the seeded membership); a
+/// non-empty `active` restricts the sweep to those vertices — everyone
+/// else keeps its community but still participates in every gain term,
+/// so the maintained modularity stays exact.
+int phase_impl(const Csr& graph, std::vector<Community>& community,
+               double threshold, int max_sweeps, double* final_modularity,
+               obs::Recorder* rec, std::span<const Community> seed,
+               std::span<const VertexId> active) {
   const VertexId n = graph.num_vertices();
   const Weight m2 = graph.total_weight();
-
-  community.assign(n, 0);
-  for (VertexId v = 0; v < n; ++v) community[v] = v;
 
   std::vector<Weight> strengths = graph.compute_strengths();
   std::vector<Weight> loops(n);
   for (VertexId v = 0; v < n; ++v) loops[v] = graph.loop_weight(v);
 
-  std::vector<Weight> tot = strengths;              // one community per vertex
-  std::vector<Weight> in(n);
-  for (VertexId v = 0; v < n; ++v) in[v] = loops[v];
+  std::vector<Weight> tot;
+  std::vector<Weight> in;
+  if (seed.empty()) {
+    community.assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) community[v] = v;
+    tot = strengths;  // one community per vertex
+    in.assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) in[v] = loops[v];
+  } else {
+    community.assign(seed.begin(), seed.end());
+    tot.assign(n, 0);
+    in.assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      const Community c = community[v];
+      tot[c] += strengths[v];
+      Weight internal = loops[v];
+      auto nbrs = graph.neighbors(v);
+      auto ws = graph.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i] != v && community[nbrs[i]] == c) internal += ws[i];
+      }
+      in[c] += internal;  // each internal edge lands twice, once per end
+    }
+  }
 
   // Sparse neighbour-community accumulator (the "hash table" of the
   // sequential algorithm): value array indexed by community plus the
@@ -54,6 +77,7 @@ int optimize_phase(const Csr& graph, std::vector<Community>& community,
 
   double current_q = modularity_from(in, tot, m2);
   int sweeps = 0;
+  const std::size_t sweep_size = active.empty() ? n : active.size();
 
   while (sweeps < max_sweeps) {
     ++sweeps;
@@ -61,7 +85,8 @@ int optimize_phase(const Csr& graph, std::vector<Community>& community,
     bool moved = false;
     std::size_t moved_count = 0;
 
-    for (VertexId v = 0; v < n; ++v) {
+    for (std::size_t idx = 0; idx < sweep_size; ++idx) {
+      const VertexId v = active.empty() ? static_cast<VertexId>(idx) : active[idx];
       const Community old_c = community[v];
       const Weight k = strengths[v];
 
@@ -114,9 +139,10 @@ int optimize_phase(const Csr& graph, std::vector<Community>& community,
       for (const Community c : touched) neigh_weight[c] = -1;
     }
 
-    if (rec && n > 0) {
+    if (rec && sweep_size > 0) {
       rec->count("modopt/moved_frac",
-                 static_cast<double>(moved_count) / static_cast<double>(n),
+                 static_cast<double>(moved_count) /
+                     static_cast<double>(sweep_size),
                  sweeps - 1);
     }
 
@@ -131,8 +157,10 @@ int optimize_phase(const Csr& graph, std::vector<Community>& community,
   return sweeps;
 }
 
-LouvainResult louvain(const Csr& graph, const Config& config,
-                      obs::Recorder* rec) {
+/// Shared multi-level driver; seed/active apply to level 0 only.
+LouvainResult run_impl(const Csr& graph, const Config& config,
+                       obs::Recorder* rec, std::span<const Community> seed,
+                       std::span<const VertexId> active) {
   util::Timer total_timer;
   LouvainResult result;
   result.community.resize(graph.num_vertices());
@@ -155,8 +183,11 @@ LouvainResult louvain(const Csr& graph, const Config& config,
     double q = 0;
     {
       obs::Span opt_span(rec, "modopt");
-      report.iterations = optimize_phase(current, phase_community, threshold,
-                                         config.max_sweeps_per_level, &q, rec);
+      const bool warm_level = level == 0 && !seed.empty();
+      report.iterations = phase_impl(
+          current, phase_community, threshold, config.max_sweeps_per_level, &q,
+          rec, warm_level ? seed : std::span<const Community>{},
+          warm_level ? active : std::span<const VertexId>{});
     }
     report.optimize_seconds = opt_timer.seconds();
     report.modularity_after = q;
@@ -199,6 +230,39 @@ LouvainResult louvain(const Csr& graph, const Config& config,
   result.modularity = prev_q;
   result.total_seconds = total_timer.seconds();
   return result;
+}
+
+}  // namespace
+
+int optimize_phase(const Csr& graph, std::vector<Community>& community,
+                   double threshold, int max_sweeps, double* final_modularity,
+                   obs::Recorder* rec) {
+  return phase_impl(graph, community, threshold, max_sweeps, final_modularity,
+                    rec, {}, {});
+}
+
+LouvainResult louvain(const Csr& graph, const Config& config,
+                      obs::Recorder* rec) {
+  return run_impl(graph, config, rec, {}, {});
+}
+
+LouvainResult louvain_warm(const Csr& graph, std::span<const Community> seed,
+                           std::span<const VertexId> active,
+                           const Config& config, obs::Recorder* rec) {
+  if (seed.size() != graph.num_vertices()) {
+    throw std::invalid_argument("louvain_warm: seed size != num_vertices");
+  }
+  for (const Community c : seed) {
+    if (c >= graph.num_vertices()) {
+      throw std::invalid_argument("louvain_warm: seed label out of range");
+    }
+  }
+  for (const VertexId v : active) {
+    if (v >= graph.num_vertices()) {
+      throw std::invalid_argument("louvain_warm: active vertex out of range");
+    }
+  }
+  return run_impl(graph, config, rec, seed, active);
 }
 
 }  // namespace glouvain::seq

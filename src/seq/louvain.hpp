@@ -6,6 +6,8 @@
 // the coarse t_bin threshold on large intermediate graphs.
 #pragma once
 
+#include <span>
+
 #include "core/common.hpp"
 #include "detect/options.hpp"
 #include "graph/csr.hpp"
@@ -27,6 +29,18 @@ struct Config : detect::Options {
 /// "modopt"/"aggregate" spans comparable with the core backend's.
 LouvainResult louvain(const graph::Csr& graph, const Config& config = {},
                       obs::Recorder* recorder = nullptr);
+
+/// Warm-start run (the dynamic-graph path): level 0 starts from `seed`
+/// (one label < num_vertices per vertex, need not be dense) and sweeps
+/// only the vertices in `active` (empty = all of them); later levels
+/// run the normal contraction hierarchy. The returned modularity is
+/// exact for the final partition, comparable to louvain()'s. Throws
+/// std::invalid_argument on a malformed seed or frontier.
+LouvainResult louvain_warm(const graph::Csr& graph,
+                           std::span<const graph::Community> seed,
+                           std::span<const graph::VertexId> active,
+                           const Config& config = {},
+                           obs::Recorder* recorder = nullptr);
 
 /// One modularity-optimization phase on `graph` starting from the
 /// all-singletons partition; `community` receives the result (dense

@@ -1,0 +1,186 @@
+#include "stream/apply.hpp"
+
+#include <algorithm>
+
+#include "prim/scan.hpp"
+#include "prim/sort.hpp"
+
+namespace glouvain::stream {
+
+namespace {
+
+using graph::Csr;
+using graph::Edge;
+using graph::EdgeIdx;
+using graph::VertexId;
+using graph::Weight;
+
+/// One directed half of a delta entry, owned by the row it lands in.
+/// Deletions sort before insertions of the same (owner, nbr) so a
+/// "delete then re-insert" batch replaces the edge's weight.
+struct DeltaArc {
+  VertexId owner = 0;
+  VertexId nbr = 0;
+  Weight w = 0;
+  bool del = false;
+};
+
+bool arc_less(const DeltaArc& a, const DeltaArc& b) noexcept {
+  if (a.owner != b.owner) return a.owner < b.owner;
+  if (a.nbr != b.nbr) return a.nbr < b.nbr;
+  return a.del && !b.del;
+}
+
+/// Merge one old row with its sorted delta arcs. Emit(nbr, weight) is
+/// called in increasing nbr order; Stat(nbr, was_present, has_del,
+/// ins_w) is called once per distinct delta nbr for the applied-count
+/// bookkeeping. Either may be a no-op lambda.
+template <typename EmitFn, typename StatFn>
+void merge_row(std::span<const VertexId> old_nbrs, std::span<const Weight> old_ws,
+               std::span<const DeltaArc> arcs, EmitFn&& emit, StatFn&& stat) {
+  std::size_t i = 0;  // old row cursor
+  std::size_t j = 0;  // delta cursor
+  while (i < old_nbrs.size() || j < arcs.size()) {
+    if (j == arcs.size() ||
+        (i < old_nbrs.size() && old_nbrs[i] < arcs[j].nbr)) {
+      emit(old_nbrs[i], old_ws[i]);
+      ++i;
+      continue;
+    }
+    // A delta group for one neighbour: deletions first, then inserts.
+    const VertexId nbr = arcs[j].nbr;
+    bool has_del = false;
+    Weight ins_w = 0;
+    for (; j < arcs.size() && arcs[j].nbr == nbr; ++j) {
+      if (arcs[j].del) {
+        has_del = true;
+      } else {
+        ins_w += arcs[j].w;
+      }
+    }
+    const bool was_present = i < old_nbrs.size() && old_nbrs[i] == nbr;
+    Weight base = 0;
+    if (was_present) {
+      if (!has_del) base = old_ws[i];
+      ++i;
+    }
+    stat(nbr, was_present, has_del, ins_w);
+    if ((was_present && !has_del) || ins_w > 0) emit(nbr, base + ins_w);
+  }
+}
+
+}  // namespace
+
+ApplyResult apply_delta(const Csr& graph, const Delta& delta,
+                        simt::ThreadPool& pool) {
+  const VertexId old_n = graph.num_vertices();
+
+  // Insertions may name vertices beyond the current count: grow.
+  VertexId new_n = old_n;
+  for (const Edge& e : delta.insertions) {
+    if (e.w <= 0) continue;
+    new_n = std::max({new_n, static_cast<VertexId>(e.u + 1),
+                      static_cast<VertexId>(e.v + 1)});
+  }
+
+  // Expand each entry into its directed halves (loops once, matching
+  // the Csr storage convention). Deletions touching a vertex that does
+  // not exist yet cannot match an edge and are dropped here.
+  std::vector<DeltaArc> arcs;
+  arcs.reserve(2 * delta.size());
+  for (const Edge& e : delta.deletions) {
+    if (e.u >= old_n || e.v >= old_n) continue;
+    arcs.push_back({e.u, e.v, 0, true});
+    if (e.u != e.v) arcs.push_back({e.v, e.u, 0, true});
+  }
+  for (const Edge& e : delta.insertions) {
+    if (e.w <= 0) continue;
+    arcs.push_back({e.u, e.v, e.w, false});
+    if (e.u != e.v) arcs.push_back({e.v, e.u, e.w, false});
+  }
+  prim::sort(std::span<DeltaArc>(arcs), arc_less, pool);
+
+  // Touched owners (sorted unique) and each owner's arc range.
+  ApplyResult result;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (std::size_t a = 0; a < arcs.size();) {
+    std::size_t b = a;
+    while (b < arcs.size() && arcs[b].owner == arcs[a].owner) ++b;
+    result.touched.push_back(arcs[a].owner);
+    ranges.emplace_back(a, b);
+    a = b;
+  }
+
+  // Pass A: merged degree of every touched row, plus the applied-entry
+  // counts (taken on the owner <= nbr half so undirected edges count
+  // once).
+  std::vector<EdgeIdx> new_degree(new_n, 0);
+  pool.parallel_for(old_n, [&](std::size_t v, unsigned) {
+    new_degree[v] = graph.degree(static_cast<VertexId>(v));
+  });
+  std::vector<std::size_t> ins_partial(pool.size(), 0);
+  std::vector<std::size_t> del_partial(pool.size(), 0);
+  pool.parallel_for(result.touched.size(), [&](std::size_t t, unsigned worker) {
+    const VertexId v = result.touched[t];
+    const auto [a, b] = ranges[t];
+    const bool existing = v < old_n;
+    EdgeIdx count = 0;
+    merge_row(existing ? graph.neighbors(v) : std::span<const VertexId>{},
+              existing ? graph.weights(v) : std::span<const Weight>{},
+              std::span<const DeltaArc>(arcs.data() + a, b - a),
+              [&](VertexId, Weight) { ++count; },
+              [&](VertexId nbr, bool was_present, bool has_del, Weight ins_w) {
+                if (v > nbr) return;  // count undirected edges once
+                if (has_del && was_present) ++del_partial[worker];
+                if (ins_w > 0) ++ins_partial[worker];
+              });
+    new_degree[v] = count;
+  });
+  for (unsigned w = 0; w < pool.size(); ++w) {
+    result.inserted += ins_partial[w];
+    result.deleted += del_partial[w];
+  }
+
+  // New offsets (Thrust-style scan), then the row copy/merge pass.
+  std::vector<EdgeIdx> offsets(static_cast<std::size_t>(new_n) + 1, 0);
+  offsets[new_n] = prim::exclusive_scan(
+      std::span<const EdgeIdx>(new_degree),
+      std::span<EdgeIdx>(offsets.data(), new_n), pool);
+
+  std::vector<std::uint32_t> touch_slot(new_n, ~0u);
+  for (std::size_t t = 0; t < result.touched.size(); ++t) {
+    touch_slot[result.touched[t]] = static_cast<std::uint32_t>(t);
+  }
+
+  std::vector<VertexId> adj(offsets[new_n]);
+  std::vector<Weight> weights(offsets[new_n]);
+  pool.parallel_for(new_n, [&](std::size_t vi, unsigned) {
+    const auto v = static_cast<VertexId>(vi);
+    EdgeIdx out = offsets[vi];
+    const std::uint32_t slot = touch_slot[vi];
+    if (slot == ~0u) {
+      if (v >= old_n) return;  // new isolated vertex (none in practice)
+      const auto nbrs = graph.neighbors(v);
+      const auto ws = graph.weights(v);
+      std::copy(nbrs.begin(), nbrs.end(), adj.begin() + static_cast<std::ptrdiff_t>(out));
+      std::copy(ws.begin(), ws.end(), weights.begin() + static_cast<std::ptrdiff_t>(out));
+      return;
+    }
+    const auto [a, b] = ranges[slot];
+    const bool existing = v < old_n;
+    merge_row(existing ? graph.neighbors(v) : std::span<const VertexId>{},
+              existing ? graph.weights(v) : std::span<const Weight>{},
+              std::span<const DeltaArc>(arcs.data() + a, b - a),
+              [&](VertexId nbr, Weight w) {
+                adj[out] = nbr;
+                weights[out] = w;
+                ++out;
+              },
+              [](VertexId, bool, bool, Weight) {});
+  });
+
+  result.graph = Csr(std::move(offsets), std::move(adj), std::move(weights));
+  return result;
+}
+
+}  // namespace glouvain::stream

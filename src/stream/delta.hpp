@@ -1,0 +1,38 @@
+// The mutation currency of the dynamic-graph subsystem: one Delta is a
+// timestamped batch of edge insertions and deletions applied atomically
+// to a stream::Session (or directly via stream::apply_delta).
+//
+// Semantics, chosen to match "rebuild the mutated edge list from
+// scratch" exactly:
+//   * a deletion {u, v} removes the undirected edge entirely (whatever
+//     its accumulated weight); deleting an absent edge is a no-op;
+//   * an insertion {u, v, w} adds w to the edge's weight, creating the
+//     edge (or self-loop, once, per the Csr conventions) if absent;
+//   * within one batch every deletion is applied before any insertion,
+//     so "delete then re-insert" replaces an edge's weight;
+//   * insertion endpoints beyond the current vertex count grow the
+//     graph (new vertices start isolated except for their new edges).
+// Header-only so gen::churn can produce Deltas without linking stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace glouvain::stream {
+
+struct Delta {
+  /// Batch timestamp (epoch index for generated churn; informational).
+  std::uint64_t stamp = 0;
+  std::vector<graph::Edge> insertions;
+  std::vector<graph::Edge> deletions;
+
+  std::size_t size() const noexcept {
+    return insertions.size() + deletions.size();
+  }
+  bool empty() const noexcept { return insertions.empty() && deletions.empty(); }
+};
+
+}  // namespace glouvain::stream

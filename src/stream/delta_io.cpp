@@ -1,0 +1,82 @@
+#include "stream/delta_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace glouvain::stream {
+
+namespace {
+
+util::Status bad_line(std::size_t line_no, const std::string& line) {
+  return util::Status::invalid_argument("delta file line " +
+                                       std::to_string(line_no) +
+                                       ": malformed: '" + line + "'");
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<Delta>> try_load_deltas(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::not_found("cannot open " + path);
+
+  std::vector<Delta> deltas;
+  bool open_batch = false;  // the implicit batch 0 is created lazily
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;  // blank
+    if (head[0] == '#' || head[0] == '%') continue;
+
+    if (head == "batch") {
+      Delta next;
+      ls >> next.stamp;  // optional; default 0
+      deltas.push_back(std::move(next));
+      open_batch = true;
+      continue;
+    }
+
+    if (head != "+" && head != "-") return bad_line(line_no, line);
+    graph::Edge e;
+    if (!(ls >> e.u >> e.v)) return bad_line(line_no, line);
+    e.w = 1;
+    if (head == "+") ls >> e.w;  // optional weight, insertions only
+
+    if (!open_batch) {
+      deltas.emplace_back();
+      open_batch = true;
+    }
+    if (head == "+") {
+      deltas.back().insertions.push_back(e);
+    } else {
+      deltas.back().deletions.push_back(e);
+    }
+  }
+  if (in.bad()) return util::Status::io_error("read failed on " + path);
+  return deltas;
+}
+
+util::Status try_save_deltas(const std::vector<Delta>& deltas,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::io_error("cannot open " + path +
+                                          " for writing");
+  for (const Delta& d : deltas) {
+    out << "batch " << d.stamp << "\n";
+    for (const graph::Edge& e : d.deletions) {
+      out << "- " << e.u << ' ' << e.v << "\n";
+    }
+    for (const graph::Edge& e : d.insertions) {
+      out << "+ " << e.u << ' ' << e.v << ' ' << e.w << "\n";
+    }
+  }
+  out.flush();
+  if (!out) return util::Status::io_error("write failed on " + path);
+  return util::Status::ok_status();
+}
+
+}  // namespace glouvain::stream

@@ -1,0 +1,61 @@
+#include "stream/frontier.hpp"
+
+#include <algorithm>
+
+#include "simt/atomics.hpp"
+
+namespace glouvain::stream {
+
+namespace {
+using graph::Community;
+using graph::VertexId;
+}  // namespace
+
+std::vector<VertexId> compute_frontier(const graph::Csr& graph,
+                                       std::span<const Community> community,
+                                       std::span<const VertexId> touched,
+                                       const FrontierOptions& options,
+                                       simt::ThreadPool& pool) {
+  const VertexId n = graph.num_vertices();
+  std::vector<std::uint8_t> in_frontier(n, 0);
+  for (const VertexId v : touched) in_frontier[v] = 1;
+  // Vertices the delta created have no seeded community yet.
+  for (VertexId v = static_cast<VertexId>(community.size()); v < n; ++v) {
+    in_frontier[v] = 1;
+  }
+
+  if (options.community_closure && !community.empty()) {
+    // Mark the communities of the seeds, then sweep every vertex once.
+    Community max_label = 0;
+    for (const Community c : community) max_label = std::max(max_label, c);
+    std::vector<std::uint8_t> affected(static_cast<std::size_t>(max_label) + 1, 0);
+    for (const VertexId v : touched) {
+      if (v < community.size()) affected[community[v]] = 1;
+    }
+    pool.parallel_for(community.size(), [&](std::size_t v, unsigned) {
+      if (affected[community[v]]) in_frontier[v] = 1;
+    });
+  }
+
+  for (unsigned hop = 0; hop < options.hops; ++hop) {
+    std::vector<std::uint8_t> next(in_frontier);
+    pool.parallel_for(n, [&](std::size_t vi, unsigned) {
+      if (next[vi]) return;
+      for (const VertexId j : graph.neighbors(static_cast<VertexId>(vi))) {
+        if (in_frontier[j]) {
+          next[vi] = 1;
+          return;
+        }
+      }
+    });
+    in_frontier.swap(next);
+  }
+
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_frontier[v]) frontier.push_back(v);
+  }
+  return frontier;
+}
+
+}  // namespace glouvain::stream

@@ -1,0 +1,39 @@
+// Affected-vertex frontier of a delta: the vertex set the warm-start
+// sweep re-optimizes. Rule (see DESIGN.md "Streaming"):
+//
+//   frontier = touched endpoints
+//            ∪ members of every community containing a touched endpoint
+//              (community closure — a changed edge can shift the best
+//              destination of any member of the communities it joins)
+//            ∪ `hops` further adjacency expansions over the new graph.
+//
+// Everything outside the frontier keeps its seeded community during the
+// warm level-0 sweep; the normal aggregation hierarchy then runs on the
+// contracted graph as usual.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::stream {
+
+struct FrontierOptions {
+  /// Include every member of a touched endpoint's current community.
+  bool community_closure = true;
+  /// Extra adjacency expansions after the closure (0 = none).
+  unsigned hops = 0;
+};
+
+/// `community` is the pre-delta partition with dense labels; vertices
+/// of `graph` beyond community.size() (vertices the delta created) are
+/// frontier members automatically. `touched` must be sorted unique ids
+/// below graph.num_vertices(). Returns sorted unique vertex ids.
+std::vector<graph::VertexId> compute_frontier(
+    const graph::Csr& graph, std::span<const graph::Community> community,
+    std::span<const graph::VertexId> touched, const FrontierOptions& options = {},
+    simt::ThreadPool& pool = simt::ThreadPool::global());
+
+}  // namespace glouvain::stream

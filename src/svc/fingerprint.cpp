@@ -54,4 +54,35 @@ Fingerprint fingerprint(const graph::Csr& graph) {
   return {a.state, b.state};
 }
 
+Fingerprint job_key(const Fingerprint& graph_fp, std::string_view backend,
+                    const detect::Options& options, std::uint64_t session,
+                    std::uint64_t epoch) {
+  Mixer a{graph_fp.hi};
+  Mixer b{graph_fp.lo};
+
+  a.absorb(backend.size());
+  for (const char c : backend) {
+    a.absorb(static_cast<unsigned char>(c));
+    b.absorb(static_cast<unsigned char>(c) ^ 0x6bULL);
+  }
+
+  const auto absorb_double = [&](double x) {
+    const auto bits = std::bit_cast<std::uint64_t>(x);
+    a.absorb(bits);
+    b.absorb(bits ^ 0xa5a5a5a5a5a5a5a5ULL);
+  };
+  absorb_double(options.thresholds.t_bin);
+  absorb_double(options.thresholds.t_final);
+  a.absorb(options.thresholds.adaptive_limit);
+  b.absorb(options.thresholds.adaptive ? 1 : 2);
+  a.absorb(static_cast<std::uint64_t>(options.max_levels));
+  b.absorb(static_cast<std::uint64_t>(options.max_sweeps_per_level));
+
+  a.absorb(session);
+  b.absorb(session + 0x2545f4914f6cdd1dULL);
+  a.absorb(epoch);
+  b.absorb(~epoch);
+  return {a.state, b.state};
+}
+
 }  // namespace glouvain::svc

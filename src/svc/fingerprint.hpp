@@ -10,7 +10,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
+#include "detect/options.hpp"
 #include "graph/csr.hpp"
 
 namespace glouvain::svc {
@@ -34,5 +36,16 @@ struct FingerprintHash {
 
 /// Hash the CSR arrays. O(n + m); single pass, no allocation.
 Fingerprint fingerprint(const graph::Csr& graph);
+
+/// The result cache's actual key: the graph fingerprint folded with
+/// everything else that determines the answer — the backend name, the
+/// quality-relevant algorithm options (thresholds, level/sweep caps;
+/// NOT `threads`, which only changes speed), and for dynamic-graph
+/// sessions the (session, delta-epoch) pair, so a cached result never
+/// outlives a mutation and two sessions at the same epoch never alias.
+/// O(1); cheap enough to call per submit.
+Fingerprint job_key(const Fingerprint& graph_fp, std::string_view backend,
+                    const detect::Options& options, std::uint64_t session = 0,
+                    std::uint64_t epoch = 0);
 
 }  // namespace glouvain::svc

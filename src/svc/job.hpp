@@ -16,6 +16,10 @@ namespace glouvain::svc {
 using JobId = std::uint64_t;
 inline constexpr JobId kInvalidJob = 0;
 
+/// Handle of a long-lived dynamic-graph session (Service::open_session).
+using SessionId = std::uint64_t;
+inline constexpr SessionId kInvalidSession = 0;
+
 /// Which detection engine runs the job. Auto applies the scheduler's
 /// degradation policy: jobs whose estimated cost (n + m from the CSR
 /// header) is below ServiceConfig::seq_cost_limit are routed to the

@@ -19,7 +19,38 @@ using Clock = std::chrono::steady_clock;
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
+
+Backend backend_from_name(std::string_view name) noexcept {
+  if (name == "core") return Backend::Core;
+  if (name == "seq") return Backend::Seq;
+  if (name == "plm") return Backend::Plm;
+  if (name == "multi") return Backend::Multi;
+  return Backend::Auto;  // custom registry backends count as "other"
+}
 }  // namespace
+
+/// One dynamic-graph session. `session` (the mutable graph + warm
+/// detector) is touched only by open_session() before publication and
+/// by the pinned device worker afterwards — never under Impl::m. The
+/// snapshot fields below it are guarded by Impl::m and exist so
+/// session_info() never has to look at `session` itself.
+struct Service::SessionState {
+  explicit SessionState(stream::Session s) : session(std::move(s)) {}
+
+  SessionId id = kInvalidSession;
+  unsigned pinned = 0;   ///< device worker that runs this session's jobs
+  int priority = 0;      ///< fixed priority of every ApplyDelta job
+  Fingerprint base_fp;   ///< fingerprint of the graph at epoch 0
+  stream::Session session;
+
+  // ---- guarded by Impl::m ----
+  std::uint64_t epoch = 0;
+  graph::VertexId num_vertices = 0;
+  graph::EdgeIdx num_arcs = 0;
+  double modularity = 0;
+  std::size_t outstanding = 0;  ///< queued + running delta jobs
+  std::uint64_t enqueued = 0;   ///< deltas ever admitted (epoch targets)
+};
 
 const char* to_string(JobStatus s) noexcept {
   switch (s) {
@@ -59,6 +90,13 @@ struct Service::Job {
   Clock::time_point deadline;
   bool has_deadline = false;
 
+  /// Set iff this is an ApplyDelta job; `delta` is consumed by the
+  /// pinned worker and `target_epoch` is the session epoch the apply
+  /// advances to (admission counts deltas, applies never skip).
+  std::shared_ptr<SessionState> session;
+  stream::Delta delta;
+  std::uint64_t target_epoch = 0;
+
   JobStatus status = JobStatus::Queued;
   std::shared_ptr<const core::Result> result;
   bool cache_hit = false;
@@ -86,6 +124,9 @@ struct Service::Impl {
 
   BoundedPriorityQueue<std::shared_ptr<Job>> queue;
   std::unordered_map<JobId, std::shared_ptr<Job>> jobs;
+  std::unordered_map<SessionId, std::shared_ptr<SessionState>> sessions;
+  SessionId next_session = 1;
+  unsigned next_pin = 0;  ///< round-robin session -> device worker
   ResultCache cache;
   Stats counters;  ///< monotonic part; instantaneous fields unused here
 
@@ -148,7 +189,11 @@ JobId Service::submit(graph::Csr graph, const JobOptions& options) {
   const bool caching = options.use_cache && config_.cache_capacity > 0;
   std::shared_ptr<const core::Result> cached;
   if (caching) {
-    job->fp = fingerprint(*job->graph);
+    // The key folds the resolved backend and the quality-relevant
+    // options in with the graph hash, so the same graph run by two
+    // backends (or two threshold schedules) never aliases.
+    job->fp = job_key(fingerprint(*job->graph), to_string(job->routed),
+                      config_.options);
     cached = impl_->cache.get(job->fp);
   }
 
@@ -240,9 +285,124 @@ bool Service::cancel(JobId id) {
   std::lock_guard<std::mutex> lock(impl_->m);
   const auto it = impl_->jobs.find(id);
   if (it == impl_->jobs.end()) return false;
+  if (it->second->session) return false;  // delta sequences are gapless
   if (!impl_->queue.erase(id)) return false;  // running or terminal
   finish(it->second, JobStatus::Cancelled);
   return true;
+}
+
+util::StatusOr<SessionId> Service::open_session(graph::Csr graph,
+                                                stream::SessionOptions options,
+                                                int priority) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    if (impl_->stopping) {
+      return util::Status::unavailable("svc: service is shutting down");
+    }
+  }
+
+  // The epoch-0 fingerprint and the cold detection run on the calling
+  // thread: both are O(graph) and need no service state.
+  const Fingerprint base = fingerprint(graph);
+  auto opened = stream::Session::open(std::move(graph), std::move(options));
+  if (!opened.ok()) return opened.status();
+
+  auto st = std::make_shared<SessionState>(std::move(opened).value());
+  st->base_fp = base;
+  st->priority = priority;
+  st->num_vertices = st->session.graph().num_vertices();
+  st->num_arcs = st->session.graph().num_arcs();
+  st->modularity = st->session.result().modularity;
+
+  std::lock_guard<std::mutex> lock(impl_->m);
+  if (impl_->stopping) {
+    return util::Status::unavailable("svc: service is shutting down");
+  }
+  st->id = impl_->next_session++;
+  st->pinned = impl_->next_pin++ % static_cast<unsigned>(impl_->devices.size());
+  impl_->sessions.emplace(st->id, st);
+  ++impl_->counters.sessions_opened;
+  return st->id;
+}
+
+util::StatusOr<JobId> Service::submit_delta(SessionId session,
+                                            stream::Delta delta,
+                                            bool use_cache) {
+  auto job = std::make_shared<Job>();
+  std::lock_guard<std::mutex> lock(impl_->m);
+  const auto it = impl_->sessions.find(session);
+  if (it == impl_->sessions.end()) {
+    return util::Status::not_found("svc: unknown session " +
+                                   std::to_string(session));
+  }
+  if (impl_->stopping) {
+    return util::Status::unavailable("svc: service is shutting down");
+  }
+  ++impl_->counters.submitted;
+  if (impl_->queue.full()) {
+    ++impl_->counters.rejected;
+    return util::Status::resource_exhausted(
+        "svc: queue full, delta rejected at admission");
+  }
+  const std::shared_ptr<SessionState>& st = it->second;
+
+  job->id = impl_->next_id++;
+  job->session = st;
+  job->delta = std::move(delta);
+  job->routed = backend_from_name(st->session.options().backend);
+  job->options.priority = st->priority;
+  job->options.use_cache = use_cache;
+  job->submitted = Clock::now();
+  job->target_epoch = ++st->enqueued;
+  if (use_cache && config_.cache_capacity > 0) {
+    job->fp = job_key(st->base_fp, st->session.options().backend,
+                      st->session.options().options, st->id,
+                      job->target_epoch);
+  }
+  ++st->outstanding;
+  ++impl_->counters.accepted;
+  impl_->jobs.emplace(job->id, job);
+  impl_->queue.push(job->id, st->priority, job);
+  impl_->cv_work.notify_all();
+  return job->id;
+}
+
+util::Status Service::close_session(SessionId session) {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  const auto it = impl_->sessions.find(session);
+  if (it == impl_->sessions.end()) {
+    return util::Status::not_found("svc: unknown session " +
+                                   std::to_string(session));
+  }
+  if (it->second->outstanding > 0) {
+    return util::Status::failed_precondition(
+        "svc: session has " + std::to_string(it->second->outstanding) +
+        " outstanding delta job(s)");
+  }
+  impl_->sessions.erase(it);
+  ++impl_->counters.sessions_closed;
+  return util::Status::ok_status();
+}
+
+util::StatusOr<Service::SessionInfo> Service::session_info(
+    SessionId session) const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  const auto it = impl_->sessions.find(session);
+  if (it == impl_->sessions.end()) {
+    return util::Status::not_found("svc: unknown session " +
+                                   std::to_string(session));
+  }
+  const SessionState& st = *it->second;
+  SessionInfo info;
+  info.id = st.id;
+  info.backend = st.session.options().backend;
+  info.epoch = st.epoch;
+  info.num_vertices = st.num_vertices;
+  info.num_arcs = st.num_arcs;
+  info.modularity = st.modularity;
+  info.pinned_worker = st.pinned;
+  info.outstanding = st.outstanding;
+  return info;
 }
 
 void Service::resume() {
@@ -278,6 +438,7 @@ Stats Service::stats() const {
   s.cache_entries = cs.entries;
   s.queue_depth = impl_->queue.size();
   s.running = impl_->running;
+  s.sessions_open = impl_->sessions.size();
   s.devices = static_cast<unsigned>(impl_->devices.size());
   s.device_threads = impl_->device_threads_resolved;
   return s;
@@ -299,6 +460,10 @@ void Service::finish(const std::shared_ptr<Job>& job, JobStatus status) {
     default: break;
   }
   job->graph.reset();
+  if (job->session) {
+    --job->session->outstanding;
+    job->delta = stream::Delta{};  // the batch is dead weight once terminal
+  }
   impl_->cv_done.notify_all();
 }
 
@@ -322,7 +487,10 @@ void Service::worker_loop(unsigned index) {
     }
     return slot.get();
   };
-  const auto eligible = [pooled](const std::shared_ptr<Job>& job) {
+  const auto eligible = [pooled, index](const std::shared_ptr<Job>& job) {
+    // ApplyDelta jobs only run on their session's pinned device worker
+    // (one thread per session: applies serialize in submission order).
+    if (job->session) return pooled != nullptr && index == job->session->pinned;
     // Aux workers only take jobs the cost router degraded off-device.
     return pooled != nullptr || job->routed == Backend::Seq;
   };
@@ -372,20 +540,34 @@ void Service::worker_loop(unsigned index) {
     std::string error;
     util::Timer run_timer;
     try {
-      // Re-probe: a duplicate submission may have completed while this
-      // one sat in the queue.
-      if (caching) {
-        result = s.cache.get(job->fp);
-        from_cache = result != nullptr;
-      }
-      if (!result) {
-        auto detector = detector_for(job->routed);
-        if (!detector.ok()) {
-          error = detector.status().to_string();
+      if (job->session) {
+        // ApplyDelta: this worker is the session's pinned (and only)
+        // executor, so the stream::Session is touched lock-free. The
+        // job's fp already encodes (session, target epoch).
+        auto applied = job->session->session.apply(job->delta);
+        if (!applied.ok()) {
+          error = applied.status().to_string();
         } else {
           result = std::make_shared<core::Result>(
-              (*detector)->run(*graph, config_.options));
+              job->session->session.result());
           if (caching) s.cache.put(job->fp, result);
+        }
+      } else {
+        // Re-probe: a duplicate submission may have completed while
+        // this one sat in the queue.
+        if (caching) {
+          result = s.cache.get(job->fp);
+          from_cache = result != nullptr;
+        }
+        if (!result) {
+          auto detector = detector_for(job->routed);
+          if (!detector.ok()) {
+            error = detector.status().to_string();
+          } else {
+            result = std::make_shared<core::Result>(
+                (*detector)->run(*graph, config_.options));
+            if (caching) s.cache.put(job->fp, result);
+          }
         }
       }
     } catch (const std::exception& e) {
@@ -406,6 +588,16 @@ void Service::worker_loop(unsigned index) {
     }
     job->result = result;
     job->cache_hit = from_cache;
+    if (job->session) {
+      // Publish the post-delta snapshot for session_info(); this worker
+      // is the only session mutator, so the reads are race-free.
+      SessionState& ss = *job->session;
+      ss.epoch = ss.session.epoch();
+      ss.num_vertices = ss.session.graph().num_vertices();
+      ss.num_arcs = ss.session.graph().num_arcs();
+      ss.modularity = ss.session.result().modularity;
+      ++s.counters.deltas_applied;
+    }
     if (from_cache) {
       ++s.counters.cache_hits;
     } else {

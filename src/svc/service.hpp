@@ -21,9 +21,12 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 
 #include "detect/detector.hpp"
 #include "graph/csr.hpp"
+#include "stream/delta.hpp"
+#include "stream/session.hpp"
 #include "svc/cache.hpp"
 #include "svc/job.hpp"
 #include "svc/stats.hpp"
@@ -92,7 +95,53 @@ class Service {
   JobResult wait(JobId id);
 
   /// Remove a still-queued job. False once it is running or terminal.
+  /// ApplyDelta jobs are never cancellable — a session's delta sequence
+  /// must apply gaplessly or its epoch bookkeeping would lie.
   bool cancel(JobId id);
+
+  // ---- Dynamic-graph sessions (the stream subsystem, served) ----
+  //
+  //   auto sid = service.open_session(std::move(graph));
+  //   auto jid = service.submit_delta(*sid, delta);
+  //   auto r = service.wait(*jid);          // r.result = post-delta partition
+  //   service.close_session(*sid);
+  //
+  // Each session wraps a stream::Session (mutable graph + warm
+  // detector) and is pinned to one device worker; its ApplyDelta jobs
+  // only run there, in submission order, so epochs advance gaplessly.
+  // Cached delta results are keyed on (graph, backend, options,
+  // session, epoch) — see svc::job_key — so they never outlive a
+  // mutation and two backends or sessions never alias.
+
+  /// Create a session; runs the initial cold detection synchronously on
+  /// the calling thread. `priority` is the fixed priority of every
+  /// ApplyDelta job of this session (per-delta priorities would let the
+  /// queue reorder a session's deltas).
+  util::StatusOr<SessionId> open_session(graph::Csr graph,
+                                         stream::SessionOptions options = {},
+                                         int priority = 0);
+
+  /// Queue one delta batch (job kind ApplyDelta). The returned JobId
+  /// supports poll()/wait() like any other job; its JobResult::result
+  /// holds the post-delta partition of the whole graph.
+  util::StatusOr<JobId> submit_delta(SessionId session, stream::Delta delta,
+                                     bool use_cache = true);
+
+  /// Close an idle session. kFailedPrecondition while delta jobs are
+  /// still queued or running; wait() on them first.
+  util::Status close_session(SessionId session);
+
+  struct SessionInfo {
+    SessionId id = kInvalidSession;
+    std::string backend;
+    std::uint64_t epoch = 0;        ///< deltas applied so far
+    graph::VertexId num_vertices = 0;
+    graph::EdgeIdx num_arcs = 0;
+    double modularity = 0;          ///< of the latest partition
+    unsigned pinned_worker = 0;     ///< device worker the session runs on
+    std::size_t outstanding = 0;    ///< queued + running delta jobs
+  };
+  util::StatusOr<SessionInfo> session_info(SessionId session) const;
 
   /// Release paused workers (see ServiceConfig::start_paused).
   void resume();
@@ -106,6 +155,7 @@ class Service {
 
  private:
   struct Job;
+  struct SessionState;
 
   void worker_loop(unsigned index);
   void finish(const std::shared_ptr<Job>& job, JobStatus status);

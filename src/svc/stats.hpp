@@ -46,9 +46,15 @@ struct Stats {
   unsigned devices = 0;             ///< pooled core::Louvain instances
   unsigned device_threads = 0;      ///< simt workers per device
 
+  // Dynamic-graph sessions.
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t deltas_applied = 0;  ///< ApplyDelta jobs completed
+
   // Instantaneous.
   std::size_t queue_depth = 0;
   std::size_t running = 0;
+  std::size_t sessions_open = 0;
 };
 
 }  // namespace glouvain::svc

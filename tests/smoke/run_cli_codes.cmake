@@ -1,0 +1,49 @@
+# Exit-code contract smoke, run by ctest: every failure class the CLI
+# documents in `glouvain --help` (the util::Status table) must come back
+# as that exact process exit code from a real invocation. Guards the
+# code table in usage()/README against drifting from util::exit_code.
+#
+# Expects: GLOUVAIN, WORK_DIR.
+foreach(var GLOUVAIN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_cli_codes.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(graph "${WORK_DIR}/cli_codes_graph.bin")
+
+# expect(<code> <description> <arg...>): run glouvain, require the code.
+function(expect code description)
+  execute_process(COMMAND "${GLOUVAIN}" ${ARGN}
+    RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR
+      "${description}: expected exit ${code}, got ${rv} (glouvain ${ARGN})")
+  endif()
+  message(STATUS "ok [${code}] ${description}")
+endfunction()
+
+# 0 ok
+expect(0 "help text" help)
+expect(0 "generate a graph"
+  generate --family pokec --scale 0.02 --seed 3 --out "${graph}")
+expect(0 "stats on a valid graph" stats --in "${graph}")
+
+# 1 usage error
+expect(1 "no command" )
+expect(1 "unknown command" frobnicate)
+expect(1 "churn without --out" churn --in "${graph}")
+
+# 2 invalid argument
+expect(2 "detect without --in" detect)
+expect(2 "unknown detect backend" detect --in "${graph}" --backend bogus)
+set(deltas "${WORK_DIR}/cli_codes.deltas")
+file(WRITE "${deltas}" "batch 1\n+ 0 1\n")
+expect(2 "unknown stream backend"
+  stream --in "${graph}" --deltas "${deltas}" --backend bogus)
+
+# 3 not found
+expect(3 "detect on a missing graph" detect --in "${WORK_DIR}/absent.bin")
+expect(3 "stream with missing deltas"
+  stream --in "${graph}" --deltas "${WORK_DIR}/absent.deltas")

@@ -1,0 +1,321 @@
+// Invariants of the dynamic-graph subsystem:
+//   * apply_delta == fresh graph::build_csr of the mutated edge list,
+//     BITWISE (weight-1 edges make every float sum order-independent);
+//   * warm-start detection stays within tolerance of a cold recompute
+//     after any delta sequence, for both warm backends;
+//   * the affected-vertex frontier obeys its documented closure rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "gen/churn.hpp"
+#include "gen/sbm.hpp"
+#include "graph/builder.hpp"
+#include "stream/apply.hpp"
+#include "stream/delta_io.hpp"
+#include "stream/frontier.hpp"
+#include "stream/session.hpp"
+
+namespace {
+
+using namespace glouvain;
+using graph::Community;
+using graph::Csr;
+using graph::Edge;
+using graph::VertexId;
+
+/// Reference model: the undirected edge map (u <= v), mutated with the
+/// exact Delta semantics, rebuilt from scratch through build_csr.
+class EdgeModel {
+ public:
+  explicit EdgeModel(const Csr& graph) {
+    for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+      auto nbrs = graph.neighbors(u);
+      auto ws = graph.weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (u <= nbrs[i]) edges_[{u, nbrs[i]}] = ws[i];
+      }
+    }
+    num_vertices_ = graph.num_vertices();
+  }
+
+  void apply(const stream::Delta& delta) {
+    for (const Edge& e : delta.deletions) {  // deletions first
+      edges_.erase(key(e.u, e.v));
+    }
+    for (const Edge& e : delta.insertions) {
+      if (e.w <= 0) continue;
+      edges_[key(e.u, e.v)] += e.w;
+      num_vertices_ = std::max({num_vertices_, e.u + 1, e.v + 1});
+    }
+  }
+
+  Csr build() const {
+    std::vector<Edge> list;
+    list.reserve(edges_.size());
+    for (const auto& [uv, w] : edges_) list.push_back({uv.first, uv.second, w});
+    return graph::build_csr(num_vertices_, std::move(list));
+  }
+
+ private:
+  static std::pair<VertexId, VertexId> key(VertexId u, VertexId v) {
+    return {std::min(u, v), std::max(u, v)};
+  }
+
+  std::map<std::pair<VertexId, VertexId>, graph::Weight> edges_;
+  VertexId num_vertices_ = 0;
+};
+
+void expect_bitwise_equal(const Csr& a, const Csr& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  EXPECT_TRUE(std::ranges::equal(a.offsets(), b.offsets()));
+  EXPECT_TRUE(std::ranges::equal(a.adjacency(), b.adjacency()));
+  // Bitwise, not approximate: integer-valued weights sum exactly in any
+  // order, so the parallel merge must reproduce build_csr's doubles.
+  EXPECT_TRUE(std::ranges::equal(a.edge_weights(), b.edge_weights()));
+}
+
+gen::SbmResult small_sbm(std::uint64_t seed = 7) {
+  gen::SbmParams p;
+  p.num_vertices = 4000;
+  p.num_communities = 40;
+  p.intra_degree = 10;
+  p.inter_degree = 2;
+  p.seed = seed;
+  return gen::planted_partition(p);
+}
+
+TEST(StreamApply, MatchesFreshBuildOverChurn) {
+  auto sbm = small_sbm();
+  EdgeModel model(sbm.graph);
+
+  gen::ChurnParams cp;
+  cp.epochs = 6;
+  cp.churn_fraction = 0.03;
+  cp.seed = 11;
+  const auto deltas = gen::churn(sbm.graph, sbm.ground_truth, cp);
+  ASSERT_EQ(deltas.size(), cp.epochs);
+
+  Csr current = sbm.graph;
+  for (const stream::Delta& delta : deltas) {
+    auto applied = stream::apply_delta(current, delta);
+    EXPECT_EQ(applied.inserted, delta.insertions.size());
+    EXPECT_EQ(applied.deleted, delta.deletions.size());
+    model.apply(delta);
+    expect_bitwise_equal(applied.graph, model.build());
+    current = std::move(applied.graph);
+  }
+}
+
+TEST(StreamApply, MergingChurnAndNewVertices) {
+  auto sbm = small_sbm(3);
+  EdgeModel model(sbm.graph);
+
+  gen::ChurnParams cp;
+  cp.epochs = 4;
+  cp.churn_fraction = 0.02;
+  cp.mode = gen::ChurnMode::CommunityMerging;
+  cp.seed = 5;
+  auto deltas = gen::churn(sbm.graph, sbm.ground_truth, cp);
+  // Splice in growth plus edge cases: a new vertex, a self-loop, a
+  // no-op deletion, a non-positive insertion.
+  const VertexId n = sbm.graph.num_vertices();
+  deltas[1].insertions.push_back({n + 2, 0, 1.0});
+  deltas[1].insertions.push_back({5, 5, 1.0});
+  deltas[1].insertions.push_back({1, 2, 0.0});          // ignored
+  deltas[1].deletions.push_back({n + 500, n + 501, 1}); // out of range no-op
+
+  Csr current = sbm.graph;
+  for (const stream::Delta& delta : deltas) {
+    auto applied = stream::apply_delta(current, delta);
+    model.apply(delta);
+    expect_bitwise_equal(applied.graph, model.build());
+    current = std::move(applied.graph);
+  }
+  EXPECT_EQ(current.num_vertices(), n + 3);
+}
+
+TEST(StreamApply, DeleteThenReinsertReplacesWeight) {
+  // Same edge deleted and re-inserted in one batch: deletion runs
+  // first, so the edge ends with the fresh weight, not the sum.
+  Csr g = graph::build_csr(4, {{0, 1, 3.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  stream::Delta d;
+  d.deletions.push_back({0, 1, 0});
+  d.insertions.push_back({0, 1, 7.0});
+  auto applied = stream::apply_delta(g, d);
+  const Csr expected =
+      graph::build_csr(4, {{0, 1, 7.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  expect_bitwise_equal(applied.graph, expected);
+  EXPECT_EQ(applied.deleted, 1u);
+  EXPECT_EQ(applied.inserted, 1u);
+}
+
+TEST(StreamFrontier, ClosureAndHops) {
+  // Path 0-1-2-3-4-5 with communities {0,1,2} and {3,4,5}.
+  Csr g = graph::build_csr(
+      6, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}});
+  const std::vector<Community> comm = {0, 0, 0, 1, 1, 1};
+
+  // Touched = {0}: closure pulls in all of community 0, not community 1.
+  std::vector<VertexId> touched = {0};
+  auto f = stream::compute_frontier(g, comm, touched, {});
+  EXPECT_EQ(f, (std::vector<VertexId>{0, 1, 2}));
+
+  // No closure: just the touched endpoints.
+  stream::FrontierOptions bare;
+  bare.community_closure = false;
+  f = stream::compute_frontier(g, comm, touched, bare);
+  EXPECT_EQ(f, (std::vector<VertexId>{0}));
+
+  // One hop from the closure crosses into community 1 via edge 2-3.
+  stream::FrontierOptions hop;
+  hop.hops = 1;
+  f = stream::compute_frontier(g, comm, touched, hop);
+  EXPECT_EQ(f, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(StreamFrontier, NewVerticesAlwaysIncluded) {
+  Csr g = graph::build_csr(5, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}});
+  const std::vector<Community> comm = {0, 0, 0};  // vertices 3,4 are new
+  auto f = stream::compute_frontier(g, comm, {}, {});
+  EXPECT_EQ(f, (std::vector<VertexId>{3, 4}));
+}
+
+TEST(StreamDeltaIo, Roundtrip) {
+  std::vector<stream::Delta> deltas(2);
+  deltas[0].stamp = 1;
+  deltas[0].insertions = {{1, 2, 1.5}, {3, 4, 1.0}};
+  deltas[0].deletions = {{0, 1, 1.0}};
+  deltas[1].stamp = 9;
+  deltas[1].insertions = {{7, 7, 2.0}};
+
+  const std::string path = testing::TempDir() + "/deltas_roundtrip.txt";
+  ASSERT_TRUE(stream::try_save_deltas(deltas, path).ok());
+  auto loaded = stream::try_load_deltas(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].stamp, 1u);
+  EXPECT_EQ((*loaded)[0].insertions, deltas[0].insertions);
+  EXPECT_EQ((*loaded)[0].deletions, deltas[0].deletions);
+  EXPECT_EQ((*loaded)[1].insertions, deltas[1].insertions);
+
+  auto missing = stream::try_load_deltas(testing::TempDir() + "/nope.txt");
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+class WarmVsColdTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(WarmVsColdTest, ModularityWithinToleranceOverChurn) {
+  auto sbm = small_sbm(17);
+  gen::ChurnParams cp;
+  cp.epochs = 5;
+  cp.churn_fraction = 0.02;
+  cp.seed = 23;
+  const auto deltas = gen::churn(sbm.graph, sbm.ground_truth, cp);
+
+  stream::SessionOptions so;
+  so.backend = GetParam();
+  auto session = stream::Session::open(sbm.graph, so);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+
+  auto detector = detect::make(GetParam());
+  ASSERT_TRUE(detector.ok());
+
+  Csr current = sbm.graph;
+  for (const stream::Delta& delta : deltas) {
+    auto rep = session->apply(delta);
+    ASSERT_TRUE(rep.ok()) << rep.status().to_string();
+    current = stream::apply_delta(current, delta).graph;
+
+    const detect::Result cold = (*detector)->run(current, {});
+    // Warm-start must track the cold answer; Louvain is heuristic, so
+    // tolerance, not equality. 0.02 absolute Q is far tighter than the
+    // run-to-run spread of a bad partition.
+    EXPECT_NEAR(rep->modularity, cold.modularity, 0.02);
+    EXPECT_GE(rep->modularity, 0.5);  // SBM structure stays detectable
+  }
+  EXPECT_EQ(session->epoch(), deltas.size());
+  expect_bitwise_equal(session->graph(), current);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, WarmVsColdTest,
+                         testing::Values("core", "seq"));
+
+TEST(StreamSession, EmptyDeltaIsNoop) {
+  auto sbm = small_sbm(29);
+  auto session = stream::Session::open(sbm.graph, {});
+  ASSERT_TRUE(session.ok());
+  const double q0 = session->result().modularity;
+  auto rep = session->apply(stream::Delta{});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->frontier_size, 0u);
+  EXPECT_EQ(rep->modularity, q0);
+  EXPECT_EQ(session->epoch(), 1u);
+}
+
+TEST(StreamSession, UnknownBackendRejected) {
+  stream::SessionOptions so;
+  so.backend = "no-such-backend";
+  auto session = stream::Session::open(small_sbm().graph, so);
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(DetectWarmStart, RegistryRoutesAndValidates) {
+  auto sbm = small_sbm(31);
+  auto detector = detect::make("core");
+  ASSERT_TRUE(detector.ok());
+  const detect::Result cold = (*detector)->run(sbm.graph, {});
+
+  // Re-optimize everything from the previous partition: quality holds.
+  detect::Options options;
+  auto warm = std::make_shared<detect::WarmStart>();
+  warm->seed = cold.community;
+  options.warm_start = warm;
+  const detect::Result rewarmed = (*detector)->run(sbm.graph, options);
+  EXPECT_NEAR(rewarmed.modularity, cold.modularity, 0.02);
+
+  // A malformed seed must be rejected loudly, not silently misused.
+  auto bad = std::make_shared<detect::WarmStart>();
+  bad->seed.assign(3, 0);  // wrong size
+  options.warm_start = bad;
+  EXPECT_THROW((*detector)->run(sbm.graph, options), std::invalid_argument);
+
+  auto seq = detect::make("seq");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_THROW((*seq)->run(sbm.graph, options), std::invalid_argument);
+}
+
+TEST(GenChurn, DeltasAreConsistent) {
+  auto sbm = small_sbm(41);
+  gen::ChurnParams cp;
+  cp.epochs = 3;
+  cp.churn_fraction = 0.05;
+  const auto deltas = gen::churn(sbm.graph, sbm.ground_truth, cp);
+  ASSERT_EQ(deltas.size(), 3u);
+
+  Csr current = sbm.graph;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_EQ(deltas[i].stamp, i + 1);
+    EXPECT_FALSE(deltas[i].empty());
+    // Every deletion hits a live edge and every insertion is novel,
+    // because the generator tracks the evolving edge set.
+    auto applied = stream::apply_delta(current, deltas[i]);
+    EXPECT_EQ(applied.deleted, deltas[i].deletions.size());
+    EXPECT_EQ(applied.inserted, deltas[i].insertions.size());
+    // Preserving mode only inserts within a planted community.
+    for (const Edge& e : deltas[i].insertions) {
+      EXPECT_EQ(sbm.ground_truth[e.u], sbm.ground_truth[e.v]);
+    }
+    current = std::move(applied.graph);
+  }
+}
+
+}  // namespace

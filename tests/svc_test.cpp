@@ -448,5 +448,152 @@ TEST(Service, StressMixedTraffic) {
   EXPECT_EQ(st.running, 0u);
 }
 
+TEST(Fingerprint, BackendsAndEpochsDoNotCollide) {
+  // Regression: the cache used to key on the graph hash alone, so the
+  // SAME graph run by two backends returned whichever result landed
+  // first. job_key folds backend, options, session and epoch in.
+  const auto g = svc::fingerprint(small_graph(0));
+  const detect::Options options;
+  const auto core = svc::job_key(g, "core", options);
+  const auto seq = svc::job_key(g, "seq", options);
+  EXPECT_NE(core, seq);
+
+  detect::Options coarse;
+  coarse.thresholds.t_final = 1e-2;
+  EXPECT_NE(svc::job_key(g, "core", coarse), core);
+
+  EXPECT_NE(svc::job_key(g, "core", options, 1, 1),
+            svc::job_key(g, "core", options, 1, 2));  // epochs differ
+  EXPECT_NE(svc::job_key(g, "core", options, 1, 1),
+            svc::job_key(g, "core", options, 2, 1));  // sessions differ
+  EXPECT_EQ(svc::job_key(g, "core", options, 1, 1),
+            svc::job_key(g, "core", options, 1, 1));
+}
+
+TEST(Service, SameGraphTwoBackendsTwoResults) {
+  svc::ServiceConfig cfg;
+  cfg.devices = 1;
+  cfg.seq_cost_limit = 0;  // no degradation: backends run as asked
+  svc::Service service(cfg);
+  const auto g = small_graph(2);
+  const svc::JobId a = service.submit(g, {.backend = svc::Backend::Core});
+  const svc::JobId b = service.submit(g, {.backend = svc::Backend::Seq});
+  const svc::JobResult ra = service.wait(a);
+  const svc::JobResult rb = service.wait(b);
+  ASSERT_EQ(ra.status, svc::JobStatus::Completed);
+  ASSERT_EQ(rb.status, svc::JobStatus::Completed);
+  // Neither may be served from the other's cache entry.
+  EXPECT_FALSE(ra.cache_hit);
+  EXPECT_FALSE(rb.cache_hit);
+  EXPECT_EQ(ra.backend, svc::Backend::Core);
+  EXPECT_EQ(rb.backend, svc::Backend::Seq);
+}
+
+TEST(Service, SessionDeltaLifecycle) {
+  svc::ServiceConfig cfg;
+  cfg.devices = 2;
+  svc::Service service(cfg);
+
+  auto g = small_graph(0);
+  const graph::VertexId n = g.num_vertices();
+  auto sid = service.open_session(std::move(g));
+  ASSERT_TRUE(sid.ok()) << sid.status().to_string();
+
+  auto info = service.session_info(*sid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->epoch, 0u);
+  EXPECT_EQ(info->num_vertices, n);
+  EXPECT_GT(info->modularity, 0.0);
+
+  // A few deltas, in order; every epoch must land gaplessly.
+  std::vector<svc::JobId> jobs;
+  for (int i = 0; i < 3; ++i) {
+    stream::Delta delta;
+    delta.insertions.push_back(
+        {static_cast<graph::VertexId>(i), static_cast<graph::VertexId>(n / 2 + i), 1.0});
+    auto jid = service.submit_delta(*sid, delta);
+    ASSERT_TRUE(jid.ok()) << jid.status().to_string();
+    EXPECT_FALSE(service.cancel(*jid));  // delta jobs are not cancellable
+    jobs.push_back(*jid);
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const svc::JobResult r = service.wait(jobs[i]);
+    ASSERT_EQ(r.status, svc::JobStatus::Completed) << r.error;
+    ASSERT_TRUE(r.result);
+    EXPECT_EQ(r.result->community.size(), n);
+  }
+
+  info = service.session_info(*sid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->epoch, 3u);
+  EXPECT_EQ(info->outstanding, 0u);
+
+  const svc::Stats st = service.stats();
+  EXPECT_EQ(st.sessions_opened, 1u);
+  EXPECT_EQ(st.deltas_applied, 3u);
+  EXPECT_EQ(st.sessions_open, 1u);
+
+  EXPECT_TRUE(service.close_session(*sid).ok());
+  EXPECT_EQ(service.close_session(*sid).code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(service.session_info(*sid).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(Service, CloseSessionRefusesWithOutstandingDeltas) {
+  svc::ServiceConfig cfg;
+  cfg.devices = 1;
+  cfg.start_paused = true;  // keep the delta queued
+  svc::Service service(cfg);
+  auto sid = service.open_session(small_graph(1));
+  ASSERT_TRUE(sid.ok());
+  auto jid = service.submit_delta(*sid, stream::Delta{});
+  ASSERT_TRUE(jid.ok());
+  EXPECT_EQ(service.close_session(*sid).code(),
+            util::StatusCode::kFailedPrecondition);
+  service.resume();
+  EXPECT_EQ(service.wait(*jid).status, svc::JobStatus::Completed);
+  EXPECT_TRUE(service.close_session(*sid).ok());
+}
+
+TEST(Service, SubmitDeltaToUnknownSession) {
+  svc::ServiceConfig cfg;
+  cfg.devices = 1;
+  svc::Service service(cfg);
+  auto jid = service.submit_delta(12345, stream::Delta{});
+  EXPECT_EQ(jid.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(Service, ConcurrentSessionsOnDistinctWorkers) {
+  svc::ServiceConfig cfg;
+  cfg.devices = 2;
+  svc::Service service(cfg);
+
+  auto s1 = service.open_session(small_graph(0));
+  auto s2 = service.open_session(small_graph(3));
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  // Round-robin pinning spreads sessions across the device pool.
+  EXPECT_NE(service.session_info(*s1)->pinned_worker,
+            service.session_info(*s2)->pinned_worker);
+
+  std::vector<svc::JobId> jobs;
+  for (int i = 0; i < 4; ++i) {
+    stream::Delta d;
+    d.insertions.push_back({static_cast<graph::VertexId>(i),
+                            static_cast<graph::VertexId>(i + 7), 1.0});
+    auto j1 = service.submit_delta(*s1, d);
+    auto j2 = service.submit_delta(*s2, d);
+    ASSERT_TRUE(j1.ok() && j2.ok());
+    jobs.push_back(*j1);
+    jobs.push_back(*j2);
+  }
+  for (const svc::JobId id : jobs) {
+    EXPECT_EQ(service.wait(id).status, svc::JobStatus::Completed);
+  }
+  EXPECT_EQ(service.session_info(*s1)->epoch, 4u);
+  EXPECT_EQ(service.session_info(*s2)->epoch, 4u);
+  EXPECT_TRUE(service.close_session(*s1).ok());
+  EXPECT_TRUE(service.close_session(*s2).ok());
+}
+
 }  // namespace
 }  // namespace glouvain

@@ -24,12 +24,15 @@
 #include <vector>
 
 #include "detect/detector.hpp"
+#include "gen/churn.hpp"
 #include "gen/suite.hpp"
 #include "graph/coloring.hpp"
 #include "graph/io.hpp"
 #include "graph/ops.hpp"
 #include "metrics/partition.hpp"
 #include "obs/recorder.hpp"
+#include "stream/delta_io.hpp"
+#include "stream/session.hpp"
 #include "svc/service.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
@@ -57,9 +60,22 @@ int usage(const char* error = nullptr) {
                "            --manifest FILE [--devices D] [--threads N]\n"
                "            [--aux A] [--queue Q] [--cache C] [--repeat R]\n"
                "            [--backend auto|core|seq|plm|multi] [--deadline MS]\n"
+               "  stream    apply delta batches to a dynamic-graph session\n"
+               "            --in FILE --deltas FILE [--backend core|seq]\n"
+               "            [--cold] [--hops H] [--no-closure] [--threads N]\n"
+               "            [--out FILE]\n"
+               "  churn     generate timestamped delta batches\n"
+               "            --in FILE --out FILE [--labels FILE] [--epochs E]\n"
+               "            [--fraction F] [--mode preserve|merge] [--seed N]\n"
                "  stats     print graph statistics      --in FILE\n"
                "  convert   re-encode a graph file      --in FILE --out FILE\n"
-               "  color     greedy parallel coloring    --in FILE\n");
+               "  color     greedy parallel coloring    --in FILE\n"
+               "\n"
+               "exit codes (util::Status, see README):\n"
+               "  0 ok                 1 usage error          2 invalid argument\n"
+               "  3 not found          4 I/O error            5 resource exhausted\n"
+               "  6 deadline exceeded  7 cancelled            8 failed precondition\n"
+               "  9 unavailable       10 internal error\n");
   return error ? 1 : 0;
 }
 
@@ -351,6 +367,147 @@ int cmd_batch(util::Options& opt) {
   return util::exit_code(worst);
 }
 
+/// `v c` lines, the format `detect --out` writes. Labels must cover
+/// every vertex of the graph the deltas will mutate.
+util::StatusOr<std::vector<graph::Community>> load_labels(
+    const std::string& path, graph::VertexId num_vertices) {
+  std::ifstream is(path);
+  if (!is) return util::Status::not_found("cannot open labels: " + path);
+  std::vector<graph::Community> labels(num_vertices, 0);
+  std::vector<bool> seen(num_vertices, false);
+  std::uint64_t v = 0;
+  std::uint64_t c = 0;
+  while (is >> v >> c) {
+    if (v >= num_vertices) {
+      return util::Status::invalid_argument(
+          "labels: vertex " + std::to_string(v) + " out of range");
+    }
+    labels[v] = static_cast<graph::Community>(c);
+    seen[v] = true;
+  }
+  for (graph::VertexId u = 0; u < num_vertices; ++u) {
+    if (!seen[u]) {
+      return util::Status::invalid_argument(
+          "labels: vertex " + std::to_string(u) + " missing from " + path);
+    }
+  }
+  return labels;
+}
+
+int cmd_stream(util::Options& opt) {
+  auto loaded = load_required(opt);
+  if (!loaded.ok()) return fail_status(loaded.status());
+  graph::Csr g = std::move(loaded).value();
+
+  const std::string deltas_path =
+      opt.get_string("deltas", "", "delta batch file (`batch` / `+ u v w` / `- u v` lines)");
+  const std::string out = opt.get_string("out", "", "final community output file");
+  stream::SessionOptions so;
+  so.backend = opt.get_string(
+      "backend", "core", "warm backends: core | seq (others run cold)");
+  so.options.threads = static_cast<unsigned>(opt.get_int(
+      "threads", 0, "simt device worker threads (0 = hardware)"));
+  so.warm = !opt.get_flag("cold", "full recompute per delta (the baseline)");
+  so.frontier.hops = static_cast<unsigned>(
+      opt.get_int("hops", 0, "extra frontier adjacency expansions"));
+  so.frontier.community_closure =
+      !opt.get_flag("no-closure", "frontier = touched endpoints only");
+  if (deltas_path.empty()) return usage("--deltas is required for stream");
+
+  auto deltas = stream::try_load_deltas(deltas_path);
+  if (!deltas.ok()) return fail_status(deltas.status());
+
+  util::Timer wall;
+  auto session = stream::Session::open(std::move(g), std::move(so));
+  if (!session.ok()) return fail_status(session.status());
+  std::printf("epoch 0 (%s, cold): Q = %.5f, %.3fs\n",
+              session->options().backend.c_str(),
+              session->result().modularity, wall.seconds());
+
+  util::Table table({"epoch", "stamp", "+edges", "-edges", "frontier",
+                     "apply ms", "frontier ms", "detect ms", "Q"});
+  for (const stream::Delta& delta : *deltas) {
+    auto rep = session->apply(delta);
+    if (!rep.ok()) return fail_status(rep.status());
+    table.add_row({std::to_string(rep->epoch), std::to_string(delta.stamp),
+                   std::to_string(rep->inserted), std::to_string(rep->deleted),
+                   std::to_string(rep->frontier_size),
+                   util::Table::fixed(rep->apply_seconds * 1e3, 2),
+                   util::Table::fixed(rep->frontier_seconds * 1e3, 2),
+                   util::Table::fixed(rep->detect_seconds * 1e3, 2),
+                   util::Table::fixed(rep->modularity, 5)});
+  }
+  table.print(std::cout);
+
+  const auto stats = metrics::partition_stats(session->community());
+  std::printf("\nfinal after %llu deltas: Q = %.5f, %llu communities, "
+              "%u vertices, %.3fs total\n",
+              static_cast<unsigned long long>(session->epoch()),
+              session->result().modularity,
+              static_cast<unsigned long long>(stats.num_communities),
+              session->graph().num_vertices(), wall.seconds());
+  if (!out.empty()) {
+    std::ofstream os(out);
+    for (std::size_t v = 0; v < session->community().size(); ++v) {
+      os << v << ' ' << session->community()[v] << '\n';
+    }
+    if (!os) {
+      return fail_status(
+          util::Status::io_error("cannot write communities: " + out));
+    }
+    std::printf("communities written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_churn(util::Options& opt) {
+  auto loaded = load_required(opt);
+  if (!loaded.ok()) return fail_status(loaded.status());
+  const graph::Csr g = std::move(loaded).value();
+
+  const std::string out = opt.get_string("out", "", "delta file to write");
+  const std::string labels_path = opt.get_string(
+      "labels", "", "community file (`v c` lines); default: seq detection");
+  gen::ChurnParams params;
+  params.epochs = static_cast<std::uint64_t>(
+      opt.get_int("epochs", 8, "delta batches to generate"));
+  params.churn_fraction =
+      opt.get_double("fraction", 0.01, "edges churned per epoch");
+  params.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1, "RNG seed"));
+  const std::string mode =
+      opt.get_string("mode", "preserve", "preserve | merge");
+  if (mode == "merge") {
+    params.mode = gen::ChurnMode::CommunityMerging;
+  } else if (mode != "preserve") {
+    return fail_status(util::Status::invalid_argument("unknown --mode: " + mode));
+  }
+  if (out.empty()) return usage("--out is required for churn");
+
+  std::vector<graph::Community> labels;
+  if (!labels_path.empty()) {
+    auto l = load_labels(labels_path, g.num_vertices());
+    if (!l.ok()) return fail_status(l.status());
+    labels = std::move(l).value();
+  } else {
+    auto detector = detect::make("seq");
+    if (!detector.ok()) return fail_status(detector.status());
+    labels = (*detector)->run(g, {}).community;
+  }
+
+  const auto deltas = gen::churn(g, labels, params);
+  const util::Status saved = stream::try_save_deltas(deltas, out);
+  if (!saved.ok()) return fail_status(saved);
+  std::size_t ins = 0;
+  std::size_t del = 0;
+  for (const auto& d : deltas) {
+    ins += d.insertions.size();
+    del += d.deletions.size();
+  }
+  std::printf("wrote %s: %zu batches (%s), %zu insertions, %zu deletions\n",
+              out.c_str(), deltas.size(), mode.c_str(), ins, del);
+  return 0;
+}
+
 int cmd_stats(util::Options& opt) {
   auto loaded = load_required(opt);
   if (!loaded.ok()) return fail_status(loaded.status());
@@ -418,6 +575,8 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(opt);
     if (command == "detect") return cmd_detect(opt);
     if (command == "batch") return cmd_batch(opt);
+    if (command == "stream") return cmd_stream(opt);
+    if (command == "churn") return cmd_churn(opt);
     if (command == "stats") return cmd_stats(opt);
     if (command == "convert") return cmd_convert(opt);
     if (command == "color") return cmd_color(opt);
