@@ -4,11 +4,18 @@
 // published number/shape it reproduces, then its measured rows).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define GLOUVAIN_BENCH_HAS_RUSAGE 1
+#endif
 
 #include "core/louvain.hpp"
 #include "gen/suite.hpp"
@@ -48,38 +55,168 @@ inline std::vector<std::string> graphs_from_options(util::Options& opt,
   return {which};
 }
 
+/// Per-level phase breakdown preserved for machine-readable output.
+struct PhaseLevel {
+  std::size_t vertices = 0;
+  int sweeps = 0;
+  double optimize_ms = 0;
+  double aggregate_ms = 0;
+  double modularity_after = 0;
+};
+
 struct AlgoRun {
   double seconds = 0;
   double modularity = 0;
   int levels = 0;
   double teps = 0;
+  std::vector<PhaseLevel> phase_levels;
 };
+
+inline AlgoRun make_algo_run(const LouvainResult& r) {
+  AlgoRun run{r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
+              r.first_phase_teps, {}};
+  run.phase_levels.reserve(r.levels.size());
+  for (const auto& level : r.levels) {
+    run.phase_levels.push_back({level.vertices, level.iterations,
+                                level.optimize_seconds * 1e3,
+                                level.aggregate_seconds * 1e3,
+                                level.modularity_after});
+  }
+  return run;
+}
 
 inline AlgoRun run_seq(const graph::Csr& g, bool adaptive,
                        obs::Recorder* rec = nullptr) {
   seq::Config cfg;
   cfg.thresholds = paper_thresholds();
   cfg.thresholds.adaptive = adaptive;
-  const auto r = seq::louvain(g, cfg, rec);
-  return {r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
-          r.first_phase_teps};
+  return make_algo_run(seq::louvain(g, cfg, rec));
 }
 
 inline AlgoRun run_plm(const graph::Csr& g, obs::Recorder* rec = nullptr) {
   plm::Config cfg;
   cfg.thresholds = paper_thresholds();
-  const auto r = plm::louvain(g, cfg, rec);
-  return {r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
-          r.first_phase_teps};
+  return make_algo_run(plm::louvain(g, cfg, rec));
 }
 
 inline AlgoRun run_core(const graph::Csr& g, core::Config cfg = core::Config{},
                         obs::Recorder* rec = nullptr) {
   cfg.thresholds = paper_thresholds();
-  const auto r = core::louvain(g, cfg, rec);
-  return {r.total_seconds, r.modularity, static_cast<int>(r.levels.size()),
-          r.first_phase_teps};
+  return make_algo_run(core::louvain(g, cfg, rec));
 }
+
+/// Peak resident set of this process in bytes (0 where unsupported).
+inline std::uint64_t peak_rss_bytes() {
+#ifdef GLOUVAIN_BENCH_HAS_RUSAGE
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+  }
+#endif
+  return 0;
+}
+
+/// Machine-readable benchmark output (schemas/bench.schema.json):
+/// one JSON document per harness invocation, one entry per (graph,
+/// backend) run, with the per-level phase breakdown attached. The CI
+/// bench-smoke job diffs these against bench/baselines/.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void set_param(const std::string& key, double value) {
+    params_.emplace_back(key, value);
+  }
+
+  void add_run(const std::string& graph, const std::string& backend,
+               std::size_t vertices, std::size_t edges, const AlgoRun& run) {
+    Row row;
+    row.graph = graph;
+    row.backend = backend;
+    row.metrics = {{"vertices", static_cast<double>(vertices)},
+                   {"edges", static_cast<double>(edges)},
+                   {"seconds", run.seconds},
+                   {"modularity", run.modularity},
+                   {"levels", static_cast<double>(run.levels)},
+                   {"teps", run.teps}};
+    row.levels = run.phase_levels;
+    rows_.push_back(std::move(row));
+  }
+
+  /// Free-form entry (streaming bench epochs and other non-AlgoRun
+  /// shapes): any set of numeric metrics under a graph/backend pair.
+  void add_metrics(const std::string& graph, const std::string& backend,
+                   std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back({graph, backend, std::move(metrics), {}});
+  }
+
+  /// Write the document; returns false (with a note on stderr) if the
+  /// path cannot be opened. Peak RSS is sampled here, after the runs.
+  bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write bench json %s\n", path.c_str());
+      return false;
+    }
+    os << "{\n  \"schema\": \"glouvain-bench-1\",\n";
+    os << "  \"bench\": \"" << bench_ << "\",\n";
+    os << "  \"params\": {";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      os << (i ? ", " : "") << '"' << params_[i].first
+         << "\": " << number(params_[i].second);
+    }
+    os << "},\n";
+    os << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      os << "    {\"graph\": \"" << row.graph << "\", \"backend\": \""
+         << row.backend << "\", \"metrics\": {";
+      for (std::size_t k = 0; k < row.metrics.size(); ++k) {
+        os << (k ? ", " : "") << '"' << row.metrics[k].first
+           << "\": " << number(row.metrics[k].second);
+      }
+      os << "}";
+      if (!row.levels.empty()) {
+        os << ", \"levels\": [";
+        for (std::size_t l = 0; l < row.levels.size(); ++l) {
+          const PhaseLevel& level = row.levels[l];
+          os << (l ? ", " : "") << "{\"vertices\": " << level.vertices
+             << ", \"sweeps\": " << level.sweeps
+             << ", \"optimize_ms\": " << number(level.optimize_ms)
+             << ", \"aggregate_ms\": " << number(level.aggregate_ms)
+             << ", \"modularity_after\": " << number(level.modularity_after)
+             << "}";
+        }
+        os << "]";
+      }
+      os << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::printf("bench json written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string graph;
+    std::string backend;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::vector<PhaseLevel> levels;
+  };
+
+  /// JSON has no NaN/Inf literals; clamp them to null-safe 0.
+  static std::string number(double v) {
+    if (!std::isfinite(v)) return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, double>> params_;
+  std::vector<Row> rows_;
+};
 
 /// `--trace PREFIX` support: when the flag is set, returns a live
 /// Recorder for each named run and writes PREFIX-<tag>.json after it.

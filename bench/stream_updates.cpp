@@ -38,6 +38,8 @@ int run(int argc, char** argv) {
       opt.get_string("backend", "core", "detection backend for both sessions");
   const auto threads = static_cast<unsigned>(
       opt.get_int("threads", 0, "worker threads (0 = hardware concurrency)"));
+  const std::string json_path = opt.get_string(
+      "json", "", "write machine-readable results to this file");
   if (opt.help_requested()) {
     std::cout << opt.usage("warm-start streaming updates vs full recompute");
     return 0;
@@ -85,6 +87,13 @@ int run(int argc, char** argv) {
   std::printf("epoch 0 (cold baseline for both): Q = %.4f\n\n",
               warm->result().modularity);
 
+  bench::JsonReport report("stream_updates");
+  report.set_param("scale", static_cast<double>(n));
+  report.set_param("communities", static_cast<double>(k));
+  report.set_param("epochs", static_cast<double>(epochs));
+  report.set_param("fraction", fraction);
+  report.set_param("seed", static_cast<double>(seed));
+
   util::Table table({"epoch", "+edges", "-edges", "frontier", "warm ms",
                      "cold ms", "speedup", "Q warm", "Q cold", "gap"});
   for (std::size_t c = 0; c < 10; ++c) {
@@ -110,6 +119,19 @@ int run(int argc, char** argv) {
     warm_total += wt;
     cold_total += ct;
     worst_gap = std::max(worst_gap, gap);
+    const std::string graph_tag = "sbm-epoch" + std::to_string(wr->epoch);
+    report.add_metrics(graph_tag, "warm",
+                       {{"inserted", static_cast<double>(wr->inserted)},
+                        {"deleted", static_cast<double>(wr->deleted)},
+                        {"frontier", static_cast<double>(wr->frontier_size)},
+                        {"apply_ms", wr->apply_seconds * 1e3},
+                        {"frontier_ms", wr->frontier_seconds * 1e3},
+                        {"detect_ms", wr->detect_seconds * 1e3},
+                        {"modularity", wr->modularity}});
+    report.add_metrics(graph_tag, "cold",
+                       {{"apply_ms", cr->apply_seconds * 1e3},
+                        {"detect_ms", cr->detect_seconds * 1e3},
+                        {"modularity", cr->modularity}});
     table.add_row({std::to_string(wr->epoch),
                    util::Table::count(wr->inserted),
                    util::Table::count(wr->deleted),
@@ -130,6 +152,12 @@ int run(int argc, char** argv) {
               util::Table::percent(worst_gap, 2).c_str());
   const bool pass = speedup >= 3.0 && worst_gap <= 0.01;
   std::printf("acceptance (>= 3x, gap <= 1%%): %s\n", pass ? "PASS" : "FAIL");
+  report.add_metrics("sbm", "summary",
+                     {{"warm_total_s", warm_total},
+                      {"cold_total_s", cold_total},
+                      {"speedup", speedup},
+                      {"worst_gap", worst_gap}});
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <string>
+#include <string_view>
 
 #include "core/buckets.hpp"
 #include "core/hash_map.hpp"
+#include "core/workspace.hpp"
 #include "obs/recorder.hpp"
 #include "prim/scan.hpp"
 #include "simt/atomics.hpp"
@@ -27,15 +30,29 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
                             const Config& config,
                             std::span<const Community> community,
                             obs::Recorder* rec) {
+  Workspace ws;
+  return aggregate(device, graph, config, community, ws, rec);
+}
+
+AggregationResult aggregate(simt::Device& device, const Csr& graph,
+                            const Config& config,
+                            std::span<const Community> community, Workspace& ws,
+                            obs::Recorder* rec) {
   const VertexId n = graph.num_vertices();
   auto& pool = device.pool();
   obs::Span phase_span(rec, "aggregate");
+  const Workspace::Counters ws_since = ws.counters();
+  using Slot = Workspace::Slot;
 
   // --- Task (i): size and degree bound of every community
   // (Algorithm 3 lines 2-6, atomic histograms).
   const std::size_t sizes_span = rec ? rec->begin_span("aggregate/sizes") : 0;
-  std::vector<VertexId> com_size(n, 0);
-  std::vector<EdgeIdx> com_degree(n, 0);
+  auto com_size = ws.buffer<VertexId>(Slot::kAggComSize, n);
+  auto com_degree = ws.buffer<EdgeIdx>(Slot::kAggComDegree, n);
+  device.for_each(n, [&](std::size_t c) {
+    com_size[c] = 0;
+    com_degree[c] = 0;
+  });
   device.for_each(n, [&](std::size_t v) {
     const Community c = community[v];
     simt::atomic_add(com_size[c], VertexId{1});
@@ -44,34 +61,39 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
   if (rec) rec->end_span(sizes_span);
 
   // --- Task (ii): consecutive numbering of non-empty communities
-  // (lines 7-12: flag + prefix sum).
+  // (lines 7-12: flag + prefix sum). new_id leaves with the result, so
+  // it draws from the vector pool rather than a slot buffer.
   const std::size_t number_span =
       rec ? rec->begin_span("aggregate/numbering") : 0;
-  std::vector<VertexId> flags(n);
+  auto flags = ws.buffer<VertexId>(Slot::kAggFlags, n);
   device.for_each(n, [&](std::size_t c) { flags[c] = com_size[c] ? 1 : 0; });
-  std::vector<VertexId> new_id(n);
+  std::vector<VertexId> new_id = ws.take<VertexId>(n);
   const VertexId num_communities = prim::exclusive_scan(
-      std::span<const VertexId>(flags), std::span<VertexId>(new_id), pool);
+      std::span<const VertexId>(flags.data(), n), std::span<VertexId>(new_id),
+      ws.scratch(), pool);
   device.for_each(n, [&](std::size_t c) {
     if (!com_size[c]) new_id[c] = graph::kInvalidVertex;
   });
 
   // --- Task (iii): scratch edge storage bounded by the degree sums
   // (lines 13-14). edge_pos[c] is where community c's merged edges go.
-  std::vector<EdgeIdx> edge_pos(n);
+  auto edge_pos = ws.buffer<EdgeIdx>(Slot::kAggEdgePos, n);
   const EdgeIdx scratch_arcs = prim::exclusive_scan(
-      std::span<const EdgeIdx>(com_degree), std::span<EdgeIdx>(edge_pos), pool);
+      std::span<const EdgeIdx>(com_degree.data(), n), edge_pos, ws.scratch(),
+      pool);
   if (rec) rec->end_span(number_span);
 
   // --- Task (iv) setup: order vertices by community (lines 15-19).
   const std::size_t order_span = rec ? rec->begin_span("aggregate/order") : 0;
-  std::vector<EdgeIdx> com_size_wide(com_size.begin(), com_size.end());
-  std::vector<EdgeIdx> vertex_start(n + 1);
+  auto com_size_wide = ws.buffer<EdgeIdx>(Slot::kAggComSizeWide, n);
+  device.for_each(n, [&](std::size_t c) { com_size_wide[c] = com_size[c]; });
+  auto vertex_start = ws.buffer<EdgeIdx>(Slot::kAggVertexStart, n + 1);
   vertex_start[n] = prim::exclusive_scan(
-      std::span<const EdgeIdx>(com_size_wide),
-      std::span<EdgeIdx>(vertex_start.data(), n), pool);
-  std::vector<EdgeIdx> cursor(vertex_start.begin(), vertex_start.begin() + n);
-  std::vector<VertexId> com(n);
+      std::span<const EdgeIdx>(com_size_wide.data(), n),
+      std::span<EdgeIdx>(vertex_start.data(), n), ws.scratch(), pool);
+  auto cursor = ws.buffer<EdgeIdx>(Slot::kAggCursor, n);
+  device.for_each(n, [&](std::size_t c) { cursor[c] = vertex_start[c]; });
+  auto com = ws.buffer<VertexId>(Slot::kAggCom, n);
   device.for_each(n, [&](std::size_t v) {
     const EdgeIdx slot = simt::atomic_add(cursor[community[v]], EdgeIdx{1});
     com[slot] = static_cast<VertexId>(v);
@@ -82,16 +104,20 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
   // binned by their degree-sum bound; each task hashes the closed
   // neighbourhood of one community and emits the merged edge list into
   // its scratch region.
-  std::vector<VertexId> tmp_adj(scratch_arcs);
-  std::vector<Weight> tmp_w(scratch_arcs);
-  std::vector<EdgeIdx> merged_degree(n, 0);
+  auto tmp_adj = ws.buffer<VertexId>(Slot::kAggTmpAdj, scratch_arcs);
+  auto tmp_w = ws.buffer<Weight>(Slot::kAggTmpW, scratch_arcs);
+  auto merged_degree = ws.buffer<EdgeIdx>(Slot::kAggMergedDegree, n);
+  // A community with members but zero degree never reaches a merge
+  // kernel, so its width must already read 0 at compaction.
+  device.for_each(n, [&](std::size_t c) { merged_degree[c] = 0; });
 
   const BucketScheme& scheme = config.aggregation_buckets;
-  const Binned binned = [&] {
+  Binned& binned = ws.aggregate_binned();
+  {
     obs::Span span(rec, "aggregate/binning");
-    return bin_by_key(n, scheme, [&](VertexId c) { return com_degree[c]; },
-                      pool);
-  }();
+    bin_by_key_into(n, scheme, [&](VertexId c) { return com_degree[c]; },
+                    binned, ws.scratch(), pool);
+  }
   if (rec) {
     for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
       rec->count("aggregate/bucket_occupancy",
@@ -103,9 +129,12 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
   auto adjacency = graph.adjacency();
   auto edge_weights = graph.edge_weights();
 
-  std::vector<std::string> bucket_names(scheme.num_buckets());
-  for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
-    bucket_names[b] = "aggregate/bucket" + std::to_string(b);
+  std::vector<std::string> bucket_names;
+  if (rec) {
+    bucket_names.resize(scheme.num_buckets());
+    for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
+      bucket_names[b] = "aggregate/bucket" + std::to_string(b);
+    }
   }
 
   for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
@@ -115,19 +144,21 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
     const bool use_global = b >= scheme.global_from;
     const std::size_t grain = use_global ? 1 : 0;
 
-    obs::Span kernel_span(rec, bucket_names[b]);
+    obs::Span kernel_span(
+        rec, rec ? std::string_view(bucket_names[b]) : std::string_view());
     device.launch(bucket.size(), grain, [&](simt::TaskContext& ctx) {
       const Community c = bucket[ctx.task()];
       if (com_size[c] == 0 || com_degree[c] == 0) return;
-      const std::size_t cap = static_cast<std::size_t>(
-          util::hash_capacity_for_degree(com_degree[c]));
+      const util::HashTableParams params =
+          util::hash_params_for_degree(com_degree[c]);
+      const std::size_t cap = params.capacity;
       auto keys = use_global ? ctx.shared().alloc_global<Community>(cap)
                              : ctx.shared().alloc<Community>(cap);
       auto weights = use_global ? ctx.shared().alloc_global<Weight>(cap)
                                 : ctx.shared().alloc<Weight>(cap);
       // Task-local: one community is merged entirely inside one OS
       // thread (see hash_map.hpp for the atomicity policy).
-      LocalCommunityHashMap table(keys, weights);
+      LocalCommunityHashMap table(keys, weights, params);
       table.clear();
 
       simt::LaneGroup group(lanes);
@@ -166,41 +197,57 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
 
   // --- Compaction (the prefix-sum + move pass after line 23): gather
   // per-new-vertex degrees, scan, and copy rows into their final slots.
+  // The three contracted arrays leave with the result, so they come
+  // from the recycling pool (a retired level's graph feeds them).
   obs::Span compact_span(rec, "aggregate/compact");
-  std::vector<EdgeIdx> new_degree(num_communities, 0);
+  auto new_degree = ws.buffer<EdgeIdx>(Slot::kAggNewDegree, num_communities);
   device.for_each(n, [&](std::size_t c) {
     if (new_id[c] != graph::kInvalidVertex) {
       new_degree[new_id[c]] = merged_degree[c];
     }
   });
-  std::vector<EdgeIdx> offsets(static_cast<std::size_t>(num_communities) + 1, 0);
+  std::vector<EdgeIdx> offsets =
+      ws.take<EdgeIdx>(static_cast<std::size_t>(num_communities) + 1);
   offsets[num_communities] = prim::exclusive_scan(
-      std::span<const EdgeIdx>(new_degree),
-      std::span<EdgeIdx>(offsets.data(), num_communities), pool);
+      std::span<const EdgeIdx>(new_degree.data(), num_communities),
+      std::span<EdgeIdx>(offsets.data(), num_communities), ws.scratch(), pool);
 
-  std::vector<VertexId> adj(offsets[num_communities]);
-  std::vector<Weight> w(offsets[num_communities]);
-  device.for_each(n, [&](std::size_t c) {
+  std::vector<VertexId> adj =
+      ws.take<VertexId>(static_cast<std::size_t>(offsets[num_communities]));
+  std::vector<Weight> w =
+      ws.take<Weight>(static_cast<std::size_t>(offsets[num_communities]));
+  device.launch(n, 0, [&](simt::TaskContext& ctx) {
+    const std::size_t c = ctx.task();
     if (new_id[c] == graph::kInvalidVertex) return;
     const EdgeIdx src = edge_pos[c];
     const EdgeIdx dst = offsets[new_id[c]];
     const EdgeIdx deg = merged_degree[c];
+    if (deg == 0) return;
     // Library-wide Csr invariant: rows sorted by neighbor id. The hash
-    // table emits in slot order, so sort the (short) row here.
-    std::vector<std::pair<VertexId, Weight>> row(deg);
-    for (EdgeIdx i = 0; i < deg; ++i) row[i] = {tmp_adj[src + i], tmp_w[src + i]};
-    std::sort(row.begin(), row.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // table emits in slot order, so sort the (short) row here; the row
+    // buffer comes from the task's arena (global side: this is staging,
+    // not a hash table, so it must not count as a shared-memory spill).
+    struct RowEntry {
+      VertexId id;
+      Weight weight;
+    };
+    auto row = ctx.shared().alloc_global<RowEntry>(
+        static_cast<std::size_t>(deg));
     for (EdgeIdx i = 0; i < deg; ++i) {
-      adj[dst + i] = row[i].first;
-      w[dst + i] = row[i].second;
+      row[i] = {tmp_adj[src + i], tmp_w[src + i]};
+    }
+    std::sort(row.begin(), row.end(),
+              [](const RowEntry& a, const RowEntry& b) { return a.id < b.id; });
+    for (EdgeIdx i = 0; i < deg; ++i) {
+      adj[dst + i] = row[i].id;
+      w[dst + i] = row[i].weight;
     }
   });
 
-  AggregationResult result;
-  result.contracted = Csr(std::move(offsets), std::move(adj), std::move(w));
-  result.new_id = std::move(new_id);
-  result.num_communities = num_communities;
+  AggregationResult result{
+      Csr(std::move(offsets), std::move(adj), std::move(w), ws.scratch()),
+      std::move(new_id), num_communities};
+  ws.emit(rec, "aggregate", ws_since);
   return result;
 }
 

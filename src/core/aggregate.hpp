@@ -15,6 +15,8 @@ class Recorder;
 
 namespace glouvain::core {
 
+class Workspace;
+
 struct AggregationResult {
   graph::Csr contracted;
   /// old community label -> new vertex id (kInvalidVertex for labels
@@ -32,5 +34,14 @@ AggregationResult aggregate(simt::Device& device, const graph::Csr& graph,
                             const Config& config,
                             std::span<const graph::Community> community,
                             obs::Recorder* recorder = nullptr);
+
+/// Allocation-free entry point: per-phase arrays come from `ws`'s slot
+/// buffers, the contracted CSR's arrays from its recycling pool (feed
+/// retired graphs back via Workspace::recycle). The overload above is
+/// a thin wrapper over a throwaway Workspace.
+AggregationResult aggregate(simt::Device& device, const graph::Csr& graph,
+                            const Config& config,
+                            std::span<const graph::Community> community,
+                            Workspace& ws, obs::Recorder* recorder = nullptr);
 
 }  // namespace glouvain::core

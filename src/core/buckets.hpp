@@ -1,7 +1,10 @@
 // Work binning (Algorithm 1 line 5 / Algorithm 3 line 21): group items
 // (vertices or communities) by a work key (degree or community degree
-// sum) into the buckets of a BucketScheme, using the Thrust-style
-// partition primitive, exactly as the paper's host code does.
+// sum) into the buckets of a BucketScheme. The paper's host code calls
+// Thrust partition() once per bucket; bin_by_key_into instead runs ONE
+// stable counting sort over bucket ids (O(n + B) rather than O(B * n))
+// with identical output, and reuses the caller's Binned storage so
+// steady-state binning allocates nothing.
 #pragma once
 
 #include <span>
@@ -9,6 +12,7 @@
 
 #include "core/config.hpp"
 #include "graph/types.hpp"
+#include "prim/scratch.hpp"
 #include "simt/thread_pool.hpp"
 
 namespace glouvain::core {
@@ -24,11 +28,19 @@ struct Binned {
   }
 };
 
-/// Bin items [0, num_items) by key(item) into scheme's buckets via
-/// repeated stable partition. Items with key 0 land in bucket 0 (and
-/// the kernels skip them). The last bucket (the "global memory" one)
-/// is additionally sorted by DESCENDING key, mirroring the paper's
-/// sort-then-interleave load balancing for the heaviest vertices.
+/// Bin items [0, num_items) by key(item) into scheme's buckets with a
+/// stable counting sort, reusing `out`'s storage (grow-only) and
+/// drawing temporaries from `scratch`. Items with key 0 land in bucket
+/// 0 (and the kernels skip them). The last bucket (the "global memory"
+/// one) is additionally sorted by DESCENDING key, mirroring the
+/// paper's sort-then-interleave load balancing for the heaviest
+/// vertices.
+template <typename KeyFn>
+void bin_by_key_into(std::size_t num_items, const BucketScheme& scheme,
+                     KeyFn&& key, Binned& out, prim::Scratch& scratch,
+                     simt::ThreadPool& pool = simt::ThreadPool::global());
+
+/// Self-allocating convenience wrapper (one-off callers, tests).
 template <typename KeyFn>
 Binned bin_by_key(std::size_t num_items, const BucketScheme& scheme, KeyFn&& key,
                   simt::ThreadPool& pool = simt::ThreadPool::global());

@@ -1,51 +1,51 @@
-// Implementation of bin_by_key (included from buckets.hpp).
+// Implementation of bin_by_key / bin_by_key_into (included from
+// buckets.hpp).
 #pragma once
 
-#include "prim/partition.hpp"
+#include "prim/bucket.hpp"
 #include "prim/sort.hpp"
-#include "prim/transform.hpp"
 
 namespace glouvain::core {
 
 template <typename KeyFn>
-Binned bin_by_key(std::size_t num_items, const BucketScheme& scheme, KeyFn&& key,
-                  simt::ThreadPool& pool) {
-  Binned binned;
-  binned.order.resize(num_items);
-  prim::iota(std::span<graph::VertexId>(binned.order), graph::VertexId{0}, pool);
-  binned.begin.assign(scheme.num_buckets() + 1, 0);
+void bin_by_key_into(std::size_t num_items, const BucketScheme& scheme,
+                     KeyFn&& key, Binned& out, prim::Scratch& scratch,
+                     simt::ThreadPool& pool) {
+  const std::size_t num_buckets = scheme.num_buckets();
+  out.order.resize(num_items);
+  out.begin.resize(num_buckets + 1);
 
-  // Repeated stable partition of the remaining tail, one cut per bound
-  // (the paper calls Thrust partition() once per bucket).
-  std::vector<graph::VertexId> scratch(num_items);
-  std::size_t start = 0;
-  for (std::size_t b = 0; b + 1 < scheme.num_buckets(); ++b) {
-    const graph::EdgeIdx bound = scheme.bounds[b];
-    std::span<const graph::VertexId> tail(binned.order.data() + start,
-                                          num_items - start);
-    std::span<graph::VertexId> out(scratch.data() + start, num_items - start);
-    const std::size_t in_bucket = prim::stable_partition_copy(
-        tail, out,
-        [&](graph::VertexId item) { return key(item) <= bound; }, pool);
-    pool.parallel_for(tail.size(), [&](std::size_t i, unsigned) {
-      binned.order[start + i] = scratch[start + i];
-    });
-    binned.begin[b + 1] = start + in_bucket;
-    start += in_bucket;
-  }
-  binned.begin[scheme.num_buckets()] = num_items;
+  // One stable counting pass over bucket ids replaces the paper's
+  // num_buckets Thrust partition() calls; the output order (bucket by
+  // bucket, ascending item id inside each) is identical.
+  prim::bucket_sort_index(
+      num_items, num_buckets,
+      [&](std::size_t i) {
+        return scheme.bucket_of(key(static_cast<graph::VertexId>(i)));
+      },
+      std::span<graph::VertexId>(out.order),
+      std::span<std::size_t>(out.begin), scratch, pool);
 
   // Heaviest bucket: sort by descending key so dynamic dispatch picks
   // the biggest jobs first (interleaved-by-degree in the paper).
-  const std::size_t last = scheme.num_buckets() - 1;
-  std::span<graph::VertexId> heavy(binned.order.data() + binned.begin[last],
-                                   binned.begin[last + 1] - binned.begin[last]);
+  const std::size_t last = num_buckets - 1;
+  std::span<graph::VertexId> heavy(out.order.data() + out.begin[last],
+                                   out.begin[last + 1] - out.begin[last]);
   prim::sort(heavy,
              [&](graph::VertexId a, graph::VertexId b) {
                const auto ka = key(a), kb = key(b);
                return ka != kb ? ka > kb : a < b;
              },
-             pool);
+             scratch, pool);
+}
+
+template <typename KeyFn>
+Binned bin_by_key(std::size_t num_items, const BucketScheme& scheme, KeyFn&& key,
+                  simt::ThreadPool& pool) {
+  Binned binned;
+  prim::Scratch scratch;
+  bin_by_key_into(num_items, scheme, std::forward<KeyFn>(key), binned, scratch,
+                  pool);
   return binned;
 }
 

@@ -29,6 +29,7 @@
 
 #include "graph/types.hpp"
 #include "simt/atomics.hpp"
+#include "util/primes.hpp"
 
 namespace glouvain::core {
 
@@ -38,6 +39,10 @@ class FastMod {
   FastMod() = default;
   explicit FastMod(std::uint32_t d) noexcept
       : magic_(~std::uint64_t{0} / d + 1), d_(d) {}
+  /// From a precomputed magic (= ~0 / d + 1, e.g. out of a
+  /// util::HashTableParams LUT entry), skipping the 64-bit division.
+  FastMod(std::uint64_t magic, std::uint32_t d) noexcept
+      : magic_(magic), d_(d) {}
 
   std::uint32_t mod(std::uint32_t n) const noexcept {
     const std::uint64_t low = magic_ * n;
@@ -68,6 +73,22 @@ class BasicCommunityHashMap {
     assert(keys_.size() == weights_.size());
     assert(!keys_.empty());
     assert(keys_.size() < (std::uint64_t{1} << 32));
+  }
+
+  /// Hot-kernel constructor: probe magics come precomputed from the
+  /// degree LUT instead of being divided out per vertex. `params` must
+  /// describe capacity == keys.size().
+  BasicCommunityHashMap(std::span<graph::Community> keys,
+                        std::span<graph::Weight> weights,
+                        const util::HashTableParams& params) noexcept
+      : keys_(keys),
+        weights_(weights),
+        cap_(params.capacity),
+        mod_cap_(params.magic_capacity, params.capacity),
+        mod_cap_minus1_(params.magic_capacity_minus1, params.capacity - 1) {
+    assert(keys_.size() == weights_.size());
+    assert(keys_.size() == params.capacity);
+    assert(params.capacity > 1);
   }
 
   /// Reset every slot to empty. (On the GPU this is the per-block
@@ -118,6 +139,35 @@ class BasicCommunityHashMap {
           weights_[pos] = w;  // claim initializes the weight slot
           return pos;
         }
+      }
+      pos += step;
+      if (pos >= cap_) pos -= cap_;
+    }
+  }
+
+  /// insert_add that also reports whether this call claimed the slot
+  /// for a previously absent key (task-local variant only: claim
+  /// tracking is per-caller state, which a concurrent table cannot
+  /// attribute). The kernels use it to keep a compact list of occupied
+  /// slots so the candidate scan can skip the empty majority of a
+  /// sparsely filled table.
+  std::size_t insert_add_claim(graph::Community c, graph::Weight w,
+                               bool& claimed) noexcept {
+    static_assert(!Atomic, "claim tracking is for task-local tables");
+    claimed = false;
+    std::uint32_t pos = mod_cap_.mod(c);
+    const std::uint32_t step = 1 + mod_cap_minus1_.mod(c);
+    for (;;) {
+      const graph::Community observed = keys_[pos];
+      if (observed == c) {
+        weights_[pos] += w;
+        return pos;
+      }
+      if (observed == kNull) {
+        keys_[pos] = c;
+        weights_[pos] = w;
+        claimed = true;
+        return pos;
       }
       pos += step;
       if (pos >= cap_) pos -= cap_;

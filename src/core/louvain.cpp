@@ -2,7 +2,6 @@
 
 #include <stdexcept>
 
-#include "metrics/partition.hpp"
 #include "obs/recorder.hpp"
 #include "simt/atomics.hpp"
 #include "util/timer.hpp"
@@ -40,7 +39,9 @@ PhaseResult Louvain::run_phase(const Csr& graph,
                                double threshold) {
   PhaseState state;
   state.reset(graph, *device_);
-  PhaseResult pr = optimize_phase(*device_, graph, config_, state, threshold);
+  PhaseResult pr =
+      optimize_phase(*device_, graph, config_, state,
+                     std::span<const graph::VertexId>{}, threshold, ws_);
   community = std::move(state.community);
   return pr;
 }
@@ -80,42 +81,48 @@ Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
     result.community[v] = static_cast<Community>(v);
   });
 
-  Csr current = graph;
+  // No level-0 copy: the input graph is only ever read. Contracted
+  // levels are owned here and recycled into the workspace pools when
+  // the next level replaces them — after level 1 the loop's CSR arrays
+  // cycle through the same heap blocks (cudaMalloc-once discipline).
+  const Csr* current = &graph;
+  Csr owned;
   double prev_q = -1.0;
   std::uint64_t prev_spills = 0;
 
   for (int level = 0; level < config_.max_levels; ++level) {
     if (rec) rec->set_level(level);
     LevelReport report;
-    report.vertices = current.num_vertices();
-    report.arcs = current.num_arcs();
+    report.vertices = current->num_vertices();
+    report.arcs = current->num_arcs();
     report.modularity_before = prev_q < -0.5 ? 0 : prev_q;
 
     const double threshold =
-        config_.thresholds.threshold_for(current.num_vertices());
+        config_.thresholds.threshold_for(current->num_vertices());
 
     // Level 0 of a warm run starts from the seeded partition and sweeps
     // only the frontier; every later level is a normal cold phase on
-    // the (much smaller) contracted graph.
+    // the (much smaller) contracted graph. The phase state is a member:
+    // reset() only rewrites, its arrays stay at their high-water mark.
     const bool warm_level = warm && level == 0;
     util::Timer opt_timer;
-    PhaseState state;
+    PhaseState& state = state_;
     if (warm_level) {
-      state.reset_from(current, *device_, seed);
+      state.reset_from(*current, *device_, seed);
     } else {
-      state.reset(current, *device_);
+      state.reset(*current, *device_);
     }
     const PhaseResult phase = optimize_phase(
-        *device_, current, config_, state,
+        *device_, *current, config_, state,
         warm_level ? frontier : std::span<const graph::VertexId>{}, threshold,
-        rec);
+        ws_, rec);
     report.optimize_seconds = opt_timer.seconds();
     report.iterations = phase.sweeps;
     report.modularity_after = phase.modularity;
 
     if (level == 0) {
       result.first_phase_teps = phase.first_sweep_seconds > 0
-          ? static_cast<double>(current.num_arcs()) / phase.first_sweep_seconds
+          ? static_cast<double>(current->num_arcs()) / phase.first_sweep_seconds
           : 0;
     }
 
@@ -125,20 +132,27 @@ Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
         prev_q >= -0.5 && (phase.modularity - prev_q) < config_.thresholds.t_final;
 
     util::Timer agg_timer;
-    const AggregationResult agg =
-        aggregate(*device_, current, config_, state.community, rec);
+    AggregationResult agg =
+        aggregate(*device_, *current, config_, state.community, ws_, rec);
 
     // Fold this level into the original-vertex mapping:
     // community(orig) = new_id[ phase community of current vertex ].
     {
       obs::Span fold_span(rec, "fold");
-      std::vector<Community> dense(current.num_vertices());
-      device_->for_each(current.num_vertices(), [&](std::size_t v) {
+      const VertexId cn = current->num_vertices();
+      auto dense = ws_.buffer<Community>(Workspace::Slot::kFoldDense, cn);
+      device_->for_each(cn, [&](std::size_t v) {
         dense[v] = agg.new_id[state.community[v]];
       });
-      result.community = metrics::flatten(result.community, dense);
-      result.dendrogram.push_level(dense);
+      // In-place composition (flatten allocated a fresh vector per
+      // level): community[orig] indexes dense, never itself.
+      device_->for_each(result.community.size(), [&](std::size_t v) {
+        result.community[v] = dense[result.community[v]];
+      });
+      result.dendrogram.push_level(
+          std::vector<Community>(dense.begin(), dense.end()));
     }
+    ws_.put(std::move(agg.new_id));
     report.aggregate_seconds = agg_timer.seconds();
     result.levels.push_back(report);
 
@@ -151,9 +165,14 @@ Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
       prev_spills = spills;
     }
 
-    const bool shrunk = agg.contracted.num_vertices() < current.num_vertices();
+    const bool shrunk = agg.contracted.num_vertices() < current->num_vertices();
     prev_q = phase.modularity;
-    current = agg.contracted;
+    // Retire the previous owned level into the recycling pools before
+    // adopting the new one (never the caller's input graph).
+    Csr next = std::move(agg.contracted);
+    if (owned.num_vertices() > 0) ws_.recycle(std::move(owned));
+    owned = std::move(next);
+    current = &owned;
     if (converged || !shrunk) break;
   }
   if (rec) rec->set_level(-1);

@@ -18,6 +18,7 @@
 #include "core/aggregate.hpp"
 #include "core/config.hpp"
 #include "core/modopt.hpp"
+#include "core/workspace.hpp"
 #include "detect/result.hpp"
 #include "graph/csr.hpp"
 
@@ -69,6 +70,11 @@ class Louvain {
   const Config& config() const noexcept { return config_; }
   simt::Device& device() noexcept { return *device_; }
 
+  /// The instance's workspace arena (slot buffers, prim scratch,
+  /// recycled vectors). Warm across levels, sweeps and run() calls —
+  /// the cudaMalloc-once discipline of the paper's device buffers.
+  Workspace& workspace() noexcept { return ws_; }
+
  private:
   Result run_impl(const graph::Csr& graph,
                   std::span<const graph::Community> seed,
@@ -77,6 +83,11 @@ class Louvain {
 
   Config config_;
   std::unique_ptr<simt::Device> device_;
+  /// Persistent per-run state: the device arrays grow to the level-0
+  /// graph once and are reused by every later level and every later
+  /// run on this instance.
+  Workspace ws_;
+  PhaseState state_;
 };
 
 /// One-shot convenience wrapper.

@@ -1,9 +1,12 @@
 #include "core/modopt.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 
 #include "core/buckets.hpp"
+#include "core/workspace.hpp"
 #include "graph/coloring.hpp"
 #include "core/hash_map.hpp"
 #include "obs/recorder.hpp"
@@ -27,9 +30,15 @@ using graph::Weight;
 /// 14): best (gain, community) seen by this lane, ties to the lowest
 /// community id, as §4 prescribes.
 struct Candidate {
-  double gain = -std::numeric_limits<double>::infinity();
-  Community comm = graph::kInvalidCommunity;
+  double gain;
+  Community comm;
 };
+
+/// Identity element of better(): what an idle lane reports. Kept
+/// trivially copyable so the per-group candidate array can stay
+/// uninitialized past the active lanes.
+constexpr Candidate kEmptyCandidate{
+    -std::numeric_limits<double>::infinity(), graph::kInvalidCommunity};
 
 Candidate better(const Candidate& a, const Candidate& b) noexcept {
   constexpr double kEps = 1e-15;
@@ -38,11 +47,29 @@ Candidate better(const Candidate& a, const Candidate& b) noexcept {
   return a;
 }
 
+/// Ascending sort of the claimed-slot list; tiny lists (the common
+/// case) use insertion sort to skip the introsort dispatch.
+void sort_slots(std::span<std::uint32_t> slots) noexcept {
+  if (slots.size() <= 16) {
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+      const std::uint32_t x = slots[i];
+      std::size_t j = i;
+      for (; j > 0 && slots[j - 1] > x; --j) slots[j] = slots[j - 1];
+      slots[j] = x;
+    }
+    return;
+  }
+  std::sort(slots.begin(), slots.end());
+}
+
 /// The computeMove kernel body (Algorithm 2) for one vertex. Table is
-/// either the concurrent or the task-local hash map (see hash_map.hpp).
-template <typename Table>
+/// the task-local hash map; Group is LaneGroup or a FixedLaneGroup
+/// specialization. `touched` is caller scratch for >= capacity slot
+/// indices.
+template <typename Group, typename Table>
 void compute_move(const Csr& graph, PhaseState& state, Weight m2, VertexId v,
-                  simt::LaneGroup group, Table& table) {
+                  Group group, Table& table,
+                  std::span<std::uint32_t> touched) {
   const EdgeIdx off = graph.offset(v);
   const EdgeIdx deg = graph.degree(v);
   const Community old_c = state.community[v];
@@ -55,22 +82,31 @@ void compute_move(const Csr& graph, PhaseState& state, Weight m2, VertexId v,
   // lane visits edges off+lane, off+lane+L, ... and accumulates the
   // weight under the neighbour's community. The self-loop contributes
   // equally to every candidate (it moves with v), so it is skipped.
+  // Claimed slots are recorded so a sparse table can be scanned
+  // compactly below.
+  std::uint32_t num_touched = 0;
   group.strided_for(deg, [&](unsigned /*lane*/, std::size_t idx) {
     const VertexId j = adjacency[off + idx];
     if (j == v) return;
-    table.insert_add(simt::atomic_load(state.community[j]),
-                     edge_weights[off + idx]);
+    bool claimed = false;
+    const std::size_t pos = table.insert_add_claim(
+        simt::atomic_load(state.community[j]), edge_weights[off + idx],
+        claimed);
+    if (claimed) touched[num_touched++] = static_cast<std::uint32_t>(pos);
   });
 
   // --- Line 14: per-lane scan of the table slots followed by a warp
   // reduction picks the best destination. The gain term per candidate
   // community c (v removed from its own community first) is
   //   e_{v->c} - k_v * a_c / 2m,
-  // the variable part of Eq. (2).
-  std::array<Candidate, 128> lane_best{};
+  // the variable part of Eq. (2). Only the group's own lanes are
+  // initialized: for a 4-lane group the other 124 entries are never
+  // read, and zeroing all 2KB per vertex dominated small-degree
+  // kernels.
+  std::array<Candidate, 128> lane_best;
+  for (unsigned l = 0; l < group.lanes(); ++l) lane_best[l] = kEmptyCandidate;
   Weight d_old = 0;  // e_{v->C(v)\{v}}, collected during the slot scan
-  group.strided_for(table.capacity(), [&](unsigned lane, std::size_t pos) {
-    if (!table.occupied(pos)) return;
+  const auto scan_slot = [&](unsigned lane, std::size_t pos) {
     const Community c = table.key_at(pos);
     if (c == old_c) {
       // Lanes of a group execute inside one OS thread, so this plain
@@ -81,7 +117,24 @@ void compute_move(const Csr& graph, PhaseState& state, Weight m2, VertexId v,
     const double gain =
         table.weight_at(pos) - k * simt::atomic_load(state.tot[c]) * inv_m2;
     lane_best[lane] = better(lane_best[lane], {gain, c});
-  });
+  };
+  if (std::size_t{num_touched} * 4 <= table.capacity()) {
+    // Sparse table (typical once the neighbourhood has collapsed into
+    // a few communities): visit only the claimed slots, in ascending
+    // position. strided_for assigns index i to lane i % lanes, so this
+    // replays the full scan's exact per-lane fold sequences and the
+    // chosen move is bit-identical.
+    sort_slots(touched.first(num_touched));
+    for (std::uint32_t i = 0; i < num_touched; ++i) {
+      const std::uint32_t pos = touched[i];
+      scan_slot(static_cast<unsigned>(pos % group.lanes()), pos);
+    }
+  } else {
+    group.strided_for(table.capacity(), [&](unsigned lane, std::size_t pos) {
+      if (!table.occupied(pos)) return;
+      scan_slot(lane, pos);
+    });
+  }
   const Candidate best = group.reduce(
       std::span<Candidate>(lane_best.data(), group.lanes()),
       [](const Candidate& a, const Candidate& b) { return better(a, b); });
@@ -108,6 +161,45 @@ void compute_move(const Csr& graph, PhaseState& state, Weight m2, VertexId v,
   state.move_gain[v] = move ? 2.0 * (best.gain - stay_gain) / m2 : 0.0;
 }
 
+/// compute_move specialized for degree-1 vertices: the table would hold
+/// at most one candidate, so the decision closes form and the arena
+/// allocation, table clear and slot scan all drop out. Every
+/// floating-point expression matches the general kernel operand for
+/// operand (including the better() fold, for NaN behaviour), so the
+/// chosen move is bitwise identical.
+void compute_move_deg1(const Csr& graph, PhaseState& state, Weight m2,
+                       VertexId v) {
+  const EdgeIdx off = graph.offset(v);
+  const Community old_c = state.community[v];
+  const Weight k = state.strengths[v];
+  const double inv_m2 = 1.0 / m2;
+  const VertexId j = graph.adjacency()[off];
+
+  Weight d_old = 0;
+  Candidate best = kEmptyCandidate;
+  if (j != v) {  // a pure self-loop vertex has no candidate
+    const Community c = simt::atomic_load(state.community[j]);
+    const Weight w = graph.edge_weights()[off];
+    if (c == old_c) {
+      d_old = w;
+    } else {
+      const double gain = w - k * simt::atomic_load(state.tot[c]) * inv_m2;
+      best = better(kEmptyCandidate, {gain, c});
+    }
+  }
+
+  const double stay_gain =
+      d_old - k * (simt::atomic_load(state.tot[old_c]) - k) * inv_m2;
+  bool move = best.comm != graph::kInvalidCommunity && best.gain > stay_gain + 1e-15;
+  if (move && simt::atomic_load(state.com_size[old_c]) == 1 &&
+      best.comm > old_c &&
+      simt::atomic_load(state.com_size[best.comm]) == 1) {
+    move = false;
+  }
+  state.new_comm[v] = move ? best.comm : old_c;
+  state.move_gain[v] = move ? 2.0 * (best.gain - stay_gain) / m2 : 0.0;
+}
+
 struct CommitResult {
   double gain = 0;          ///< accumulated predicted modularity gain
   std::size_t moved = 0;    ///< vertices that changed community
@@ -116,10 +208,17 @@ struct CommitResult {
 /// Commit newComm for the vertices of one bucket and update a_c and the
 /// community sizes incrementally (equivalent to the paper's "recompute
 /// a_c in parallel", Algorithm 1 lines 8-11, but O(bucket) not O(n)).
+/// Per-worker partials come from the workspace: no heap traffic.
 CommitResult commit_moves(simt::Device& device, PhaseState& state,
-                          std::span<const VertexId> vertices) {
-  std::vector<double> gain_partial(device.workers(), 0.0);
-  std::vector<std::size_t> moved_partial(device.workers(), 0);
+                          std::span<const VertexId> vertices, Workspace& ws) {
+  auto gain_partial =
+      ws.buffer<double>(Workspace::Slot::kModoptGainPartial, device.workers());
+  auto moved_partial = ws.buffer<std::size_t>(
+      Workspace::Slot::kModoptMovedPartial, device.workers());
+  for (unsigned w = 0; w < device.workers(); ++w) {
+    gain_partial[w] = 0;
+    moved_partial[w] = 0;
+  }
   device.pool().parallel_for(vertices.size(), [&](std::size_t i, unsigned worker) {
     const VertexId v = vertices[i];
     const Community to = state.new_comm[v];
@@ -193,13 +292,18 @@ void PhaseState::reset_from(const Csr& graph, simt::Device& device,
   });
 }
 
-double device_modularity(simt::Device& device, const Csr& graph,
-                         const std::vector<Community>& community,
-                         const std::vector<Weight>& tot) {
+namespace {
+
+double device_modularity_impl(simt::Device& device, const Csr& graph,
+                              const std::vector<Community>& community,
+                              const std::vector<Weight>& tot,
+                              std::span<Weight> in_partial,
+                              std::span<Weight> tot_partial) {
   const Weight m2 = graph.total_weight();
-  if (m2 <= 0) return 0;
-  std::vector<Weight> in_partial(device.workers(), 0);
-  std::vector<Weight> tot_partial(device.workers(), 0);
+  for (unsigned w = 0; w < device.workers(); ++w) {
+    in_partial[w] = 0;
+    tot_partial[w] = 0;
+  }
   auto& pool = device.pool();
   pool.parallel_for(graph.num_vertices(), [&](std::size_t vi, unsigned worker) {
     const auto v = static_cast<VertexId>(vi);
@@ -223,29 +327,62 @@ double device_modularity(simt::Device& device, const Csr& graph,
   return in_total / m2 - tot_sq / (m2 * m2);
 }
 
+}  // namespace
+
+double device_modularity(simt::Device& device, const Csr& graph,
+                         const std::vector<Community>& community,
+                         const std::vector<Weight>& tot) {
+  if (graph.total_weight() <= 0) return 0;
+  std::vector<Weight> in_partial(device.workers());
+  std::vector<Weight> tot_partial(device.workers());
+  return device_modularity_impl(device, graph, community, tot, in_partial,
+                                tot_partial);
+}
+
+double device_modularity(simt::Device& device, const Csr& graph,
+                         const std::vector<Community>& community,
+                         const std::vector<Weight>& tot, Workspace& ws) {
+  if (graph.total_weight() <= 0) return 0;
+  return device_modularity_impl(
+      device, graph, community, tot,
+      ws.buffer<Weight>(Workspace::Slot::kModoptInPartial, device.workers()),
+      ws.buffer<Weight>(Workspace::Slot::kModoptTotPartial, device.workers()));
+}
+
 PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
                            const Config& config, PhaseState& state,
                            double threshold, obs::Recorder* rec) {
+  Workspace ws;
   return optimize_phase(device, graph, config, state,
-                        std::span<const VertexId>{}, threshold, rec);
+                        std::span<const VertexId>{}, threshold, ws, rec);
 }
 
 PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
                            const Config& config, PhaseState& state,
                            std::span<const VertexId> active,
                            double threshold, obs::Recorder* rec) {
+  Workspace ws;
+  return optimize_phase(device, graph, config, state, active, threshold, ws,
+                        rec);
+}
+
+PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
+                           const Config& config, PhaseState& state,
+                           std::span<const VertexId> active,
+                           double threshold, Workspace& ws,
+                           obs::Recorder* rec) {
   const VertexId n = graph.num_vertices();
   const Weight m2 = graph.total_weight();
   PhaseResult result;
   if (n == 0 || m2 <= 0) return result;
   obs::Span phase_span(rec, "modopt");
+  const Workspace::Counters ws_since = ws.counters();
 
   // An empty subset means the classic full phase over every vertex.
-  std::vector<VertexId> all;
   if (active.empty()) {
-    all.resize(n);
+    auto all = ws.buffer<VertexId>(Workspace::Slot::kModoptActive, n);
     device.for_each(n, [&](std::size_t v) { all[v] = static_cast<VertexId>(v); });
-    active = all;
+    active = {all.data(), all.size()};
   }
   const std::size_t num_active = active.size();
 
@@ -253,12 +390,14 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
   // Degrees are fixed within a phase, so one binning serves every sweep
   // (the pseudocode re-partitions per sweep; the result is identical).
   // Binning runs over subset positions, then maps back to vertex ids.
-  Binned binned = [&] {
+  Binned& binned = ws.modopt_binned();
+  {
     obs::Span span(rec, "modopt/binning");
-    return bin_by_key(
+    bin_by_key_into(
         num_active, scheme,
-        [&](VertexId i) { return graph.degree(active[i]); }, device.pool());
-  }();
+        [&](VertexId i) { return graph.degree(active[i]); }, binned,
+        ws.scratch(), device.pool());
+  }
   device.for_each(num_active,
                   [&](std::size_t i) { binned.order[i] = active[binned.order[i]]; });
   if (rec) {
@@ -269,10 +408,14 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     }
   }
   // One interned name per degree-bucket kernel so the exporters can
-  // break sweep time down the way Figure 6 does.
-  std::vector<std::string> bucket_names(scheme.num_buckets());
-  for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
-    bucket_names[b] = "modopt/bucket" + std::to_string(b);
+  // break sweep time down the way Figure 6 does (built only when a
+  // recorder is attached — the disabled path allocates nothing).
+  std::vector<std::string> bucket_names;
+  if (rec) {
+    bucket_names.resize(scheme.num_buckets());
+    for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
+      bucket_names[b] = "modopt/bucket" + std::to_string(b);
+    }
   }
 
   // Sub-round grouping within each bucket: vertices of one bucket are
@@ -297,16 +440,22 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
                : static_cast<unsigned>(util::hash64(v) % subrounds);
   };
   const std::size_t order_span = rec ? rec->begin_span("modopt/order") : 0;
-  std::vector<VertexId> order(binned.order);
+  // Every position of `order` is written by the class regrouping below,
+  // so the workspace buffer needs no initial copy of binned.order.
+  auto order = ws.buffer<VertexId>(Workspace::Slot::kModoptOrder, num_active);
   // sub_begin[b * subrounds + s] .. [b * subrounds + s + 1) is the
   // half-open range of bucket b's sub-round s within `order`.
-  std::vector<std::size_t> sub_begin(scheme.num_buckets() * subrounds + 1, 0);
+  auto sub_begin = ws.buffer<std::size_t>(Workspace::Slot::kModoptSubBegin,
+                                          scheme.num_buckets() * subrounds + 1);
   {
-    std::vector<VertexId> scratch;
-    std::vector<std::vector<VertexId>> classes(subrounds);
+    // Class lists live in the workspace so their capacities survive
+    // across sweeps, levels and detect() calls (the per-call
+    // construction they replace was a measured hot-loop allocator).
+    auto& classes = ws.class_lists();
+    if (classes.size() < subrounds) classes.resize(subrounds);
     for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
       auto bucket = binned.bucket(b);
-      for (auto& cls : classes) cls.clear();
+      for (unsigned s = 0; s < subrounds; ++s) classes[s].clear();
       for (VertexId v : bucket) classes[class_of(v)].push_back(v);
       std::size_t at = binned.begin[b];
       for (unsigned s = 0; s < subrounds; ++s) {
@@ -320,8 +469,13 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
 
   double current_q = [&] {
     obs::Span span(rec, "modopt/modularity");
-    return device_modularity(device, graph, state.community, state.tot);
+    return device_modularity(device, graph, state.community, state.tot, ws);
   }();
+  // True while current_q is the exact modularity of the live partition
+  // (no commit moved a vertex since it was evaluated); lets the final
+  // report reuse the last in-loop evaluation instead of paying one
+  // more O(|E|) pass.
+  bool q_fresh = true;
 
   while (result.sweeps < config.max_sweeps_per_level) {
     ++result.sweeps;
@@ -346,7 +500,8 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
         std::span<const VertexId> group_vertices(order.data() + lo, hi - lo);
 
         {
-          obs::Span kernel_span(rec, bucket_names[b]);
+          obs::Span kernel_span(
+              rec, rec ? std::string_view(bucket_names[b]) : std::string_view());
           device.launch(group_vertices.size(), grain, [&](simt::TaskContext& ctx) {
             const VertexId v = group_vertices[ctx.task()];
             const EdgeIdx deg = graph.degree(v);
@@ -355,23 +510,60 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
               state.move_gain[v] = 0;
               return;
             }
-            const std::size_t cap =
-                static_cast<std::size_t>(util::hash_capacity_for_degree(deg));
+            if (deg == 1) {
+              compute_move_deg1(graph, state, m2, v);
+              return;
+            }
+            const util::HashTableParams params =
+                util::hash_params_for_degree(deg);
+            const std::size_t cap = params.capacity;
             auto keys = use_global ? ctx.shared().alloc_global<Community>(cap)
                                    : ctx.shared().alloc<Community>(cap);
             auto weights = use_global ? ctx.shared().alloc_global<Weight>(cap)
                                       : ctx.shared().alloc<Weight>(cap);
+            auto touched = use_global
+                               ? ctx.shared().alloc_global<std::uint32_t>(cap)
+                               : ctx.shared().alloc<std::uint32_t>(cap);
             // Task-local table: this lane group runs inside one OS thread
             // (see hash_map.hpp for why no host atomics are needed here).
-            LocalCommunityHashMap table(keys, weights);
+            LocalCommunityHashMap table(keys, weights, params);
             table.clear();
-            compute_move(graph, state, m2, v, simt::LaneGroup(lanes), table);
+            // The standard widths get compile-time lane counts (constant
+            // strided loops and reduction trees); anything else falls
+            // back to the runtime group. Same arithmetic either way.
+            switch (lanes) {
+              case 4:
+                compute_move(graph, state, m2, v, simt::FixedLaneGroup<4>{},
+                             table, touched);
+                break;
+              case 8:
+                compute_move(graph, state, m2, v, simt::FixedLaneGroup<8>{},
+                             table, touched);
+                break;
+              case 16:
+                compute_move(graph, state, m2, v, simt::FixedLaneGroup<16>{},
+                             table, touched);
+                break;
+              case 32:
+                compute_move(graph, state, m2, v, simt::FixedLaneGroup<32>{},
+                             table, touched);
+                break;
+              case 128:
+                compute_move(graph, state, m2, v, simt::FixedLaneGroup<128>{},
+                             table, touched);
+                break;
+              default:
+                compute_move(graph, state, m2, v, simt::LaneGroup(lanes),
+                             table, touched);
+                break;
+            }
           });
         }
 
         if (config.update == UpdateStrategy::Bucketed) {
           obs::Span commit_span(rec, "modopt/commit");
-          const CommitResult commit = commit_moves(device, state, group_vertices);
+          const CommitResult commit =
+              commit_moves(device, state, group_vertices, ws);
           sweep_gain += commit.gain;
           sweep_moved += commit.moved;
         }
@@ -381,11 +573,12 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     if (config.update == UpdateStrategy::Relaxed) {
       obs::Span commit_span(rec, "modopt/commit");
       const CommitResult commit = commit_moves(
-          device, state, std::span<const VertexId>(binned.order));
+          device, state, std::span<const VertexId>(binned.order), ws);
       sweep_gain += commit.gain;
       sweep_moved += commit.moved;
     }
 
+    if (sweep_moved > 0) q_fresh = false;
     if (result.sweeps == 1) result.first_sweep_seconds = sweep_timer.seconds();
     if (rec) {
       rec->count("modopt/moved_frac",
@@ -404,7 +597,8 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     if (sweep_gain < threshold) break;
     obs::Span q_span(rec, "modopt/modularity");
     const double new_q =
-        device_modularity(device, graph, state.community, state.tot);
+        device_modularity(device, graph, state.community, state.tot, ws);
+    q_fresh = true;
     if (new_q - current_q < threshold) {
       current_q = new_q;
       break;
@@ -413,8 +607,14 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
   }
 
   if (rec) rec->count("modopt/sweeps", result.sweeps);
-  obs::Span final_q_span(rec, "modopt/modularity");
-  result.modularity = device_modularity(device, graph, state.community, state.tot);
+  if (q_fresh) {
+    result.modularity = current_q;
+  } else {
+    obs::Span final_q_span(rec, "modopt/modularity");
+    result.modularity =
+        device_modularity(device, graph, state.community, state.tot, ws);
+  }
+  ws.emit(rec, "modopt", ws_since);
   return result;
 }
 

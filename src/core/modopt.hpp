@@ -15,6 +15,8 @@ class Recorder;
 
 namespace glouvain::core {
 
+class Workspace;
+
 /// Mutable per-phase device state (the GPU-resident arrays).
 struct PhaseState {
   std::vector<graph::Weight> strengths;    ///< k_i
@@ -67,10 +69,26 @@ PhaseResult optimize_phase(simt::Device& device, const graph::Csr& graph,
                            double threshold,
                            obs::Recorder* recorder = nullptr);
 
+/// The allocation-free entry point: every temporary (active list,
+/// binning order, sub-round boundaries, per-worker partials, prim
+/// scratch) comes from `ws`, so once the workspace has warmed up to
+/// the graph's size a phase performs zero heap allocations. The plain
+/// overloads above are thin wrappers over a throwaway Workspace.
+PhaseResult optimize_phase(simt::Device& device, const graph::Csr& graph,
+                           const Config& config, PhaseState& state,
+                           std::span<const graph::VertexId> active,
+                           double threshold, Workspace& ws,
+                           obs::Recorder* recorder = nullptr);
+
 /// Modularity of the current assignment from the device arrays
 /// (parallel; used for the sweep-termination test).
 double device_modularity(simt::Device& device, const graph::Csr& graph,
                          const std::vector<graph::Community>& community,
                          const std::vector<graph::Weight>& tot);
+
+/// Same, with per-worker partials drawn from `ws`.
+double device_modularity(simt::Device& device, const graph::Csr& graph,
+                         const std::vector<graph::Community>& community,
+                         const std::vector<graph::Weight>& tot, Workspace& ws);
 
 }  // namespace glouvain::core

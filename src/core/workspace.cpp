@@ -1,0 +1,27 @@
+#include "core/workspace.hpp"
+
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace glouvain::core {
+
+void Workspace::emit(obs::Recorder* rec, std::string_view phase,
+                     const Counters& since) const {
+  if (!rec) return;
+  const Counters now = counters();
+  std::string base(phase);
+  base += "/ws_";
+  const auto name = [&](const char* suffix) { return base + suffix; };
+  rec->count(name("requests"),
+             static_cast<double>(now.requests - since.requests));
+  rec->count(name("kb_requested"),
+             static_cast<double>(now.bytes_requested - since.bytes_requested) /
+                 1024.0);
+  rec->count(name("arena_hits"), static_cast<double>(now.hits - since.hits));
+  rec->count(name("heap_fallbacks"),
+             static_cast<double>(now.heap_grows - since.heap_grows));
+  rec->count_max(name("held_kb"), static_cast<double>(held_bytes()) / 1024.0);
+}
+
+}  // namespace glouvain::core

@@ -9,16 +9,36 @@ Csr::Csr(std::vector<EdgeIdx> offsets, std::vector<VertexId> adj,
     : offsets_(std::move(offsets)),
       adj_(std::move(adj)),
       weights_(std::move(weights)) {
+  const unsigned workers = simt::ThreadPool::global().size();
+  std::vector<Weight> partial_w(workers, 0);
+  std::vector<EdgeIdx> partial_loops(workers, 0);
+  compute_totals(partial_w, partial_loops);
+}
+
+Csr::Csr(std::vector<EdgeIdx> offsets, std::vector<VertexId> adj,
+         std::vector<Weight> weights, prim::Scratch& scratch)
+    : offsets_(std::move(offsets)),
+      adj_(std::move(adj)),
+      weights_(std::move(weights)) {
+  const unsigned workers = simt::ThreadPool::global().size();
+  prim::Scratch::Frame frame(scratch);
+  auto partial_w = scratch.alloc<Weight>(workers);
+  auto partial_loops = scratch.alloc<EdgeIdx>(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    partial_w[w] = 0;
+    partial_loops[w] = 0;
+  }
+  compute_totals(partial_w, partial_loops);
+}
+
+void Csr::compute_totals(std::span<Weight> partial_w,
+                         std::span<EdgeIdx> partial_loops) {
   assert(!offsets_.empty());
   assert(adj_.size() == offsets_.back());
   assert(weights_.size() == adj_.size());
 
   const VertexId n = num_vertices();
-  auto& pool = simt::ThreadPool::global();
-
-  std::vector<Weight> partial_w(pool.size(), 0);
-  std::vector<EdgeIdx> partial_loops(pool.size(), 0);
-  pool.parallel_for(n, [&](std::size_t v, unsigned worker) {
+  simt::ThreadPool::global().parallel_for(n, [&](std::size_t v, unsigned worker) {
     Weight s = 0;
     EdgeIdx loops = 0;
     const EdgeIdx b = offsets_[v], e = offsets_[v + 1];
@@ -29,7 +49,7 @@ Csr::Csr(std::vector<EdgeIdx> offsets, std::vector<VertexId> adj,
     partial_w[worker] += s;
     partial_loops[worker] += loops;
   });
-  for (unsigned w = 0; w < pool.size(); ++w) {
+  for (std::size_t w = 0; w < partial_w.size(); ++w) {
     total_weight_ += partial_w[w];
     num_loops_ += partial_loops[w];
   }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "prim/scratch.hpp"
 
 namespace glouvain::graph {
 
@@ -30,6 +31,11 @@ class Csr {
   /// use Builder for untrusted input.
   Csr(std::vector<EdgeIdx> offsets, std::vector<VertexId> adj,
       std::vector<Weight> weights);
+
+  /// Same, but the totals pass draws its per-worker partials from
+  /// `scratch` instead of the heap (the allocation-free hot path).
+  Csr(std::vector<EdgeIdx> offsets, std::vector<VertexId> adj,
+      std::vector<Weight> weights, prim::Scratch& scratch);
 
   VertexId num_vertices() const noexcept {
     return static_cast<VertexId>(offsets_.size() - 1);
@@ -81,7 +87,29 @@ class Csr {
   /// Structural equality (same arrays).
   friend bool operator==(const Csr&, const Csr&) = default;
 
+  /// Surrender the backing arrays (for capacity recycling). Rvalue
+  /// only: the hollowed-out Csr drops the offsets invariant (restoring
+  /// it would mean allocating inside the recycle path), so afterwards
+  /// it may only be destroyed or assigned to.
+  struct Released {
+    std::vector<EdgeIdx> offsets;
+    std::vector<VertexId> adj;
+    std::vector<Weight> weights;
+  };
+  Released release() && {
+    Released r{std::move(offsets_), std::move(adj_), std::move(weights_)};
+    offsets_.clear();
+    adj_.clear();
+    weights_.clear();
+    total_weight_ = 0;
+    num_loops_ = 0;
+    return r;
+  }
+
  private:
+  void compute_totals(std::span<Weight> partial_w,
+                      std::span<EdgeIdx> partial_loops);
+
   std::vector<EdgeIdx> offsets_;
   std::vector<VertexId> adj_;
   std::vector<Weight> weights_;

@@ -87,6 +87,19 @@ void Recorder::count(std::string_view name, double delta, std::int64_t bin) {
   counters_.push_back({id, level_, bin, delta});
 }
 
+void Recorder::count_max(std::string_view name, double value, std::int64_t bin) {
+  const std::uint32_t id = intern(name);
+  const auto key = std::make_tuple(id, static_cast<std::int32_t>(level_), bin);
+  const auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) {
+    double& v = counters_[it->second].value;
+    if (value > v) v = value;
+    return;
+  }
+  counter_index_.emplace(key, counters_.size());
+  counters_.push_back({id, level_, bin, value});
+}
+
 void Recorder::clear() {
   spans_.clear();
   open_.clear();

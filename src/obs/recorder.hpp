@@ -73,6 +73,10 @@ class Recorder {
   /// Accumulate `delta` into counter (name, current level, bin).
   void count(std::string_view name, double delta, std::int64_t bin = -1);
 
+  /// Keep the maximum of `value` and the counter's current value —
+  /// high-water marks (arena footprints) rather than running sums.
+  void count_max(std::string_view name, double value, std::int64_t bin = -1);
+
   /// Drop all recorded data (names are kept interned).
   void clear();
 

@@ -1,0 +1,88 @@
+// Stable counting sort ("binning") over small integer keys — the
+// replacement for repeated Thrust partition() calls when grouping work
+// items into the paper's degree buckets. One counting pass beats
+// num_buckets stable-partition passes: O(n + B) instead of O(B * n),
+// with identical output (items of bucket 0 first, ascending id inside
+// each bucket — counting sort is stable over the identity order).
+//
+// Layout: the per-chunk histogram lives bucket-major
+// (counts[b * chunks + c]), so the serial exclusive scan over it
+// yields, in one sweep, both every chunk's scatter cursor and the
+// bucket boundary offsets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "prim/scratch.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace glouvain::prim {
+
+/// Group the items [0, n) by bucket_of(i) in [0, num_buckets):
+/// out_order receives the n item ids, bucket by bucket, ascending id
+/// within each bucket; out_begin (num_buckets + 1 entries) receives the
+/// half-open bucket ranges. All temporaries come from `scratch`.
+template <typename Idx, typename BucketFn>
+void bucket_sort_index(std::size_t n, std::size_t num_buckets,
+                       BucketFn&& bucket_of, std::span<Idx> out_order,
+                       std::span<std::size_t> out_begin, Scratch& scratch,
+                       simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  constexpr std::size_t kSerialCutoff = 1 << 14;
+  Scratch::Frame frame(scratch);
+
+  if (n <= kSerialCutoff || pool.size() == 1) {
+    auto counts = scratch.alloc<std::size_t>(num_buckets);
+    for (std::size_t b = 0; b < num_buckets; ++b) counts[b] = 0;
+    for (std::size_t i = 0; i < n; ++i) ++counts[bucket_of(i)];
+    std::size_t at = 0;
+    for (std::size_t b = 0; b < num_buckets; ++b) {
+      out_begin[b] = at;
+      const std::size_t c = counts[b];
+      counts[b] = at;
+      at += c;
+    }
+    out_begin[num_buckets] = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      out_order[counts[bucket_of(i)]++] = static_cast<Idx>(i);
+    }
+    return;
+  }
+
+  const std::size_t chunks = 4 * pool.size();
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  auto counts = scratch.alloc<std::size_t>(num_buckets * chunks);
+
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    for (std::size_t b = 0; b < num_buckets; ++b) counts[b * chunks + c] = 0;
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(lo + chunk_size, n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      ++counts[bucket_of(i) * chunks + c];
+    }
+  });
+
+  // Bucket-major exclusive scan: counts[b * chunks + c] becomes chunk
+  // c's scatter cursor for bucket b, and the running total at each
+  // bucket boundary is out_begin[b].
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    out_begin[b] = total;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t v = counts[b * chunks + c];
+      counts[b * chunks + c] = total;
+      total += v;
+    }
+  }
+  out_begin[num_buckets] = n;
+
+  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(lo + chunk_size, n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      out_order[counts[bucket_of(i) * chunks + c]++] = static_cast<Idx>(i);
+    }
+  });
+}
+
+}  // namespace glouvain::prim

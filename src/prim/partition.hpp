@@ -6,41 +6,33 @@
 // exclusive scan over chunk counts assigns output offsets, then chunks
 // scatter. Stability (original relative order preserved on both sides)
 // follows because chunks are contiguous and offsets are monotone.
+//
+// The Scratch-accepting overload draws the per-chunk counters from a
+// reusable arena (zero allocations in steady state).
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "prim/scratch.hpp"
 #include "simt/thread_pool.hpp"
 
 namespace glouvain::prim {
 
-/// Copy all elements of `in` satisfying pred to the front of `out` and
-/// the rest to the back; returns the number of matching elements.
-/// in and out must not alias; out.size() >= in.size().
-template <typename T, typename Pred>
-std::size_t stable_partition_copy(std::span<const T> in, std::span<T> out,
-                                  Pred&& pred,
-                                  simt::ThreadPool& pool = simt::ThreadPool::global()) {
-  const std::size_t n = in.size();
-  if (n == 0) return 0;
-  constexpr std::size_t kSerialCutoff = 1 << 14;
-  if (n <= kSerialCutoff || pool.size() == 1) {
-    std::size_t lo = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (pred(in[i])) out[lo++] = in[i];
-    }
-    std::size_t back = lo;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!pred(in[i])) out[back++] = in[i];
-    }
-    return lo;
-  }
+namespace detail {
 
-  const std::size_t chunks = 4 * pool.size();
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  std::vector<std::size_t> true_count(chunks, 0);
+constexpr std::size_t kPartitionSerialCutoff = 1 << 14;
+
+template <typename T, typename Pred>
+std::size_t stable_partition_chunked(std::span<const T> in, std::span<T> out,
+                                     Pred& pred, std::span<std::size_t> true_count,
+                                     std::span<std::size_t> true_off,
+                                     std::span<std::size_t> false_off,
+                                     std::size_t chunk_size,
+                                     simt::ThreadPool& pool) {
+  const std::size_t n = in.size();
+  const std::size_t chunks = true_count.size();
 
   pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
     const std::size_t b = c * chunk_size;
@@ -50,7 +42,6 @@ std::size_t stable_partition_copy(std::span<const T> in, std::span<T> out,
     true_count[c] = t;
   });
 
-  std::vector<std::size_t> true_off(chunks), false_off(chunks);
   std::size_t total_true = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
     true_off[c] = total_true;
@@ -74,6 +65,64 @@ std::size_t stable_partition_copy(std::span<const T> in, std::span<T> out,
     }
   });
   return total_true;
+}
+
+}  // namespace detail
+
+/// Copy all elements of `in` satisfying pred to the front of `out` and
+/// the rest to the back; returns the number of matching elements.
+/// in and out must not alias; out.size() >= in.size().
+template <typename T, typename Pred>
+std::size_t stable_partition_copy(std::span<const T> in, std::span<T> out,
+                                  Pred&& pred, Scratch& scratch,
+                                  simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  if (n <= detail::kPartitionSerialCutoff || pool.size() == 1) {
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(in[i])) out[lo++] = in[i];
+    }
+    std::size_t back = lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!pred(in[i])) out[back++] = in[i];
+    }
+    return lo;
+  }
+  const std::size_t chunks = 4 * pool.size();
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  Scratch::Frame frame(scratch);
+  return detail::stable_partition_chunked(
+      in, out, pred, scratch.alloc<std::size_t>(chunks),
+      scratch.alloc<std::size_t>(chunks), scratch.alloc<std::size_t>(chunks),
+      chunk_size, pool);
+}
+
+/// Self-allocating overload for one-off callers.
+template <typename T, typename Pred>
+std::size_t stable_partition_copy(std::span<const T> in, std::span<T> out,
+                                  Pred&& pred,
+                                  simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  if (n <= detail::kPartitionSerialCutoff || pool.size() == 1) {
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(in[i])) out[lo++] = in[i];
+    }
+    std::size_t back = lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!pred(in[i])) out[back++] = in[i];
+    }
+    return lo;
+  }
+  const std::size_t chunks = 4 * pool.size();
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::size_t> true_count(chunks), true_off(chunks), false_off(chunks);
+  return detail::stable_partition_chunked(
+      in, out, pred, std::span<std::size_t>(true_count),
+      std::span<std::size_t>(true_off), std::span<std::size_t>(false_off),
+      chunk_size, pool);
 }
 
 }  // namespace glouvain::prim

@@ -1,18 +1,59 @@
-// Parallel reductions (Thrust reduce/count_if analogues).
+// Parallel reductions (Thrust reduce/count_if analogues). The
+// Scratch-accepting overloads draw the per-chunk partials from a
+// reusable arena (zero allocations in steady state).
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "prim/scratch.hpp"
 #include "simt/thread_pool.hpp"
 
 namespace glouvain::prim {
+
+namespace detail {
+
+template <typename T, typename Combine>
+T reduce_chunked(std::span<const T> data, T init, Combine& combine,
+                 std::span<T> partial, std::size_t chunk_size,
+                 simt::ThreadPool& pool) {
+  const std::size_t n = data.size();
+  pool.parallel_for(partial.size(), 1, [&](std::size_t c, unsigned) {
+    const std::size_t b = c * chunk_size;
+    const std::size_t e = std::min(b + chunk_size, n);
+    T acc = init;
+    for (std::size_t i = b; i < e; ++i) acc = combine(acc, data[i]);
+    partial[c] = acc;
+  });
+  T acc = init;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace detail
 
 /// Generic reduction: combine must be associative and commutative and
 /// `init` its identity. Deterministic for a fixed pool size when
 /// combine is exact (integer sums); floating-point sums may differ in
 /// rounding from a serial loop, as with any parallel reduction.
+template <typename T, typename Combine>
+T reduce(std::span<const T> data, T init, Combine&& combine, Scratch& scratch,
+         simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  const std::size_t n = data.size();
+  constexpr std::size_t kSerialCutoff = 1 << 15;
+  if (n <= kSerialCutoff || pool.size() == 1) {
+    T acc = init;
+    for (std::size_t i = 0; i < n; ++i) acc = combine(acc, data[i]);
+    return acc;
+  }
+  const std::size_t chunks = 4 * pool.size();
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  Scratch::Frame frame(scratch);
+  return detail::reduce_chunked(data, init, combine, scratch.alloc<T>(chunks),
+                                chunk_size, pool);
+}
+
 template <typename T, typename Combine>
 T reduce(std::span<const T> data, T init, Combine&& combine,
          simt::ThreadPool& pool = simt::ThreadPool::global()) {
@@ -26,19 +67,17 @@ T reduce(std::span<const T> data, T init, Combine&& combine,
   const std::size_t chunks = 4 * pool.size();
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
   std::vector<T> partial(chunks, init);
-  pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
-    const std::size_t b = c * chunk_size;
-    const std::size_t e = std::min(b + chunk_size, n);
-    T acc = init;
-    for (std::size_t i = b; i < e; ++i) acc = combine(acc, data[i]);
-    partial[c] = acc;
-  });
-  T acc = init;
-  for (const T& p : partial) acc = combine(acc, p);
-  return acc;
+  return detail::reduce_chunked(data, init, combine, std::span<T>(partial),
+                                chunk_size, pool);
 }
 
 /// Sum of all elements.
+template <typename T>
+T sum(std::span<const T> data, Scratch& scratch,
+      simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  return reduce(data, T{}, [](T a, T b) { return a + b; }, scratch, pool);
+}
+
 template <typename T>
 T sum(std::span<const T> data,
       simt::ThreadPool& pool = simt::ThreadPool::global()) {
@@ -47,11 +86,12 @@ T sum(std::span<const T> data,
 
 /// Number of indices i in [0, n) for which pred(i) holds.
 template <typename Pred>
-std::size_t count_if_index(std::size_t n, Pred&& pred,
+std::size_t count_if_index(std::size_t n, Pred&& pred, Scratch& scratch,
                            simt::ThreadPool& pool = simt::ThreadPool::global()) {
   const std::size_t chunks = std::max<std::size_t>(1, 4 * pool.size());
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  std::vector<std::size_t> partial(chunks, 0);
+  Scratch::Frame frame(scratch);
+  auto partial = scratch.alloc<std::size_t>(chunks);
   pool.parallel_for(chunks, 1, [&](std::size_t c, unsigned) {
     const std::size_t b = c * chunk_size;
     const std::size_t e = std::min(b + chunk_size, n);
@@ -64,7 +104,21 @@ std::size_t count_if_index(std::size_t n, Pred&& pred,
   return total;
 }
 
+template <typename Pred>
+std::size_t count_if_index(std::size_t n, Pred&& pred,
+                           simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  Scratch scratch;
+  return count_if_index(n, std::forward<Pred>(pred), scratch, pool);
+}
+
 /// Maximum element (returns `lowest` for empty input).
+template <typename T>
+T max_value(std::span<const T> data, T lowest, Scratch& scratch,
+            simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  return reduce(data, lowest, [](T a, T b) { return a < b ? b : a; }, scratch,
+                pool);
+}
+
 template <typename T>
 T max_value(std::span<const T> data, T lowest,
             simt::ThreadPool& pool = simt::ThreadPool::global()) {

@@ -5,27 +5,33 @@
 // by the graph builder to assemble CSR rows. Chunked std::sort followed
 // by log2(chunks) rounds of pairwise parallel merges — simple, stable
 // performance on 2–64 cores, no extra assumptions on the key type.
+//
+// The Scratch-accepting overloads draw the merge buffer from a
+// reusable arena so steady-state sorts allocate nothing.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "prim/scratch.hpp"
 #include "simt/thread_pool.hpp"
 
 namespace glouvain::prim {
 
-template <typename T, typename Compare = std::less<T>>
-void sort(std::span<T> data, Compare comp = {},
-          simt::ThreadPool& pool = simt::ThreadPool::global()) {
-  const std::size_t n = data.size();
-  constexpr std::size_t kSerialCutoff = 1 << 15;
-  if (n <= kSerialCutoff || pool.size() == 1) {
-    std::sort(data.begin(), data.end(), comp);
-    return;
-  }
+namespace detail {
 
+constexpr std::size_t kSortSerialCutoff = 1 << 15;
+
+/// Parallel merge sort over `data` with `buffer` (same length) as the
+/// ping-pong target. Assumes n > 0 and pool.size() > 1.
+template <typename T, typename Compare>
+void sort_chunked(std::span<T> data, std::span<T> buffer, Compare comp,
+                  simt::ThreadPool& pool) {
+  const std::size_t n = data.size();
   // Round chunk count up to a power of two so merge rounds pair evenly.
   std::size_t chunks = 1;
   while (chunks < 2 * static_cast<std::size_t>(pool.size())) chunks <<= 1;
@@ -38,9 +44,8 @@ void sort(std::span<T> data, Compare comp = {},
               data.begin() + static_cast<std::ptrdiff_t>(e), comp);
   });
 
-  std::vector<T> buffer(n);
   std::span<T> src = data;
-  std::span<T> dst(buffer);
+  std::span<T> dst = buffer;
   for (std::size_t width = chunk_size; width < n; width *= 2) {
     const std::size_t pairs = (n + 2 * width - 1) / (2 * width);
     pool.parallel_for(pairs, 1, [&](std::size_t p, unsigned) {
@@ -60,25 +65,77 @@ void sort(std::span<T> data, Compare comp = {},
   }
 }
 
-/// Sort `keys` and apply the same permutation to `values`.
+}  // namespace detail
+
+template <typename T, typename Compare = std::less<T>>
+void sort(std::span<T> data, Compare comp, Scratch& scratch,
+          simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  const std::size_t n = data.size();
+  if (n <= detail::kSortSerialCutoff || pool.size() == 1) {
+    std::sort(data.begin(), data.end(), comp);
+    return;
+  }
+  Scratch::Frame frame(scratch);
+  detail::sort_chunked(data, scratch.alloc<T>(n), comp, pool);
+}
+
+template <typename T, typename Compare = std::less<T>>
+void sort(std::span<T> data, Compare comp = {},
+          simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  const std::size_t n = data.size();
+  if (n <= detail::kSortSerialCutoff || pool.size() == 1) {
+    std::sort(data.begin(), data.end(), comp);
+    return;
+  }
+  std::vector<T> buffer(n);
+  detail::sort_chunked(data, std::span<T>(buffer), comp, pool);
+}
+
+/// Sort `keys` and apply the same permutation to `values`. Trivially
+/// copyable pairs stage through the scratch arena (the allocation-free
+/// hot path); anything else falls back to a properly-constructed
+/// vector, since arena memory is raw.
 template <typename K, typename V, typename Compare = std::less<K>>
-void sort_by_key(std::span<K> keys, std::span<V> values, Compare comp = {},
+void sort_by_key(std::span<K> keys, std::span<V> values, Compare comp,
+                 Scratch& scratch,
                  simt::ThreadPool& pool = simt::ThreadPool::global()) {
   struct Pair {
     K k;
     V v;
   };
-  std::vector<Pair> pairs(keys.size());
-  pool.parallel_for(keys.size(), [&](std::size_t i, unsigned) {
-    pairs[i] = {keys[i], values[i]};
-  });
-  prim::sort(std::span<Pair>(pairs),
-             [&comp](const Pair& a, const Pair& b) { return comp(a.k, b.k); },
-             pool);
-  pool.parallel_for(keys.size(), [&](std::size_t i, unsigned) {
-    keys[i] = pairs[i].k;
-    values[i] = pairs[i].v;
-  });
+  const auto pair_comp = [&comp](const Pair& a, const Pair& b) {
+    return comp(a.k, b.k);
+  };
+  if constexpr (std::is_trivially_copyable_v<K> &&
+                std::is_trivially_copyable_v<V>) {
+    Scratch::Frame frame(scratch);
+    auto pairs = scratch.alloc<Pair>(keys.size());
+    pool.parallel_for(keys.size(), [&](std::size_t i, unsigned) {
+      pairs[i] = {keys[i], values[i]};
+    });
+    prim::sort(pairs, pair_comp, scratch, pool);
+    pool.parallel_for(keys.size(), [&](std::size_t i, unsigned) {
+      keys[i] = pairs[i].k;
+      values[i] = pairs[i].v;
+    });
+  } else {
+    std::vector<Pair> pairs(keys.size());
+    pool.parallel_for(keys.size(), [&](std::size_t i, unsigned) {
+      pairs[i] = {std::move(keys[i]), std::move(values[i])};
+    });
+    prim::sort(std::span<Pair>(pairs), pair_comp, pool);
+    pool.parallel_for(keys.size(), [&](std::size_t i, unsigned) {
+      keys[i] = std::move(pairs[i].k);
+      values[i] = std::move(pairs[i].v);
+    });
+  }
+}
+
+template <typename K, typename V, typename Compare = std::less<K>>
+void sort_by_key(std::span<K> keys, std::span<V> values, Compare comp = {},
+                 simt::ThreadPool& pool = simt::ThreadPool::global()) {
+  Scratch scratch;
+  sort_by_key(keys, values, comp, scratch, pool);
 }
 
 }  // namespace glouvain::prim

@@ -69,4 +69,47 @@ class LaneGroup {
   unsigned lanes_;
 };
 
+/// LaneGroup with a compile-time lane count. The hot kernels dispatch
+/// to one of these for the standard warp-group widths so the strided
+/// loops and the reduction tree compile with constant bounds (unrolled,
+/// modulo strength-reduced). Semantically identical to
+/// LaneGroup(kLanes) call for call.
+template <unsigned kLanes>
+class FixedLaneGroup {
+ public:
+  static constexpr unsigned lanes() noexcept { return kLanes; }
+
+  template <typename F>
+  void strided_for(std::size_t n, F&& fn) const {
+    for (std::size_t base = 0; base < n; base += kLanes) {
+      const std::size_t limit = std::min<std::size_t>(kLanes, n - base);
+      for (unsigned lane = 0; lane < limit; ++lane) {
+        fn(lane, base + lane);
+      }
+    }
+  }
+
+  template <typename T, typename Combine>
+  T reduce(std::span<T> lane_values, Combine&& combine) const {
+    for (unsigned offset = kLanes / 2; offset > 0; offset /= 2) {
+      for (unsigned lane = 0; lane < offset; ++lane) {
+        lane_values[lane] =
+            combine(lane_values[lane], lane_values[lane + offset]);
+      }
+    }
+    return lane_values[0];
+  }
+
+  template <typename T>
+  T exclusive_scan(std::span<T> lane_values) const {
+    T running{};
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      const T v = lane_values[lane];
+      lane_values[lane] = running;
+      running += v;
+    }
+    return running;
+  }
+};
+
 }  // namespace glouvain::simt

@@ -34,7 +34,7 @@ void ThreadPool::run_chunks(unsigned worker_id) {
     if (begin >= job_n_) break;
     const std::size_t end = std::min(begin + job_grain_, job_n_);
     try {
-      (*job_)(begin, end, worker_id);
+      job_fn_(job_ctx_, begin, end, worker_id);
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mutex_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -59,26 +59,26 @@ void ThreadPool::worker_loop(unsigned worker_id) {
   }
 }
 
-void ThreadPool::parallel_chunks(
-    std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t, unsigned)>& fn) {
+void ThreadPool::run_job(std::size_t n, std::size_t grain, RawChunkFn fn,
+                         void* ctx) {
   if (n == 0) return;
   grain = std::max<std::size_t>(grain, 1);
 
   // Tiny invocations run inline on the caller.
   if (n <= grain || workers_.empty()) {
-    fn(0, n, 0);
+    fn(ctx, 0, n, 0);
     return;
   }
   // Nested invocations (a parallel loop launched from inside another
   // one) also run inline; the pool is single-occupancy by design.
   bool expected = false;
   if (!in_parallel_.compare_exchange_strong(expected, true)) {
-    fn(0, n, 0);
+    fn(ctx, 0, n, 0);
     return;
   }
 
-  job_ = &fn;
+  job_fn_ = fn;
+  job_ctx_ = ctx;
   job_n_ = n;
   job_grain_ = grain;
   next_chunk_.store(0, std::memory_order_relaxed);
@@ -96,7 +96,8 @@ void ThreadPool::parallel_chunks(
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [&] { return active_.load(std::memory_order_acquire) == 0; });
   }
-  job_ = nullptr;
+  job_fn_ = nullptr;
+  job_ctx_ = nullptr;
   in_parallel_.store(false, std::memory_order_release);
   if (first_error_) std::rethrow_exception(first_error_);
 }

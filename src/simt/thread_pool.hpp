@@ -13,9 +13,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace glouvain::simt {
@@ -35,8 +36,21 @@ class ThreadPool {
   /// fn(begin, end, worker) over [0, n) in grain-sized chunks.
   /// `worker` is a stable id in [0, size()). Not reentrant: a nested
   /// call from inside fn executes sequentially on the caller.
-  void parallel_chunks(std::size_t n, std::size_t grain,
-                       const std::function<void(std::size_t, std::size_t, unsigned)>& fn);
+  ///
+  /// The callable is dispatched through a monomorphic trampoline — a
+  /// plain function pointer plus the caller's stack address — so no
+  /// std::function is constructed per launch and no allocation happens
+  /// on the hot launch path (the kernel-launch analogue of a CUDA
+  /// <<<>>> being allocation-free).
+  template <typename F>
+  void parallel_chunks(std::size_t n, std::size_t grain, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    run_job(n, grain,
+            [](void* ctx, std::size_t b, std::size_t e, unsigned w) {
+              (*static_cast<Fn*>(ctx))(b, e, w);
+            },
+            const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
   /// fn(i, worker) for every i in [0, n).
   template <typename F>
@@ -58,6 +72,11 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// Type-erased chunk body: fn(ctx, begin, end, worker). `ctx` points
+  /// at the caller's callable, which outlives the (synchronous) job.
+  using RawChunkFn = void (*)(void*, std::size_t, std::size_t, unsigned);
+
+  void run_job(std::size_t n, std::size_t grain, RawChunkFn fn, void* ctx);
   void worker_loop(unsigned worker_id);
   void run_chunks(unsigned worker_id);
 
@@ -69,7 +88,8 @@ class ThreadPool {
   bool shutdown_ = false;
 
   // Current job (valid while active_ > 0).
-  const std::function<void(std::size_t, std::size_t, unsigned)>* job_ = nullptr;
+  RawChunkFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   std::size_t job_n_ = 0;
   std::size_t job_grain_ = 1;
   std::atomic<std::size_t> next_chunk_{0};

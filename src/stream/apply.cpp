@@ -73,6 +73,13 @@ void merge_row(std::span<const VertexId> old_nbrs, std::span<const Weight> old_w
 
 ApplyResult apply_delta(const Csr& graph, const Delta& delta,
                         simt::ThreadPool& pool) {
+  core::Workspace ws;
+  return apply_delta(graph, delta, ws, pool);
+}
+
+ApplyResult apply_delta(const Csr& graph, const Delta& delta,
+                        core::Workspace& ws, simt::ThreadPool& pool) {
+  using Slot = core::Workspace::Slot;
   const VertexId old_n = graph.num_vertices();
 
   // Insertions may name vertices beyond the current count: grow.
@@ -85,41 +92,67 @@ ApplyResult apply_delta(const Csr& graph, const Delta& delta,
 
   // Expand each entry into its directed halves (loops once, matching
   // the Csr storage convention). Deletions touching a vertex that does
-  // not exist yet cannot match an edge and are dropped here.
-  std::vector<DeltaArc> arcs;
-  arcs.reserve(2 * delta.size());
+  // not exist yet cannot match an edge and are dropped here. The arc
+  // buffer is a workspace slot, so count first, then fill.
+  std::size_t num_arcs = 0;
   for (const Edge& e : delta.deletions) {
     if (e.u >= old_n || e.v >= old_n) continue;
-    arcs.push_back({e.u, e.v, 0, true});
-    if (e.u != e.v) arcs.push_back({e.v, e.u, 0, true});
+    num_arcs += e.u != e.v ? 2 : 1;
   }
   for (const Edge& e : delta.insertions) {
     if (e.w <= 0) continue;
-    arcs.push_back({e.u, e.v, e.w, false});
-    if (e.u != e.v) arcs.push_back({e.v, e.u, e.w, false});
+    num_arcs += e.u != e.v ? 2 : 1;
   }
-  prim::sort(std::span<DeltaArc>(arcs), arc_less, pool);
+  auto arcs = ws.buffer<DeltaArc>(Slot::kStreamArcs, num_arcs);
+  std::size_t fill = 0;
+  for (const Edge& e : delta.deletions) {
+    if (e.u >= old_n || e.v >= old_n) continue;
+    arcs[fill++] = {e.u, e.v, 0, true};
+    if (e.u != e.v) arcs[fill++] = {e.v, e.u, 0, true};
+  }
+  for (const Edge& e : delta.insertions) {
+    if (e.w <= 0) continue;
+    arcs[fill++] = {e.u, e.v, e.w, false};
+    if (e.u != e.v) arcs[fill++] = {e.v, e.u, e.w, false};
+  }
+  prim::sort(arcs, arc_less, ws.scratch(), pool);
 
-  // Touched owners (sorted unique) and each owner's arc range.
+  // Touched owners (sorted unique) and each owner's arc range. The
+  // touched list leaves with the result, so it draws from the pool.
   ApplyResult result;
-  std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  for (std::size_t a = 0; a < arcs.size();) {
+  std::size_t num_groups = 0;
+  for (std::size_t a = 0; a < num_arcs;) {
     std::size_t b = a;
-    while (b < arcs.size() && arcs[b].owner == arcs[a].owner) ++b;
-    result.touched.push_back(arcs[a].owner);
-    ranges.emplace_back(a, b);
+    while (b < num_arcs && arcs[b].owner == arcs[a].owner) ++b;
+    ++num_groups;
+    a = b;
+  }
+  result.touched = ws.take<VertexId>(num_groups);
+  auto ranges = ws.buffer<std::pair<std::size_t, std::size_t>>(
+      Slot::kStreamRanges, num_groups);
+  for (std::size_t a = 0, g = 0; a < num_arcs; ++g) {
+    std::size_t b = a;
+    while (b < num_arcs && arcs[b].owner == arcs[a].owner) ++b;
+    result.touched[g] = arcs[a].owner;
+    ranges[g] = {a, b};
     a = b;
   }
 
   // Pass A: merged degree of every touched row, plus the applied-entry
   // counts (taken on the owner <= nbr half so undirected edges count
-  // once).
-  std::vector<EdgeIdx> new_degree(new_n, 0);
-  pool.parallel_for(old_n, [&](std::size_t v, unsigned) {
-    new_degree[v] = graph.degree(static_cast<VertexId>(v));
+  // once). Vertices the delta created but never named keep degree 0.
+  auto new_degree = ws.buffer<EdgeIdx>(Slot::kStreamNewDegree, new_n);
+  pool.parallel_for(new_n, [&](std::size_t v, unsigned) {
+    new_degree[v] =
+        v < old_n ? graph.degree(static_cast<VertexId>(v)) : EdgeIdx{0};
   });
-  std::vector<std::size_t> ins_partial(pool.size(), 0);
-  std::vector<std::size_t> del_partial(pool.size(), 0);
+  prim::Scratch::Frame frame(ws.scratch());
+  auto ins_partial = ws.scratch().alloc<std::size_t>(pool.size());
+  auto del_partial = ws.scratch().alloc<std::size_t>(pool.size());
+  for (unsigned w = 0; w < pool.size(); ++w) {
+    ins_partial[w] = 0;
+    del_partial[w] = 0;
+  }
   pool.parallel_for(result.touched.size(), [&](std::size_t t, unsigned worker) {
     const VertexId v = result.touched[t];
     const auto [a, b] = ranges[t];
@@ -141,19 +174,26 @@ ApplyResult apply_delta(const Csr& graph, const Delta& delta,
     result.deleted += del_partial[w];
   }
 
-  // New offsets (Thrust-style scan), then the row copy/merge pass.
-  std::vector<EdgeIdx> offsets(static_cast<std::size_t>(new_n) + 1, 0);
+  // New offsets (Thrust-style scan), then the row copy/merge pass. The
+  // three CSR arrays leave with the result: recycling pool.
+  std::vector<EdgeIdx> offsets =
+      ws.take<EdgeIdx>(static_cast<std::size_t>(new_n) + 1);
   offsets[new_n] = prim::exclusive_scan(
-      std::span<const EdgeIdx>(new_degree),
-      std::span<EdgeIdx>(offsets.data(), new_n), pool);
+      std::span<const EdgeIdx>(new_degree.data(), new_n),
+      std::span<EdgeIdx>(offsets.data(), new_n), ws.scratch(), pool);
 
-  std::vector<std::uint32_t> touch_slot(new_n, ~0u);
+  auto touch_slot = ws.buffer<std::uint32_t>(Slot::kStreamTouchSlot, new_n);
+  pool.parallel_for(new_n, [&](std::size_t v, unsigned) {
+    touch_slot[v] = ~0u;
+  });
   for (std::size_t t = 0; t < result.touched.size(); ++t) {
     touch_slot[result.touched[t]] = static_cast<std::uint32_t>(t);
   }
 
-  std::vector<VertexId> adj(offsets[new_n]);
-  std::vector<Weight> weights(offsets[new_n]);
+  std::vector<VertexId> adj =
+      ws.take<VertexId>(static_cast<std::size_t>(offsets[new_n]));
+  std::vector<Weight> weights =
+      ws.take<Weight>(static_cast<std::size_t>(offsets[new_n]));
   pool.parallel_for(new_n, [&](std::size_t vi, unsigned) {
     const auto v = static_cast<VertexId>(vi);
     EdgeIdx out = offsets[vi];
@@ -179,7 +219,8 @@ ApplyResult apply_delta(const Csr& graph, const Delta& delta,
               [](VertexId, bool, bool, Weight) {});
   });
 
-  result.graph = Csr(std::move(offsets), std::move(adj), std::move(weights));
+  result.graph =
+      Csr(std::move(offsets), std::move(adj), std::move(weights), ws.scratch());
   return result;
 }
 

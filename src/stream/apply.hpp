@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "graph/csr.hpp"
 #include "simt/thread_pool.hpp"
 #include "stream/delta.hpp"
@@ -37,6 +38,15 @@ struct ApplyResult {
 /// graph::build_csr (see tests/stream_test.cpp). Insertions with
 /// non-positive weight and deletions of absent edges are ignored.
 ApplyResult apply_delta(const graph::Csr& graph, const Delta& delta,
+                        simt::ThreadPool& pool = simt::ThreadPool::global());
+
+/// Allocation-free rebuild: delta arcs, ranges, degrees and the merge
+/// temporaries come from `ws`'s slot buffers and scratch, the new CSR
+/// arrays from its recycling pool (sessions feed the replaced graph
+/// back via Workspace::recycle). Steady-state deltas of a bounded size
+/// touch the heap only to grow the result past its high-water mark.
+ApplyResult apply_delta(const graph::Csr& graph, const Delta& delta,
+                        core::Workspace& ws,
                         simt::ThreadPool& pool = simt::ThreadPool::global());
 
 }  // namespace glouvain::stream

@@ -46,7 +46,7 @@ util::StatusOr<DeltaReport> Session::apply(const Delta& delta,
   ApplyResult applied;
   {
     obs::Span span(recorder, "stream/apply");
-    applied = apply_delta(graph_, delta);
+    applied = apply_delta(graph_, delta, ws_);
   }
   report.apply_seconds = timer.seconds();
   report.inserted = applied.inserted;
@@ -107,7 +107,12 @@ util::StatusOr<DeltaReport> Session::apply(const Delta& delta,
   }
   report.detect_seconds = timer.seconds();
 
+  // Retire the replaced graph into the workspace pools: its arrays
+  // become the next epoch's CSR without new heap blocks.
+  graph::Csr retired = std::move(graph_);
   graph_ = std::move(applied.graph);
+  ws_.recycle(std::move(retired));
+  ws_.put(std::move(applied.touched));
   result_ = std::move(next);
   ++epoch_;
   report.epoch = epoch_;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "detect/detector.hpp"
 #include "detect/options.hpp"
 #include "detect/result.hpp"
@@ -99,6 +100,10 @@ class Session {
   std::unique_ptr<detect::Detector> detector_;
   detect::Result result_;
   std::uint64_t epoch_ = 0;
+  /// Session-owned rebuild arena: delta after delta, apply_delta's
+  /// temporaries and the replaced graph's arrays cycle through the
+  /// same storage (the retired CSR feeds the next epoch's CSR).
+  core::Workspace ws_;
 };
 
 }  // namespace glouvain::stream

@@ -1,6 +1,7 @@
 #include "util/primes.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace glouvain::util {
 
@@ -85,6 +86,36 @@ std::uint64_t hash_capacity_for_degree(std::uint64_t degree) noexcept {
   const std::uint64_t want = std::max<std::uint64_t>(
       3, static_cast<std::uint64_t>(1.5 * static_cast<double>(degree)) + 1);
   return PrimeTable::global().lookup(want);
+}
+
+namespace {
+
+constexpr std::size_t kParamsLutDegrees = 4096;
+
+HashTableParams make_hash_params(std::uint64_t degree) noexcept {
+  const std::uint64_t cap = hash_capacity_for_degree(degree);
+  HashTableParams p;
+  p.capacity = static_cast<std::uint32_t>(cap);
+  p.magic_capacity = ~std::uint64_t{0} / cap + 1;
+  p.magic_capacity_minus1 = ~std::uint64_t{0} / (cap - 1) + 1;
+  return p;
+}
+
+}  // namespace
+
+HashTableParams hash_params_for_degree(std::uint64_t degree) noexcept {
+  // Dense per-degree table (not per-prime): the kernel index is the
+  // degree itself, so the lookup is one load. ~100KB of static data,
+  // built once, heap-free.
+  static const auto lut = [] {
+    std::array<HashTableParams, kParamsLutDegrees + 1> t{};
+    for (std::size_t d = 0; d <= kParamsLutDegrees; ++d) {
+      t[d] = make_hash_params(d);
+    }
+    return t;
+  }();
+  if (degree <= kParamsLutDegrees) return lut[degree];
+  return make_hash_params(degree);
 }
 
 }  // namespace glouvain::util

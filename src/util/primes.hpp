@@ -45,4 +45,21 @@ class PrimeTable {
 /// usable open-addressing table).
 std::uint64_t hash_capacity_for_degree(std::uint64_t degree) noexcept;
 
+/// Everything the per-vertex kernels need to size and probe one
+/// open-addressing table: the capacity plus the fastmod magic
+/// constants for capacity and capacity-1 (magic = ~0 / d + 1; see
+/// core::FastMod). Bundled so the hot kernels pay one lookup instead
+/// of a ladder binary search and two 64-bit divisions per vertex.
+struct HashTableParams {
+  std::uint32_t capacity = 3;
+  std::uint64_t magic_capacity = 0;
+  std::uint64_t magic_capacity_minus1 = 0;
+};
+
+/// hash_capacity_for_degree plus the probe magics. O(1) table load for
+/// degrees up to the LUT bound (covers every shared-memory bucket);
+/// larger degrees fall back to the ladder search. Always agrees with
+/// hash_capacity_for_degree.
+HashTableParams hash_params_for_degree(std::uint64_t degree) noexcept;
+
 }  // namespace glouvain::util

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a checked-in baseline.
+
+Both files follow schemas/bench.schema.json (emitted by the bench
+harnesses via --json FILE). The guarded metric is TIME PER LEVEL
+(metrics.seconds / metrics.levels) per (graph, backend) run: it tracks
+the hot-path kernels while staying robust to a graph generator change
+shifting how many levels the hierarchy needs. A run regresses when its
+time-per-level exceeds the baseline's by more than --tolerance
+(default 25%).
+
+Exit codes: 0 = within tolerance, 1 = regression, 2 = unusable input
+(schema mismatch, different operating point, no comparable runs).
+
+Refresh the baseline (same flags the CI job uses) after intentional
+performance changes or a runner hardware change:
+
+    build/bench/table1_suite --skip-seq --scale 0.05 --repeat 3 \
+        --json bench/baselines/BENCH_table1.json
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "glouvain-bench-1"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        print(f"error: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def time_per_level(run):
+    metrics = run.get("metrics", {})
+    seconds = metrics.get("seconds")
+    levels = metrics.get("levels")
+    if seconds is None or not levels:
+        return None
+    return seconds / levels
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON (bench/baselines/)")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured JSON to judge")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    if baseline.get("bench") != current.get("bench"):
+        print(f"error: comparing different benches: "
+              f"{baseline.get('bench')!r} vs {current.get('bench')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    if baseline.get("params") != current.get("params"):
+        print(f"error: different operating points: baseline params "
+              f"{baseline.get('params')} vs current {current.get('params')}"
+              f" — rerun with the baseline's flags or refresh the baseline",
+              file=sys.stderr)
+        sys.exit(2)
+
+    base_runs = {(r["graph"], r["backend"]): r for r in baseline["runs"]}
+    regressions = []
+    compared = 0
+
+    print(f"{'graph':<16} {'backend':<8} {'base ms/level':>14} "
+          f"{'cur ms/level':>14} {'delta':>8}")
+    for run in current["runs"]:
+        key = (run["graph"], run["backend"])
+        base = base_runs.get(key)
+        if base is None:
+            continue
+        base_tpl = time_per_level(base)
+        cur_tpl = time_per_level(run)
+        if base_tpl is None or cur_tpl is None or base_tpl <= 0:
+            continue
+        compared += 1
+        delta = cur_tpl / base_tpl - 1.0
+        flag = "  REGRESSED" if delta > args.tolerance else ""
+        print(f"{key[0]:<16} {key[1]:<8} {base_tpl * 1e3:>14.3f} "
+              f"{cur_tpl * 1e3:>14.3f} {delta:>+7.1%}{flag}")
+        if delta > args.tolerance:
+            regressions.append((key, delta))
+
+    if compared == 0:
+        print("error: no comparable (graph, backend) runs between the files",
+              file=sys.stderr)
+        sys.exit(2)
+
+    print(f"\n{compared} runs compared, tolerance {args.tolerance:.0%}")
+    if regressions:
+        print(f"{len(regressions)} regression(s):", file=sys.stderr)
+        for (graph, backend), delta in regressions:
+            print(f"  {graph}/{backend}: {delta:+.1%} time per level",
+                  file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
