@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "check/check.hpp"
 #include "core/buckets.hpp"
 #include "core/hash_map.hpp"
 #include "core/workspace.hpp"
@@ -38,6 +39,7 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
                             const Config& config,
                             std::span<const Community> community, Workspace& ws,
                             obs::Recorder* rec) {
+  check::WorkspaceGuard ws_guard(&ws);
   const VertexId n = graph.num_vertices();
   auto& pool = device.pool();
   obs::Span phase_span(rec, "aggregate");
@@ -144,11 +146,19 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
     const bool use_global = b >= scheme.global_from;
     const std::size_t grain = use_global ? 1 : 0;
 
+    check::contract(lanes <= 128, "aggregate: lane group wider than a block");
     obs::Span kernel_span(
         rec, rec ? std::string_view(bucket_names[b]) : std::string_view());
+    check::KernelScope kernel_scope("aggregate/bucket", b);
     device.launch(bucket.size(), grain, [&](simt::TaskContext& ctx) {
       const Community c = bucket[ctx.task()];
       if (com_size[c] == 0 || com_degree[c] == 0) return;
+      // Binning contract: the merge table is sized from the bucket's
+      // degree-sum class.
+      if (b < scheme.bounds.size()) {
+        check::contract(com_degree[c] <= scheme.bounds[b],
+                        "aggregate: community degree exceeds its bucket bound");
+      }
       const util::HashTableParams params =
           util::hash_params_for_degree(com_degree[c]);
       const std::size_t cap = params.capacity;
@@ -188,9 +198,12 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
         const EdgeIdx at = edge_pos[c] + lane_cursor[lane]++;
         // Neighbouring community id is rewritten to its new vertex id
         // here, exactly as mergeCommunity does.
+        check::note_plain_write(&tmp_adj[at]);
         tmp_adj[at] = new_id[table.key_at(pos)];
+        check::note_plain_write(&tmp_w[at]);
         tmp_w[at] = table.weight_at(pos);
       });
+      check::note_plain_write(&merged_degree[c]);
       merged_degree[c] = total;
     });
   }
@@ -200,6 +213,7 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
   // The three contracted arrays leave with the result, so they come
   // from the recycling pool (a retired level's graph feeds them).
   obs::Span compact_span(rec, "aggregate/compact");
+  check::KernelScope compact_scope("aggregate/compact");
   auto new_degree = ws.buffer<EdgeIdx>(Slot::kAggNewDegree, num_communities);
   device.for_each(n, [&](std::size_t c) {
     if (new_id[c] != graph::kInvalidVertex) {
@@ -239,7 +253,9 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
     std::sort(row.begin(), row.end(),
               [](const RowEntry& a, const RowEntry& b) { return a.id < b.id; });
     for (EdgeIdx i = 0; i < deg; ++i) {
+      check::note_plain_write(&adj[dst + i]);
       adj[dst + i] = row[i].id;
+      check::note_plain_write(&w[dst + i]);
       w[dst + i] = row[i].weight;
     }
   });

@@ -2,6 +2,7 @@
 // buckets.hpp).
 #pragma once
 
+#include "check/check.hpp"
 #include "prim/bucket.hpp"
 #include "prim/sort.hpp"
 
@@ -25,6 +26,10 @@ void bin_by_key_into(std::size_t num_items, const BucketScheme& scheme,
       },
       std::span<graph::VertexId>(out.order),
       std::span<std::size_t>(out.begin), scratch, pool);
+  // Partition contract: binning must place every item in exactly one
+  // bucket — a dropped or doubled item desynchronizes the kernel grids.
+  check::contract(out.begin[num_buckets] == num_items,
+                  "binning lost or duplicated items");
 
   // Heaviest bucket: sort by descending key so dynamic dispatch picks
   // the biggest jobs first (interleaved-by-degree in the paper).

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <span>
 
+#include "check/check.hpp"
 #include "graph/types.hpp"
 #include "simt/atomics.hpp"
 #include "util/primes.hpp"
@@ -98,9 +99,15 @@ class BasicCommunityHashMap {
   /// on a slot between claim and any initialization, so the weights
   /// must be pre-zeroed here.
   void clear() noexcept {
-    for (std::uint32_t i = 0; i < cap_; ++i) keys_[i] = kNull;
+    for (std::uint32_t i = 0; i < cap_; ++i) {
+      check::note_init(&keys_[i]);
+      keys_[i] = kNull;
+    }
     if constexpr (Atomic) {
-      for (std::uint32_t i = 0; i < cap_; ++i) weights_[i] = 0;
+      for (std::uint32_t i = 0; i < cap_; ++i) {
+        check::note_init(&weights_[i]);
+        weights_[i] = 0;
+      }
     }
   }
 
@@ -116,12 +123,14 @@ class BasicCommunityHashMap {
     std::uint32_t pos = mod_cap_.mod(c);
     const std::uint32_t step = 1 + mod_cap_minus1_.mod(c);
     for (;;) {
+      if constexpr (!Atomic) check::note_plain_read(&keys_[pos]);
       const graph::Community observed =
           Atomic ? simt::atomic_load(keys_[pos]) : keys_[pos];
       if (observed == c) {
         if constexpr (Atomic) {
           simt::atomic_add(weights_[pos], w);
         } else {
+          check::note_plain_write(&weights_[pos]);
           weights_[pos] += w;
         }
         return pos;
@@ -135,7 +144,9 @@ class BasicCommunityHashMap {
           }
           // Slot claimed for a different community; keep probing.
         } else {
+          check::note_plain_claim(&keys_[pos]);
           keys_[pos] = c;
+          check::note_plain_write(&weights_[pos]);
           weights_[pos] = w;  // claim initializes the weight slot
           return pos;
         }
@@ -158,13 +169,17 @@ class BasicCommunityHashMap {
     std::uint32_t pos = mod_cap_.mod(c);
     const std::uint32_t step = 1 + mod_cap_minus1_.mod(c);
     for (;;) {
+      check::note_plain_read(&keys_[pos]);
       const graph::Community observed = keys_[pos];
       if (observed == c) {
+        check::note_plain_write(&weights_[pos]);
         weights_[pos] += w;
         return pos;
       }
       if (observed == kNull) {
+        check::note_plain_claim(&keys_[pos]);
         keys_[pos] = c;
+        check::note_plain_write(&weights_[pos]);
         weights_[pos] = w;
         claimed = true;
         return pos;
@@ -179,6 +194,7 @@ class BasicCommunityHashMap {
     std::uint32_t pos = mod_cap_.mod(c);
     const std::uint32_t step = 1 + mod_cap_minus1_.mod(c);
     for (std::uint32_t it = 0; it < cap_; ++it) {
+      check::note_plain_read(&keys_[pos]);
       if (keys_[pos] == c) return weights_[pos];
       if (keys_[pos] == kNull) return 0;
       pos += step;
@@ -187,9 +203,18 @@ class BasicCommunityHashMap {
     return 0;
   }
 
-  graph::Community key_at(std::size_t pos) const noexcept { return keys_[pos]; }
-  graph::Weight weight_at(std::size_t pos) const noexcept { return weights_[pos]; }
-  bool occupied(std::size_t pos) const noexcept { return keys_[pos] != kNull; }
+  graph::Community key_at(std::size_t pos) const noexcept {
+    check::note_plain_read(&keys_[pos]);
+    return keys_[pos];
+  }
+  graph::Weight weight_at(std::size_t pos) const noexcept {
+    check::note_plain_read(&weights_[pos]);
+    return weights_[pos];
+  }
+  bool occupied(std::size_t pos) const noexcept {
+    check::note_plain_read(&keys_[pos]);
+    return keys_[pos] != kNull;
+  }
 
  private:
   std::span<graph::Community> keys_;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "check/check.hpp"
 #include "core/buckets.hpp"
 #include "core/workspace.hpp"
 #include "graph/coloring.hpp"
@@ -155,9 +156,11 @@ void compute_move(const Csr& graph, PhaseState& state, Weight m2, VertexId v,
       simt::atomic_load(state.com_size[best.comm]) == 1) {
     move = false;
   }
+  check::note_plain_write(&state.new_comm[v]);
   state.new_comm[v] = move ? best.comm : old_c;
   // Predicted dQ of this move against the snapshot (exact if no other
   // vertex moves concurrently); drives the sweep stopping rule.
+  check::note_plain_write(&state.move_gain[v]);
   state.move_gain[v] = move ? 2.0 * (best.gain - stay_gain) / m2 : 0.0;
 }
 
@@ -196,7 +199,9 @@ void compute_move_deg1(const Csr& graph, PhaseState& state, Weight m2,
       simt::atomic_load(state.com_size[best.comm]) == 1) {
     move = false;
   }
+  check::note_plain_write(&state.new_comm[v]);
   state.new_comm[v] = move ? best.comm : old_c;
+  check::note_plain_write(&state.move_gain[v]);
   state.move_gain[v] = move ? 2.0 * (best.gain - stay_gain) / m2 : 0.0;
 }
 
@@ -371,6 +376,9 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
                            std::span<const VertexId> active,
                            double threshold, Workspace& ws,
                            obs::Recorder* rec) {
+  // A workspace is single-threaded state: two concurrent phases on one
+  // ws (e.g. an svc job-routing bug) would silently corrupt buffers.
+  check::WorkspaceGuard ws_guard(&ws);
   const VertexId n = graph.num_vertices();
   const Weight m2 = graph.total_weight();
   PhaseResult result;
@@ -486,6 +494,9 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
 
     for (std::size_t b = 0; b < scheme.num_buckets(); ++b) {
       const unsigned lanes = scheme.lanes[b];
+      // The per-vertex argmax array is sized for <= 128 lanes (one
+      // block); a wider scheme would scribble past it.
+      check::contract(lanes <= 128, "modopt: lane group wider than a block");
       const bool use_global = b >= scheme.global_from;
       // Heaviest bucket: one task per dispatch so the desc-by-degree
       // order load-balances (paper: interleaved assignment to blocks).
@@ -502,11 +513,21 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
         {
           obs::Span kernel_span(
               rec, rec ? std::string_view(bucket_names[b]) : std::string_view());
+          check::KernelScope kernel_scope("modopt/bucket", b);
           device.launch(group_vertices.size(), grain, [&](simt::TaskContext& ctx) {
             const VertexId v = group_vertices[ctx.task()];
             const EdgeIdx deg = graph.degree(v);
+            // Binning contract: a vertex above its bucket's bound would
+            // get a lane group and table partition sized for the wrong
+            // degree class.
+            if (b < scheme.bounds.size()) {
+              check::contract(deg <= scheme.bounds[b],
+                              "modopt: vertex degree exceeds its bucket bound");
+            }
             if (deg == 0) {
+              check::note_plain_write(&state.new_comm[v]);
               state.new_comm[v] = state.community[v];
+              check::note_plain_write(&state.move_gain[v]);
               state.move_gain[v] = 0;
               return;
             }

@@ -9,12 +9,15 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "check/check.hpp"
+
 namespace glouvain::simt {
 
 /// atomicAdd(&loc, v): returns the OLD value, like the CUDA intrinsic.
 template <typename T>
 inline T atomic_add(T& loc, T v) noexcept {
   static_assert(std::is_arithmetic_v<T>);
+  check::note_atomic(&loc);
   if constexpr (std::is_floating_point_v<T>) {
     // GCC 12's atomic_ref<double>::fetch_add lowers to a CAS loop; we
     // spell the loop out so the code matches the CUDA pre-Pascal
@@ -40,14 +43,20 @@ inline T atomic_sub(T& loc, T v) noexcept {
 template <typename T>
 inline T atomic_cas(T& loc, T expected, T desired) noexcept {
   std::atomic_ref<T> ref(loc);
-  ref.compare_exchange_strong(expected, desired, std::memory_order_acq_rel,
-                              std::memory_order_acquire);
+  const bool won = ref.compare_exchange_strong(
+      expected, desired, std::memory_order_acq_rel, std::memory_order_acquire);
+  if (won) {
+    check::note_cas_claim(&loc);
+  } else {
+    check::note_atomic(&loc);
+  }
   return expected;  // compare_exchange writes the observed value on failure
 }
 
 /// atomicMin analogue; returns the old value.
 template <typename T>
 inline T atomic_min(T& loc, T v) noexcept {
+  check::note_atomic(&loc);
   std::atomic_ref<T> ref(loc);
   T old = ref.load(std::memory_order_relaxed);
   while (v < old && !ref.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
@@ -58,6 +67,7 @@ inline T atomic_min(T& loc, T v) noexcept {
 /// atomicMax analogue; returns the old value.
 template <typename T>
 inline T atomic_max(T& loc, T v) noexcept {
+  check::note_atomic(&loc);
   std::atomic_ref<T> ref(loc);
   T old = ref.load(std::memory_order_relaxed);
   while (v > old && !ref.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
@@ -69,11 +79,13 @@ inline T atomic_max(T& loc, T v) noexcept {
 /// global arrays across a launch boundary.
 template <typename T>
 inline T atomic_load(const T& loc) noexcept {
+  check::note_atomic(&loc);
   return std::atomic_ref<const T>(loc).load(std::memory_order_acquire);
 }
 
 template <typename T>
 inline void atomic_store(T& loc, T v) noexcept {
+  check::note_atomic(&loc);
   std::atomic_ref<T>(loc).store(v, std::memory_order_release);
 }
 

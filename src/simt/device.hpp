@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/check.hpp"
 #include "simt/lane_group.hpp"
 #include "simt/shared_arena.hpp"
 #include "simt/thread_pool.hpp"
@@ -67,19 +68,29 @@ class Device {
   template <typename Body>
   void launch(std::size_t tasks, std::size_t grain, Body&& body) {
     if (grain == 0) grain = pool_->default_grain(tasks);
-    pool_->parallel_for(tasks, grain, [this, &body](std::size_t t, unsigned w) {
-      SharedArena& arena = arenas_[w];
-      arena.reset();
-      TaskContext ctx(t, w, arena);
-      body(ctx);
-    });
+    const std::uint64_t epoch = check::open_launch(tasks);
+    pool_->parallel_for(tasks, grain,
+                        [this, epoch, &body](std::size_t t, unsigned w) {
+                          SharedArena& arena = arenas_[w];
+                          arena.reset();
+                          check::TaskScope task_scope(epoch, t);
+                          TaskContext ctx(t, w, arena);
+                          body(ctx);
+                        });
+    check::close_launch(epoch);
   }
 
   /// Plain data-parallel loop without arena setup — the analogue of a
-  /// trivial elementwise kernel. fn(i).
+  /// trivial elementwise kernel. fn(i). Each index is its own task for
+  /// the checker: elementwise kernels must not couple their iterations.
   template <typename F>
   void for_each(std::size_t n, F&& fn) {
-    pool_->parallel_for(n, [&fn](std::size_t i, unsigned) { fn(i); });
+    const std::uint64_t epoch = check::open_launch(n);
+    pool_->parallel_for(n, [epoch, &fn](std::size_t i, unsigned) {
+      check::TaskScope task_scope(epoch, i);
+      fn(i);
+    });
+    check::close_launch(epoch);
   }
 
   /// Shared-memory spill diagnostics, summed over workers.

@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "check/check.hpp"
+
 namespace glouvain::simt {
 
 class SharedArena {
@@ -21,7 +23,26 @@ class SharedArena {
   static constexpr std::size_t kDefaultCapacity = 48 * 1024;  // Kepler SM
 
   explicit SharedArena(std::size_t capacity_bytes = kDefaultCapacity)
-      : shared_(capacity_bytes) {}
+      : shared_(capacity_bytes) {
+    if (!shared_.empty()) check::register_arena(shared_.data(), shared_.size());
+  }
+
+  ~SharedArena() {
+    if (!shared_.empty()) check::unregister_arena(shared_.data());
+    for (auto& chunk : chunks_) {
+      if (!chunk.empty()) check::unregister_arena(chunk.data());
+    }
+  }
+
+  // Arenas are owned 1:1 by device workers; copying one would alias its
+  // buffers in the shadow registry. Moves are fine — registration is
+  // keyed on the heap buffers, which a move transfers intact (and the
+  // moved-from vectors are empty, so its destructor unregisters
+  // nothing).
+  SharedArena(const SharedArena&) = delete;
+  SharedArena& operator=(const SharedArena&) = delete;
+  SharedArena(SharedArena&&) noexcept = default;
+  SharedArena& operator=(SharedArena&&) = delete;
 
   /// Drop all allocations (called between tasks, like the implicit
   /// reclamation of shared memory between thread blocks). Overflow
@@ -30,6 +51,10 @@ class SharedArena {
     shared_used_ = 0;
     chunk_index_ = 0;
     chunk_used_ = 0;
+    if constexpr (check::enabled()) {
+      if (!shared_.empty()) check::reset_arena(shared_.data());
+      for (auto& chunk : chunks_) check::reset_arena(chunk.data());
+    }
   }
 
   /// Allocate `count` elements of T. If the shared region has room the
@@ -84,6 +109,7 @@ class SharedArena {
     chunks_.emplace_back(std::max(bytes, kMinChunk));
     chunk_index_ = chunks_.size() - 1;
     chunk_used_ = bytes;
+    check::register_arena(chunks_.back().data(), chunks_.back().size());
     return chunks_.back().data();
   }
 

@@ -1,0 +1,40 @@
+// Lint fixture: every rule in tools/simt_lint.py must fire on this
+// file. It is intentionally NOT part of any build target — it exists so
+// the `simt_lint_fixture` ctest (run with --expect-violations) fails
+// the build if the linter rots and stops catching these.
+//
+// Expected findings:
+//   raw-atomic       lines with std::atomic / <atomic> below
+//   seq-cst          the memory_order_seq_cst load
+//   kernel-alloc     the push_back / new inside the launch body
+//   unpaired-launch  the launch with no obs::Span nearby
+// The suppressed std::atomic at the end must NOT be reported.
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "simt/device.hpp"
+
+namespace glouvain::fixture {
+
+std::atomic<int> g_bad_counter{0};  // raw-atomic: should use simt::atomic_*
+
+inline int bad_seq_cst_read() {
+  return g_bad_counter.load(std::memory_order_seq_cst);  // seq-cst
+}
+
+inline void bad_kernel(simt::Device& device, std::vector<int>& sink) {
+  // unpaired-launch: no obs::Span opened anywhere in this file.
+  device.launch(64, [&](simt::TaskContext& ctx) {
+    sink.push_back(static_cast<int>(ctx.task()));  // kernel-alloc: growth
+    int* leak = new int(static_cast<int>(ctx.task()));  // kernel-alloc: new
+    delete leak;
+  });
+}
+
+// Suppression escape hatch — this one is deliberate and must stay
+// invisible to the linter.
+std::atomic<int> g_allowed{0};  // simt-lint: allow(raw-atomic)
+
+}  // namespace glouvain::fixture

@@ -103,6 +103,11 @@ TEST(Atomics, SubOnUnsignedWraps) {
   EXPECT_EQ(u, 7u);
 }
 
+// atomicCAS contract, pinned per width: the return value is what was
+// OBSERVED in memory, and the swap happened iff that equals `expected`
+// — CUDA semantics, NOT the bool-returning std::atomic CAS. The
+// checker, the hash-map claim path and the paper's Algorithm 2 all
+// lean on this.
 TEST(Atomics, CasSemantics) {
   std::uint32_t x = 5;
   // Success: returns expected.
@@ -111,6 +116,45 @@ TEST(Atomics, CasSemantics) {
   // Failure: returns observed, no write.
   EXPECT_EQ(atomic_cas(x, 5u, 1u), 9u);
   EXPECT_EQ(x, 9u);
+}
+
+TEST(Atomics, CasSemanticsInt32) {
+  std::int32_t x = -5;
+  EXPECT_EQ(atomic_cas(x, std::int32_t{-5}, std::int32_t{9}), -5);
+  EXPECT_EQ(x, 9);
+  // Failure path: observed value back, memory untouched, even when
+  // desired would have matched a stale expectation.
+  EXPECT_EQ(atomic_cas(x, std::int32_t{-5}, std::int32_t{-1}), 9);
+  EXPECT_EQ(x, 9);
+  // Winning with the observed value as the new expectation.
+  EXPECT_EQ(atomic_cas(x, std::int32_t{9}, std::int32_t{-7}), 9);
+  EXPECT_EQ(x, -7);
+}
+
+TEST(Atomics, CasSemanticsUint64) {
+  const std::uint64_t big = std::uint64_t{1} << 40;
+  std::uint64_t x = big;
+  EXPECT_EQ(atomic_cas(x, big, big + 1), big);
+  EXPECT_EQ(x, big + 1);
+  EXPECT_EQ(atomic_cas(x, big, std::uint64_t{0}), big + 1);  // failure
+  EXPECT_EQ(x, big + 1);
+  EXPECT_EQ(atomic_cas(x, big + 1, std::uint64_t{3}), big + 1);
+  EXPECT_EQ(x, 3u);
+}
+
+TEST(Atomics, CasFailureWritesNothingUnderContention) {
+  // The failure path must never store `desired`: after a lost claim the
+  // slot still holds the winner's value.
+  ThreadPool pool(4);
+  std::uint64_t slot = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> winner_value{0};
+  pool.parallel_for(10000, 1, [&](std::size_t i, unsigned) {
+    const auto mine = static_cast<std::uint64_t>(i + 1);
+    if (atomic_cas(slot, ~std::uint64_t{0}, mine) == ~std::uint64_t{0}) {
+      winner_value.store(mine);
+    }
+  });
+  EXPECT_EQ(slot, winner_value.load());
 }
 
 TEST(Atomics, MinMax) {
@@ -223,6 +267,64 @@ TEST(SharedArena, ResetReclaims) {
   again[0] = 1.0;
   EXPECT_EQ(arena.spills(), spills_before);  // reset does not clear counter
   EXPECT_EQ(arena.shared_used() > 0, true);
+}
+
+// --- SharedArena exhaustion: a request larger than the shared
+// capacity must take the diagnosable global-memory fallback (the
+// paper's largest-bucket path), never UB.
+
+TEST(SharedArena, OverCapacityRequestFallsBackToGlobal) {
+  SharedArena arena(1024);
+  auto big = arena.alloc<double>(1024);  // 8 KiB against 1 KiB shared
+  ASSERT_EQ(big.size(), 1024u);
+  EXPECT_EQ(arena.spills(), 1u);           // the diagnosis
+  EXPECT_EQ(arena.shared_used(), 0u);      // shared region untouched
+  big[0] = 1.0;                            // span fully writable
+  big[1023] = 2.0;
+  EXPECT_DOUBLE_EQ(big[0] + big[1023], 3.0);
+  // The fallback must not corrupt later in-capacity allocations.
+  auto small = arena.alloc<double>(8);
+  small[7] = 5.0;
+  EXPECT_DOUBLE_EQ(big[1023], 2.0);
+}
+
+TEST(SharedArena, ZeroCapacityArenaAlwaysSpillsSafely) {
+  SharedArena arena(0);
+  auto span = arena.alloc<std::uint32_t>(16);
+  span[15] = 42;
+  EXPECT_EQ(span[15], 42u);
+  EXPECT_EQ(arena.spills(), 1u);
+}
+
+TEST(SharedArena, ExhaustionResetReclaimsSharedNotSpillCount) {
+  SharedArena arena(256);
+  (void)arena.alloc<double>(16);  // 128 B: fits
+  (void)arena.alloc<double>(64);  // 512 B more: spills
+  EXPECT_EQ(arena.spills(), 1u);
+  arena.reset();
+  auto again = arena.alloc<double>(16);
+  again[0] = 1.0;
+  EXPECT_EQ(arena.spills(), 1u);  // counter is cumulative diagnostics
+  EXPECT_GT(arena.shared_used(), 0u);
+}
+
+TEST(Device, KernelOverSharedBytesIsDiagnosableViaSpills) {
+  // Every task requests 16x the configured shared memory; all of them
+  // must complete correctly and each must tick the spill counter.
+  Device device({.worker_threads = 2, .shared_bytes = 256});
+  std::vector<std::atomic<int>> ok(64);
+  device.launch(64, [&](TaskContext& ctx) {
+    auto span = ctx.shared().alloc<double>(512);  // 4 KiB
+    span[0] = static_cast<double>(ctx.task());
+    span[511] = 1.0;
+    if (span[0] == static_cast<double>(ctx.task())) {
+      ok[ctx.task()].fetch_add(1);
+    }
+  });
+  for (auto& o : ok) ASSERT_EQ(o.load(), 1);
+  EXPECT_EQ(device.total_spills(), 64u);
+  device.clear_spills();
+  EXPECT_EQ(device.total_spills(), 0u);
 }
 
 TEST(Device, LaunchRunsEveryTask) {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "detect/detector.hpp"
 #include "gen/churn.hpp"
 #include "gen/suite.hpp"
@@ -565,6 +566,21 @@ int cmd_color(util::Options& opt) {
   return problem.empty() ? 0 : 1;
 }
 
+// Under GLOUVAIN_SIMTCHECK builds, surface the checker's report at
+// exit: print every retained violation to stderr and turn a clean
+// command exit into the report's util::Status exit code. In normal
+// builds this is a no-op that compiles to `return code`.
+int with_check_report(int code) {
+  if constexpr (check::enabled()) {
+    const check::Report report = check::report();
+    if (!report.clean()) {
+      std::fputs(report.to_string().c_str(), stderr);
+      if (code == 0) return util::exit_code(report.to_status());
+    }
+  }
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -572,14 +588,14 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   util::Options opt(argc - 1, argv + 1);
   try {
-    if (command == "generate") return cmd_generate(opt);
-    if (command == "detect") return cmd_detect(opt);
-    if (command == "batch") return cmd_batch(opt);
-    if (command == "stream") return cmd_stream(opt);
-    if (command == "churn") return cmd_churn(opt);
+    if (command == "generate") return with_check_report(cmd_generate(opt));
+    if (command == "detect") return with_check_report(cmd_detect(opt));
+    if (command == "batch") return with_check_report(cmd_batch(opt));
+    if (command == "stream") return with_check_report(cmd_stream(opt));
+    if (command == "churn") return with_check_report(cmd_churn(opt));
     if (command == "stats") return cmd_stats(opt);
     if (command == "convert") return cmd_convert(opt);
-    if (command == "color") return cmd_color(opt);
+    if (command == "color") return with_check_report(cmd_color(opt));
     if (command == "--help" || command == "-h" || command == "help") return usage();
   } catch (const std::exception& e) {
     return usage(e.what());

@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""Static lint for the software-SIMT device contracts.
+
+Complements the runtime checker (src/check/, GLOUVAIN_SIMTCHECK builds)
+with rules that are cheaper to enforce at the source level:
+
+  raw-atomic       std::atomic / std::atomic_ref / #include <atomic>
+                   outside src/simt/ — kernel code must go through
+                   simt::atomic_* so the CUDA-intrinsic semantics (and
+                   the simtcheck instrumentation) stay in one place.
+  seq-cst          memory_order_seq_cst anywhere — the device model is
+                   relaxed/acq-rel like the GPU original; a seq_cst op
+                   on the hot path is either a bug or an unmarked fence.
+  kernel-alloc     operator new / malloc / vector growth inside a
+                   Device::launch body — kernels draw from the
+                   SharedArena / Workspace (the cudaMalloc-once
+                   discipline guarded by core_workspace_test).
+  unpaired-launch  a Device::launch call with no obs span opened within
+                   the preceding 40 lines — every kernel must be
+                   attributable in phase tables and traces.
+
+Engine: regex over comment/string-stripped sources (line numbers
+preserved). When --compile-commands points at a compile_commands.json
+and the clang python bindings are importable, raw-atomic and seq-cst
+findings are additionally confirmed against the clang token stream (and
+dropped when the tokens disagree, e.g. a hit inside a stringified
+macro); without clang the regex verdict stands.
+
+Suppress a finding with a trailing comment on the same line:
+    std::atomic<int> epoch;  // simt-lint: allow(raw-atomic)
+
+Exit codes: 0 = clean, 1 = violations, 2 = usage error. With
+--expect-violations (fixture self-test) the meaning of 0/1 flips: the
+run fails if the deliberate violations are NOT caught.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = ("raw-atomic", "seq-cst", "kernel-alloc", "unpaired-launch")
+SOURCE_EXT = (".cpp", ".hpp", ".cc", ".h")
+OBS_WINDOW = 40  # lines an obs span may precede its launch by
+
+RAW_ATOMIC_RE = re.compile(
+    r"std\s*::\s*atomic(_ref|_flag)?\b|^\s*#\s*include\s*<atomic>")
+SEQ_CST_RE = re.compile(r"\bmemory_order_seq_cst\b|\bmemory_order\s*::\s*seq_cst\b")
+LAUNCH_RE = re.compile(r"\bdevice_?\s*(\.|->)\s*(launch|for_each)\s*\(")
+# Only true kernel launches need an obs span; for_each is the trivial
+# elementwise form that also runs outside instrumented phases.
+KERNEL_LAUNCH_RE = re.compile(r"\bdevice_?\s*(\.|->)\s*launch\s*\(")
+OBS_SPAN_RE = re.compile(r"\bobs\s*::\s*Span\b|\bbegin_span\s*\(")
+ALLOC_RE = re.compile(
+    r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|"
+    r"(\.|->)\s*(push_back|emplace_back|resize|reserve)\s*\(")
+SUPPRESS_RE = re.compile(r"simt-lint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving newlines
+    and column positions so findings keep their real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # str / chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def is_simt_source(path):
+    parts = os.path.normpath(path).split(os.sep)
+    return "simt" in parts
+
+
+def launch_bodies(lines):
+    """Yield (launch_line, body_line) pairs for every line inside a
+    Device::launch / for_each lambda body, via brace counting from the
+    call site."""
+    i = 0
+    n = len(lines)
+    while i < n:
+        if not LAUNCH_RE.search(lines[i]):
+            i += 1
+            continue
+        launch_at = i
+        depth = 0
+        opened = False
+        j = i
+        while j < n:
+            for ch in lines[j]:
+                if ch == "{":
+                    depth += 1
+                    opened = True
+                elif ch == "}":
+                    depth -= 1
+            if opened:
+                yield launch_at, j
+                if depth <= 0:
+                    break
+            j += 1
+        i = launch_at + 1
+
+
+def lint_file(path, rel, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    stripped = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    lines = stripped.splitlines()
+
+    def suppressed(lineno, rule):
+        if lineno - 1 >= len(raw_lines):
+            return False
+        m = SUPPRESS_RE.search(raw_lines[lineno - 1])
+        return bool(m) and m.group(1) == rule
+
+    def add(lineno, rule, message):
+        if not suppressed(lineno, rule):
+            findings.append(Finding(rel, lineno, rule, message))
+
+    simt = is_simt_source(rel)
+    for idx, line in enumerate(lines, start=1):
+        if not simt and RAW_ATOMIC_RE.search(line):
+            add(idx, "raw-atomic",
+                "raw std::atomic outside src/simt/ — use simt::atomic_*")
+        if SEQ_CST_RE.search(line):
+            add(idx, "seq-cst",
+                "seq_cst ordering on the device hot path — the model is "
+                "relaxed/acq-rel")
+
+    if not simt:
+        spans = [i for i, l in enumerate(lines, start=1) if OBS_SPAN_RE.search(l)]
+        body_of = {}
+        for launch_at, body_line in launch_bodies(lines):
+            body_of.setdefault(launch_at, []).append(body_line)
+        for launch_at in body_of:
+            lineno = launch_at + 1
+            if KERNEL_LAUNCH_RE.search(lines[launch_at]) and not any(
+                    lineno - OBS_WINDOW <= s <= lineno for s in spans):
+                add(lineno, "unpaired-launch",
+                    "kernel launch with no obs span opened in the previous "
+                    f"{OBS_WINDOW} lines")
+            for body_line in body_of[launch_at]:
+                if body_line == launch_at:
+                    continue
+                m = ALLOC_RE.search(lines[body_line])
+                if m:
+                    add(body_line + 1, "kernel-alloc",
+                        f"'{m.group(0).strip()}' inside a kernel body — "
+                        "draw from the SharedArena / Workspace instead")
+
+
+def clang_confirm(findings, compile_commands):
+    """Filter raw-atomic / seq-cst findings through the clang token
+    stream when the bindings are available; regex verdict stands
+    otherwise."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return findings, "clang bindings unavailable; regex verdict stands"
+    try:
+        with open(compile_commands) as f:
+            entries = json.load(f)
+    except OSError as e:
+        return findings, f"cannot read {compile_commands}: {e}"
+    args_for = {}
+    for e in entries:
+        path = os.path.normpath(os.path.join(e["directory"], e["file"]))
+        args = [a for a in e.get("command", "").split()[1:]
+                if not a.endswith(".o") and a not in ("-c", "-o")]
+        args_for[path] = args
+    index = cindex.Index.create()
+    confirmed = []
+    for fnd in findings:
+        if fnd.rule not in ("raw-atomic", "seq-cst"):
+            confirmed.append(fnd)
+            continue
+        path = os.path.abspath(fnd.path)
+        args = args_for.get(path)
+        try:
+            tu = index.parse(path, args=args)
+            needles = ("atomic",) if fnd.rule == "raw-atomic" else ("seq_cst",)
+            hit = any(tok.location.line == fnd.line and
+                      any(n in tok.spelling for n in needles)
+                      for tok in tu.get_tokens(extent=tu.cursor.extent))
+        except cindex.TranslationUnitLoadError:
+            hit = True  # cannot parse: keep the regex verdict
+        if hit:
+            confirmed.append(fnd)
+    return confirmed, None
+
+
+def collect(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXT):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"error: no such file or directory: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="source files or directories to lint")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for clang token "
+                             "confirmation of raw-atomic/seq-cst findings")
+    parser.add_argument("--expect-violations", action="store_true",
+                        help="fixture mode: succeed iff violations ARE found")
+    args = parser.parse_args()
+
+    files = collect(args.paths)
+    if not files:
+        print("error: no sources found under the given paths", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in files:
+        lint_file(path, os.path.relpath(path), findings)
+
+    note = None
+    if args.compile_commands:
+        findings, note = clang_confirm(findings, args.compile_commands)
+
+    for fnd in findings:
+        print(fnd)
+    if note:
+        print(f"note: {note}", file=sys.stderr)
+
+    if args.expect_violations:
+        if findings:
+            rules_hit = sorted({f.rule for f in findings})
+            print(f"fixture OK: {len(findings)} violation(s) caught "
+                  f"({', '.join(rules_hit)})")
+            return 0
+        print("error: fixture produced no violations — the linter has rotted",
+              file=sys.stderr)
+        return 1
+
+    if findings:
+        print(f"\n{len(findings)} violation(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"{len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
