@@ -8,6 +8,7 @@
 #include "check/check.hpp"
 #include "core/buckets.hpp"
 #include "core/hash_map.hpp"
+#include "core/rows.hpp"
 #include "core/workspace.hpp"
 #include "obs/recorder.hpp"
 #include "prim/scan.hpp"
@@ -25,22 +26,13 @@ using graph::EdgeIdx;
 using graph::VertexId;
 using graph::Weight;
 
-}  // namespace
-
-AggregationResult aggregate(simt::Device& device, const Csr& graph,
-                            const Config& config,
-                            std::span<const Community> community,
-                            obs::Recorder* rec) {
-  Workspace ws;
-  return aggregate(device, graph, config, community, ws, rec);
-}
-
-AggregationResult aggregate(simt::Device& device, const Csr& graph,
-                            const Config& config,
-                            std::span<const Community> community, Workspace& ws,
-                            obs::Recorder* rec) {
+template <typename Rows>
+AggregationResult aggregate_impl(simt::Device& device, Rows& rows,
+                                 const Config& config,
+                                 std::span<const Community> community,
+                                 Workspace& ws, obs::Recorder* rec) {
   check::WorkspaceGuard ws_guard(&ws);
-  const VertexId n = graph.num_vertices();
+  const VertexId n = rows.num_vertices();
   auto& pool = device.pool();
   obs::Span phase_span(rec, "aggregate");
   const Workspace::Counters ws_since = ws.counters();
@@ -58,7 +50,8 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
   device.for_each(n, [&](std::size_t v) {
     const Community c = community[v];
     simt::atomic_add(com_size[c], VertexId{1});
-    simt::atomic_add(com_degree[c], graph.degree(static_cast<VertexId>(v)));
+    simt::atomic_add(com_degree[c],
+                     EdgeIdx{rows.degree(static_cast<VertexId>(v))});
   });
   if (rec) rec->end_span(sizes_span);
 
@@ -128,9 +121,6 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
     }
   }
 
-  auto adjacency = graph.adjacency();
-  auto edge_weights = graph.edge_weights();
-
   std::vector<std::string> bucket_names;
   if (rec) {
     bucket_names.resize(scheme.num_buckets());
@@ -176,10 +166,9 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
       // each member's edge list (§4.1, aggregation thread assignment).
       for (EdgeIdx m = vertex_start[c]; m < vertex_start[c] + com_size[c]; ++m) {
         const VertexId v = com[m];
-        const EdgeIdx off = graph.offset(v);
-        group.strided_for(graph.degree(v), [&](unsigned, std::size_t idx) {
-          table.insert_add(community[adjacency[off + idx]],
-                           edge_weights[off + idx]);
+        const RowView r = rows.row(v, ctx.worker());
+        group.strided_for(r.deg, [&](unsigned, std::size_t idx) {
+          table.insert_add(community[r.adj[idx]], r.w[idx]);
         });
       }
 
@@ -265,6 +254,31 @@ AggregationResult aggregate(simt::Device& device, const Csr& graph,
       std::move(new_id), num_communities};
   ws.emit(rec, "aggregate", ws_since);
   return result;
+}
+
+}  // namespace
+
+AggregationResult aggregate(simt::Device& device, const Csr& graph,
+                            const Config& config,
+                            std::span<const Community> community,
+                            obs::Recorder* rec) {
+  Workspace ws;
+  return aggregate(device, graph, config, community, ws, rec);
+}
+
+AggregationResult aggregate(simt::Device& device, const Csr& graph,
+                            const Config& config,
+                            std::span<const Community> community, Workspace& ws,
+                            obs::Recorder* rec) {
+  PlainRows rows(graph);
+  return aggregate_impl(device, rows, config, community, ws, rec);
+}
+
+AggregationResult aggregate(simt::Device& device, ZRows& rows,
+                            const Config& config,
+                            std::span<const Community> community, Workspace& ws,
+                            obs::Recorder* rec) {
+  return aggregate_impl(device, rows, config, community, ws, rec);
 }
 
 }  // namespace glouvain::core

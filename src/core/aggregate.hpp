@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/rows.hpp"
 #include "graph/csr.hpp"
 #include "simt/device.hpp"
 
@@ -40,6 +41,15 @@ AggregationResult aggregate(simt::Device& device, const graph::Csr& graph,
 /// retired graphs back via Workspace::recycle). The overload above is
 /// a thin wrapper over a throwaway Workspace.
 AggregationResult aggregate(simt::Device& device, const graph::Csr& graph,
+                            const Config& config,
+                            std::span<const graph::Community> community,
+                            Workspace& ws, obs::Recorder* recorder = nullptr);
+
+/// Compressed-storage aggregation: member rows are decoded per worker
+/// instead of read from raw arrays; the contracted graph comes out as
+/// a plain Csr either way (later levels are small enough to run
+/// uncompressed). Results are bitwise-identical to the plain overload.
+AggregationResult aggregate(simt::Device& device, ZRows& rows,
                             const Config& config,
                             std::span<const graph::Community> community,
                             Workspace& ws, obs::Recorder* recorder = nullptr);

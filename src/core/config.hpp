@@ -55,6 +55,17 @@ struct BucketScheme {
   }
 };
 
+/// Slot layout of the task-local neighbour-community hash tables.
+enum class TableLayout {
+  /// kNull sentinel in the key array (core::LocalCommunityHashMap):
+  /// the paper's layout, clear() rewrites every key slot.
+  kSentinel,
+  /// Bit-packed occupancy words beside the key array
+  /// (zg::OccCommunityHashMap): clear() zeroes capacity/32 words. The
+  /// probe sequence is identical, so results are bitwise-unchanged.
+  kOccupancy,
+};
+
 /// When vertices observe each other's moves (§5 "relaxed" experiment).
 enum class UpdateStrategy {
   /// Commit community updates after every degree bucket (the paper's
@@ -89,6 +100,10 @@ struct Config : detect::Options {
   /// Overrides commit_subrounds when true. Ablated in
   /// `bench/ablation_subrounds`.
   bool use_coloring = false;
+  /// Layout of the per-vertex community tables in modopt (the
+  /// aggregation tables keep the sentinel layout: they are written
+  /// once and scanned once, so the cheap clear() buys nothing there).
+  TableLayout table_layout = TableLayout::kSentinel;
   simt::DeviceConfig device;
 };
 

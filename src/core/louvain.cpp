@@ -1,5 +1,6 @@
 #include "core/louvain.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "obs/recorder.hpp"
@@ -47,7 +48,16 @@ PhaseResult Louvain::run_phase(const Csr& graph,
 }
 
 Result Louvain::run(const Csr& graph, obs::Recorder* rec) {
-  return run_impl(graph, {}, {}, /*warm=*/false, rec);
+  return run_impl(&graph, nullptr, {}, {}, /*warm=*/false, rec);
+}
+
+Result Louvain::run_z(const zg::ZCsr& z, obs::Recorder* rec) {
+  if (config_.use_coloring) {
+    throw std::invalid_argument(
+        "run_z: use_coloring requires plain storage (the coloring pass "
+        "walks the raw Csr)");
+  }
+  return run_impl(nullptr, &z, {}, {}, /*warm=*/false, rec);
 }
 
 Result Louvain::run_warm(const Csr& graph, std::span<const Community> seed,
@@ -66,39 +76,61 @@ Result Louvain::run_warm(const Csr& graph, std::span<const Community> seed,
       throw std::invalid_argument("run_warm: frontier vertex out of range");
     }
   }
-  return run_impl(graph, seed, frontier, /*warm=*/true, rec);
+  return run_impl(&graph, nullptr, seed, frontier, /*warm=*/true, rec);
 }
 
-Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
+Result Louvain::run_impl(const Csr* graph, const zg::ZCsr* z0,
+                         std::span<const Community> seed,
                          std::span<const graph::VertexId> frontier, bool warm,
                          obs::Recorder* rec) {
   util::Timer total_timer;
   device_->clear_spills();
 
+  const VertexId n0 = z0 ? z0->num_vertices() : graph->num_vertices();
+
   Result result;
-  result.community.resize(graph.num_vertices());
-  device_->for_each(graph.num_vertices(), [&](std::size_t v) {
+  result.community.resize(n0);
+  device_->for_each(n0, [&](std::size_t v) {
     result.community[v] = static_cast<Community>(v);
   });
+
+  // Compressed level 0 (run_z): neighbour rows come from per-worker
+  // decode cursors over the varint stream; levels >= 1 always run on
+  // the (much smaller) contracted plain Csr.
+  std::optional<ZRows> zrows;
+  if (z0) {
+    zrows.emplace(*z0, device_->workers());
+    if (rec) {
+      rec->count("zg/bytes_adj", static_cast<double>(z0->bytes_stream()));
+      rec->count("zg/bytes_index", static_cast<double>(z0->bytes_index()));
+      rec->count("zg/plain_bytes", static_cast<double>(z0->plain_bytes()));
+      const double packed =
+          static_cast<double>(z0->bytes_stream() + z0->bytes_index());
+      if (packed > 0) {
+        rec->count("zg/ratio",
+                   static_cast<double>(z0->plain_bytes()) / packed);
+      }
+    }
+  }
 
   // No level-0 copy: the input graph is only ever read. Contracted
   // levels are owned here and recycled into the workspace pools when
   // the next level replaces them — after level 1 the loop's CSR arrays
   // cycle through the same heap blocks (cudaMalloc-once discipline).
-  const Csr* current = &graph;
+  const Csr* current = graph;
   Csr owned;
   double prev_q = -1.0;
   std::uint64_t prev_spills = 0;
 
   for (int level = 0; level < config_.max_levels; ++level) {
     if (rec) rec->set_level(level);
+    const bool z_level = z0 != nullptr && level == 0;
     LevelReport report;
-    report.vertices = current->num_vertices();
-    report.arcs = current->num_arcs();
+    report.vertices = z_level ? z0->num_vertices() : current->num_vertices();
+    report.arcs = z_level ? z0->num_arcs() : current->num_arcs();
     report.modularity_before = prev_q < -0.5 ? 0 : prev_q;
 
-    const double threshold =
-        config_.thresholds.threshold_for(current->num_vertices());
+    const double threshold = config_.thresholds.threshold_for(report.vertices);
 
     // Level 0 of a warm run starts from the seeded partition and sweeps
     // only the frontier; every later level is a normal cold phase on
@@ -107,22 +139,32 @@ Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
     const bool warm_level = warm && level == 0;
     util::Timer opt_timer;
     PhaseState& state = state_;
-    if (warm_level) {
+    if (z_level) {
+      // The reset pass is one full sequential decode of the stream
+      // (per-worker chunks), so its wall time is the decode figure.
+      util::Timer decode_timer;
+      state.reset(*zrows, *device_);
+      if (rec) rec->count("zg/decode_ns", decode_timer.seconds() * 1e9);
+    } else if (warm_level) {
       state.reset_from(*current, *device_, seed);
     } else {
       state.reset(*current, *device_);
     }
-    const PhaseResult phase = optimize_phase(
-        *device_, *current, config_, state,
-        warm_level ? frontier : std::span<const graph::VertexId>{}, threshold,
-        ws_, rec);
+    const PhaseResult phase =
+        z_level ? optimize_phase(*device_, *zrows, config_, state,
+                                 std::span<const graph::VertexId>{}, threshold,
+                                 ws_, rec)
+                : optimize_phase(
+                      *device_, *current, config_, state,
+                      warm_level ? frontier : std::span<const graph::VertexId>{},
+                      threshold, ws_, rec);
     report.optimize_seconds = opt_timer.seconds();
     report.iterations = phase.sweeps;
     report.modularity_after = phase.modularity;
 
     if (level == 0) {
       result.first_phase_teps = phase.first_sweep_seconds > 0
-          ? static_cast<double>(current->num_arcs()) / phase.first_sweep_seconds
+          ? static_cast<double>(report.arcs) / phase.first_sweep_seconds
           : 0;
     }
 
@@ -133,13 +175,15 @@ Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
 
     util::Timer agg_timer;
     AggregationResult agg =
-        aggregate(*device_, *current, config_, state.community, ws_, rec);
+        z_level ? aggregate(*device_, *zrows, config_, state.community, ws_, rec)
+                : aggregate(*device_, *current, config_, state.community, ws_,
+                            rec);
 
     // Fold this level into the original-vertex mapping:
     // community(orig) = new_id[ phase community of current vertex ].
     {
       obs::Span fold_span(rec, "fold");
-      const VertexId cn = current->num_vertices();
+      const VertexId cn = static_cast<VertexId>(report.vertices);
       auto dense = ws_.buffer<Community>(Workspace::Slot::kFoldDense, cn);
       device_->for_each(cn, [&](std::size_t v) {
         dense[v] = agg.new_id[state.community[v]];
@@ -165,7 +209,8 @@ Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
       prev_spills = spills;
     }
 
-    const bool shrunk = agg.contracted.num_vertices() < current->num_vertices();
+    const bool shrunk =
+        agg.contracted.num_vertices() < static_cast<VertexId>(report.vertices);
     prev_q = phase.modularity;
     // Retire the previous owned level into the recycling pools before
     // adopting the new one (never the caller's input graph).
@@ -176,6 +221,10 @@ Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
     if (converged || !shrunk) break;
   }
   if (rec) rec->set_level(-1);
+  if (rec && zrows) {
+    rec->count("zg/rows_decoded", static_cast<double>(zrows->rows_decoded()));
+    rec->count("zg/reseeks", static_cast<double>(zrows->reseeks()));
+  }
 
   result.modularity = prev_q;
   result.total_seconds = total_timer.seconds();
@@ -187,6 +236,11 @@ Result Louvain::run_impl(const Csr& graph, std::span<const Community> seed,
 Result louvain(const Csr& graph, const Config& config, obs::Recorder* rec) {
   Louvain runner(config);
   return runner.run(graph, rec);
+}
+
+Result louvain_z(const zg::ZCsr& z, const Config& config, obs::Recorder* rec) {
+  Louvain runner(config);
+  return runner.run_z(z, rec);
 }
 
 }  // namespace glouvain::core

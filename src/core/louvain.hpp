@@ -46,6 +46,14 @@ class Louvain {
   /// receives per-level modopt/aggregate span trees and counters.
   Result run(const graph::Csr& graph, obs::Recorder* recorder = nullptr);
 
+  /// Compressed-storage run: level 0 decodes neighbour rows from the
+  /// varint-compressed `z` instead of reading a plain Csr; the much
+  /// smaller contracted levels run uncompressed as usual. Partitions
+  /// are bitwise-identical to run() on the graph `z` encodes. Throws
+  /// std::invalid_argument when config.use_coloring is set (the
+  /// coloring pass walks the raw Csr).
+  Result run_z(const zg::ZCsr& z, obs::Recorder* recorder = nullptr);
+
   /// Warm-start run (the dynamic-graph path): level 0 starts from
   /// `seed` (one label < num_vertices per vertex) and re-optimizes only
   /// `frontier` (empty = every vertex); subsequent levels run the
@@ -76,7 +84,10 @@ class Louvain {
   Workspace& workspace() noexcept { return ws_; }
 
  private:
-  Result run_impl(const graph::Csr& graph,
+  /// Exactly one of `graph` / `z0` is non-null: z0 selects the
+  /// compressed level-0 path, after which the loop continues on the
+  /// contracted plain Csr either way.
+  Result run_impl(const graph::Csr* graph, const zg::ZCsr* z0,
                   std::span<const graph::Community> seed,
                   std::span<const graph::VertexId> frontier, bool warm,
                   obs::Recorder* recorder);
@@ -93,5 +104,9 @@ class Louvain {
 /// One-shot convenience wrapper.
 Result louvain(const graph::Csr& graph, const Config& config = {},
                obs::Recorder* recorder = nullptr);
+
+/// One-shot convenience wrapper over Louvain::run_z.
+Result louvain_z(const zg::ZCsr& z, const Config& config = {},
+                 obs::Recorder* recorder = nullptr);
 
 }  // namespace glouvain::core

@@ -7,10 +7,12 @@
 
 #include "check/check.hpp"
 #include "core/buckets.hpp"
+#include "core/rows.hpp"
 #include "core/workspace.hpp"
 #include "graph/coloring.hpp"
 #include "core/hash_map.hpp"
 #include "obs/recorder.hpp"
+#include "zg/occmap.hpp"
 #include "simt/atomics.hpp"
 #include "simt/lane_group.hpp"
 #include "util/primes.hpp"
@@ -63,36 +65,32 @@ void sort_slots(std::span<std::uint32_t> slots) noexcept {
   std::sort(slots.begin(), slots.end());
 }
 
-/// The computeMove kernel body (Algorithm 2) for one vertex. Table is
-/// the task-local hash map; Group is LaneGroup or a FixedLaneGroup
-/// specialization. `touched` is caller scratch for >= capacity slot
-/// indices.
-template <typename Group, typename Table>
-void compute_move(const Csr& graph, PhaseState& state, Weight m2, VertexId v,
-                  Group group, Table& table,
+/// The computeMove kernel body (Algorithm 2) for one vertex. Rows is
+/// the storage seam (PlainRows or ZRows); Table is the task-local
+/// hash map; Group is LaneGroup or a FixedLaneGroup specialization.
+/// `touched` is caller scratch for >= capacity slot indices.
+template <typename Rows, typename Group, typename Table>
+void compute_move(Rows& rows, unsigned worker, PhaseState& state, Weight m2,
+                  VertexId v, Group group, Table& table,
                   std::span<std::uint32_t> touched) {
-  const EdgeIdx off = graph.offset(v);
-  const EdgeIdx deg = graph.degree(v);
+  const RowView r = rows.row(v, worker);
   const Community old_c = state.community[v];
   const Weight k = state.strengths[v];
   const double inv_m2 = 1.0 / m2;
-  auto adjacency = graph.adjacency();
-  auto edge_weights = graph.edge_weights();
 
   // --- Lines 2-13: lane-parallel hashing of the neighbourhood. Each
-  // lane visits edges off+lane, off+lane+L, ... and accumulates the
-  // weight under the neighbour's community. The self-loop contributes
+  // lane visits edges lane, lane+L, ... and accumulates the weight
+  // under the neighbour's community. The self-loop contributes
   // equally to every candidate (it moves with v), so it is skipped.
   // Claimed slots are recorded so a sparse table can be scanned
   // compactly below.
   std::uint32_t num_touched = 0;
-  group.strided_for(deg, [&](unsigned /*lane*/, std::size_t idx) {
-    const VertexId j = adjacency[off + idx];
+  group.strided_for(r.deg, [&](unsigned /*lane*/, std::size_t idx) {
+    const VertexId j = r.adj[idx];
     if (j == v) return;
     bool claimed = false;
     const std::size_t pos = table.insert_add_claim(
-        simt::atomic_load(state.community[j]), edge_weights[off + idx],
-        claimed);
+        simt::atomic_load(state.community[j]), r.w[idx], claimed);
     if (claimed) touched[num_touched++] = static_cast<std::uint32_t>(pos);
   });
 
@@ -170,19 +168,20 @@ void compute_move(const Csr& graph, PhaseState& state, Weight m2, VertexId v,
 /// floating-point expression matches the general kernel operand for
 /// operand (including the better() fold, for NaN behaviour), so the
 /// chosen move is bitwise identical.
-void compute_move_deg1(const Csr& graph, PhaseState& state, Weight m2,
-                       VertexId v) {
-  const EdgeIdx off = graph.offset(v);
+template <typename Rows>
+void compute_move_deg1(Rows& rows, unsigned worker, PhaseState& state,
+                       Weight m2, VertexId v) {
+  const RowView r = rows.row(v, worker);
   const Community old_c = state.community[v];
   const Weight k = state.strengths[v];
   const double inv_m2 = 1.0 / m2;
-  const VertexId j = graph.adjacency()[off];
+  const VertexId j = r.adj[0];
 
   Weight d_old = 0;
   Candidate best = kEmptyCandidate;
   if (j != v) {  // a pure self-loop vertex has no candidate
     const Community c = simt::atomic_load(state.community[j]);
-    const Weight w = graph.edge_weights()[off];
+    const Weight w = r.w[0];
     if (c == old_c) {
       d_old = w;
     } else {
@@ -297,27 +296,58 @@ void PhaseState::reset_from(const Csr& graph, simt::Device& device,
   });
 }
 
+void PhaseState::reset(ZRows& rows, simt::Device& device) {
+  const VertexId n = rows.num_vertices();
+  strengths.resize(n);
+  loops.resize(n);
+  community.resize(n);
+  new_comm.resize(n);
+  tot.resize(n);
+  com_size.resize(n);
+  move_gain.resize(n);
+  device.for_each_worker(n, [&](std::size_t v, unsigned worker) {
+    const auto vid = static_cast<VertexId>(v);
+    const RowView r = rows.row(vid, worker);
+    // Same row-order summation as Csr::strength/loop_weight: the
+    // decoded weights are bitwise-equal, so k_i and the loop weight
+    // match the plain path exactly.
+    Weight s = 0;
+    Weight loop = 0;
+    for (std::uint32_t i = 0; i < r.deg; ++i) {
+      s += r.w[i];
+      if (r.adj[i] == vid) loop += r.w[i];
+    }
+    strengths[v] = s;
+    loops[v] = loop;
+    community[v] = vid;
+    new_comm[v] = vid;
+    tot[v] = s;
+    com_size[v] = 1;
+    move_gain[v] = 0;
+  });
+}
+
 namespace {
 
-double device_modularity_impl(simt::Device& device, const Csr& graph,
+template <typename Rows>
+double device_modularity_impl(simt::Device& device, Rows& rows,
                               const std::vector<Community>& community,
                               const std::vector<Weight>& tot,
                               std::span<Weight> in_partial,
                               std::span<Weight> tot_partial) {
-  const Weight m2 = graph.total_weight();
+  const Weight m2 = rows.total_weight();
   for (unsigned w = 0; w < device.workers(); ++w) {
     in_partial[w] = 0;
     tot_partial[w] = 0;
   }
   auto& pool = device.pool();
-  pool.parallel_for(graph.num_vertices(), [&](std::size_t vi, unsigned worker) {
+  pool.parallel_for(rows.num_vertices(), [&](std::size_t vi, unsigned worker) {
     const auto v = static_cast<VertexId>(vi);
     const Community c = community[v];
-    auto nbrs = graph.neighbors(v);
-    auto ws = graph.weights(v);
+    const RowView r = rows.row(v, worker);
     Weight internal = 0;
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (community[nbrs[i]] == c) internal += ws[i];
+    for (std::uint32_t i = 0; i < r.deg; ++i) {
+      if (community[r.adj[i]] == c) internal += r.w[i];
     }
     in_partial[worker] += internal;
     // Each community's tot is summed once by its representative slot:
@@ -340,7 +370,8 @@ double device_modularity(simt::Device& device, const Csr& graph,
   if (graph.total_weight() <= 0) return 0;
   std::vector<Weight> in_partial(device.workers());
   std::vector<Weight> tot_partial(device.workers());
-  return device_modularity_impl(device, graph, community, tot, in_partial,
+  PlainRows rows(graph);
+  return device_modularity_impl(device, rows, community, tot, in_partial,
                                 tot_partial);
 }
 
@@ -348,39 +379,36 @@ double device_modularity(simt::Device& device, const Csr& graph,
                          const std::vector<Community>& community,
                          const std::vector<Weight>& tot, Workspace& ws) {
   if (graph.total_weight() <= 0) return 0;
+  PlainRows rows(graph);
   return device_modularity_impl(
-      device, graph, community, tot,
+      device, rows, community, tot,
       ws.buffer<Weight>(Workspace::Slot::kModoptInPartial, device.workers()),
       ws.buffer<Weight>(Workspace::Slot::kModoptTotPartial, device.workers()));
 }
 
-PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
-                           const Config& config, PhaseState& state,
-                           double threshold, obs::Recorder* rec) {
-  Workspace ws;
-  return optimize_phase(device, graph, config, state,
-                        std::span<const VertexId>{}, threshold, ws, rec);
+double device_modularity(simt::Device& device, ZRows& rows,
+                         const std::vector<Community>& community,
+                         const std::vector<Weight>& tot, Workspace& ws) {
+  if (rows.total_weight() <= 0) return 0;
+  return device_modularity_impl(
+      device, rows, community, tot,
+      ws.buffer<Weight>(Workspace::Slot::kModoptInPartial, device.workers()),
+      ws.buffer<Weight>(Workspace::Slot::kModoptTotPartial, device.workers()));
 }
 
-PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
-                           const Config& config, PhaseState& state,
-                           std::span<const VertexId> active,
-                           double threshold, obs::Recorder* rec) {
-  Workspace ws;
-  return optimize_phase(device, graph, config, state, active, threshold, ws,
-                        rec);
-}
+namespace {
 
-PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
-                           const Config& config, PhaseState& state,
-                           std::span<const VertexId> active,
-                           double threshold, Workspace& ws,
-                           obs::Recorder* rec) {
+template <typename Rows>
+PhaseResult optimize_phase_impl(simt::Device& device, Rows& rows,
+                                const Config& config, PhaseState& state,
+                                std::span<const VertexId> active,
+                                double threshold, Workspace& ws,
+                                obs::Recorder* rec) {
   // A workspace is single-threaded state: two concurrent phases on one
   // ws (e.g. an svc job-routing bug) would silently corrupt buffers.
   check::WorkspaceGuard ws_guard(&ws);
-  const VertexId n = graph.num_vertices();
-  const Weight m2 = graph.total_weight();
+  const VertexId n = rows.num_vertices();
+  const Weight m2 = rows.total_weight();
   PhaseResult result;
   if (n == 0 || m2 <= 0) return result;
   obs::Span phase_span(rec, "modopt");
@@ -403,7 +431,7 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     obs::Span span(rec, "modopt/binning");
     bin_by_key_into(
         num_active, scheme,
-        [&](VertexId i) { return graph.degree(active[i]); }, binned,
+        [&](VertexId i) { return rows.degree(active[i]); }, binned,
         ws.scratch(), device.pool());
   }
   device.for_each(num_active,
@@ -414,6 +442,24 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
                  static_cast<double>(binned.bucket(b).size()),
                  static_cast<std::int64_t>(b));
     }
+    // Bytes the per-vertex community tables will claim from the
+    // shared/global arenas this phase: keys + weights + touched list,
+    // plus the bit-packed side words under TableLayout::kOccupancy.
+    double ht_bytes = 0;
+    for (std::size_t i = 0; i < num_active; ++i) {
+      const std::uint32_t deg = rows.degree(binned.order[i]);
+      if (deg < 2) continue;
+      const std::size_t cap = util::hash_params_for_degree(deg).capacity;
+      double bytes =
+          static_cast<double>(cap) *
+          (sizeof(Community) + sizeof(Weight) + sizeof(std::uint32_t));
+      if (config.table_layout == TableLayout::kOccupancy) {
+        bytes += static_cast<double>(zg::OccCommunityHashMap::occ_words(cap) *
+                                     sizeof(std::uint32_t));
+      }
+      ht_bytes += bytes;
+    }
+    rec->count("zg/bytes_ht", ht_bytes);
   }
   // One interned name per degree-bucket kernel so the exporters can
   // break sweep time down the way Figure 6 does (built only when a
@@ -436,8 +482,14 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
   unsigned subrounds = 1;
   if (config.update == UpdateStrategy::Bucketed) {
     if (config.use_coloring) {
-      coloring = graph::color_graph(graph);
-      subrounds = std::max(1u, coloring.num_colors);
+      // Coloring walks the raw Csr; the compressed path rejects the
+      // combination upstream (louvain validates before phase entry).
+      if constexpr (Rows::kPlain) {
+        coloring = graph::color_graph(rows.graph());
+        subrounds = std::max(1u, coloring.num_colors);
+      } else {
+        check::contract(false, "modopt: coloring requires plain storage");
+      }
     } else {
       subrounds = std::max(1u, config.commit_subrounds);
     }
@@ -475,9 +527,16 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
   }
   if (rec) rec->end_span(order_span);
 
+  const auto eval_q = [&] {
+    return device_modularity_impl(
+        device, rows, state.community, state.tot,
+        ws.buffer<Weight>(Workspace::Slot::kModoptInPartial, device.workers()),
+        ws.buffer<Weight>(Workspace::Slot::kModoptTotPartial,
+                          device.workers()));
+  };
   double current_q = [&] {
     obs::Span span(rec, "modopt/modularity");
-    return device_modularity(device, graph, state.community, state.tot, ws);
+    return eval_q();
   }();
   // True while current_q is the exact modularity of the live partition
   // (no commit moved a vertex since it was evaluated); lets the final
@@ -516,7 +575,7 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
           check::KernelScope kernel_scope("modopt/bucket", b);
           device.launch(group_vertices.size(), grain, [&](simt::TaskContext& ctx) {
             const VertexId v = group_vertices[ctx.task()];
-            const EdgeIdx deg = graph.degree(v);
+            const std::uint32_t deg = rows.degree(v);
             // Binning contract: a vertex above its bucket's bound would
             // get a lane group and table partition sized for the wrong
             // degree class.
@@ -532,7 +591,7 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
               return;
             }
             if (deg == 1) {
-              compute_move_deg1(graph, state, m2, v);
+              compute_move_deg1(rows, ctx.worker(), state, m2, v);
               return;
             }
             const util::HashTableParams params =
@@ -545,38 +604,54 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
             auto touched = use_global
                                ? ctx.shared().alloc_global<std::uint32_t>(cap)
                                : ctx.shared().alloc<std::uint32_t>(cap);
-            // Task-local table: this lane group runs inside one OS thread
-            // (see hash_map.hpp for why no host atomics are needed here).
-            LocalCommunityHashMap table(keys, weights, params);
-            table.clear();
             // The standard widths get compile-time lane counts (constant
             // strided loops and reduction trees); anything else falls
             // back to the runtime group. Same arithmetic either way.
-            switch (lanes) {
-              case 4:
-                compute_move(graph, state, m2, v, simt::FixedLaneGroup<4>{},
-                             table, touched);
-                break;
-              case 8:
-                compute_move(graph, state, m2, v, simt::FixedLaneGroup<8>{},
-                             table, touched);
-                break;
-              case 16:
-                compute_move(graph, state, m2, v, simt::FixedLaneGroup<16>{},
-                             table, touched);
-                break;
-              case 32:
-                compute_move(graph, state, m2, v, simt::FixedLaneGroup<32>{},
-                             table, touched);
-                break;
-              case 128:
-                compute_move(graph, state, m2, v, simt::FixedLaneGroup<128>{},
-                             table, touched);
-                break;
-              default:
-                compute_move(graph, state, m2, v, simt::LaneGroup(lanes),
-                             table, touched);
-                break;
+            const auto run_table = [&](auto& table) {
+              table.clear();
+              switch (lanes) {
+                case 4:
+                  compute_move(rows, ctx.worker(), state, m2, v,
+                               simt::FixedLaneGroup<4>{}, table, touched);
+                  break;
+                case 8:
+                  compute_move(rows, ctx.worker(), state, m2, v,
+                               simt::FixedLaneGroup<8>{}, table, touched);
+                  break;
+                case 16:
+                  compute_move(rows, ctx.worker(), state, m2, v,
+                               simt::FixedLaneGroup<16>{}, table, touched);
+                  break;
+                case 32:
+                  compute_move(rows, ctx.worker(), state, m2, v,
+                               simt::FixedLaneGroup<32>{}, table, touched);
+                  break;
+                case 128:
+                  compute_move(rows, ctx.worker(), state, m2, v,
+                               simt::FixedLaneGroup<128>{}, table, touched);
+                  break;
+                default:
+                  compute_move(rows, ctx.worker(), state, m2, v,
+                               simt::LaneGroup(lanes), table, touched);
+                  break;
+              }
+            };
+            // Task-local tables either way: this lane group runs inside
+            // one OS thread (see hash_map.hpp for why no host atomics
+            // are needed). The occupancy layout stores emptiness in a
+            // bit-packed side word (zg/occmap.hpp) but probes the same
+            // slots in the same order, so the move decision is
+            // bitwise-invariant under the layout switch.
+            if (config.table_layout == TableLayout::kOccupancy) {
+              const std::size_t words = zg::OccCommunityHashMap::occ_words(cap);
+              auto occ = use_global
+                             ? ctx.shared().alloc_global<std::uint32_t>(words)
+                             : ctx.shared().alloc<std::uint32_t>(words);
+              zg::OccCommunityHashMap table(keys, weights, occ, params);
+              run_table(table);
+            } else {
+              LocalCommunityHashMap table(keys, weights, params);
+              run_table(table);
             }
           });
         }
@@ -617,8 +692,7 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     // positive).
     if (sweep_gain < threshold) break;
     obs::Span q_span(rec, "modopt/modularity");
-    const double new_q =
-        device_modularity(device, graph, state.community, state.tot, ws);
+    const double new_q = eval_q();
     q_fresh = true;
     if (new_q - current_q < threshold) {
       current_q = new_q;
@@ -632,11 +706,48 @@ PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
     result.modularity = current_q;
   } else {
     obs::Span final_q_span(rec, "modopt/modularity");
-    result.modularity =
-        device_modularity(device, graph, state.community, state.tot, ws);
+    result.modularity = eval_q();
   }
   ws.emit(rec, "modopt", ws_since);
   return result;
+}
+
+}  // namespace
+
+PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
+                           const Config& config, PhaseState& state,
+                           double threshold, obs::Recorder* rec) {
+  Workspace ws;
+  return optimize_phase(device, graph, config, state,
+                        std::span<const VertexId>{}, threshold, ws, rec);
+}
+
+PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
+                           const Config& config, PhaseState& state,
+                           std::span<const VertexId> active,
+                           double threshold, obs::Recorder* rec) {
+  Workspace ws;
+  return optimize_phase(device, graph, config, state, active, threshold, ws,
+                        rec);
+}
+
+PhaseResult optimize_phase(simt::Device& device, const Csr& graph,
+                           const Config& config, PhaseState& state,
+                           std::span<const VertexId> active,
+                           double threshold, Workspace& ws,
+                           obs::Recorder* rec) {
+  PlainRows rows(graph);
+  return optimize_phase_impl(device, rows, config, state, active, threshold,
+                             ws, rec);
+}
+
+PhaseResult optimize_phase(simt::Device& device, ZRows& rows,
+                           const Config& config, PhaseState& state,
+                           std::span<const VertexId> active,
+                           double threshold, Workspace& ws,
+                           obs::Recorder* rec) {
+  return optimize_phase_impl(device, rows, config, state, active, threshold,
+                             ws, rec);
 }
 
 }  // namespace glouvain::core

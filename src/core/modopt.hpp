@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/rows.hpp"
 #include "graph/csr.hpp"
 #include "simt/device.hpp"
 
@@ -38,6 +39,11 @@ struct PhaseState {
   /// |c| are accumulated from the members. Labels need not be dense.
   void reset_from(const graph::Csr& graph, simt::Device& device,
                   std::span<const graph::Community> seed);
+
+  /// reset() over a compressed row source: strengths/loop weights come
+  /// from sequential decode (same row-order summation as the plain
+  /// path, so every double matches bitwise).
+  void reset(ZRows& rows, simt::Device& device);
 };
 
 struct PhaseResult {
@@ -80,6 +86,17 @@ PhaseResult optimize_phase(simt::Device& device, const graph::Csr& graph,
                            double threshold, Workspace& ws,
                            obs::Recorder* recorder = nullptr);
 
+/// The compressed-storage phase: same kernels templated over a ZRows
+/// source (neighbour lists decoded per worker instead of read from
+/// raw arrays). Restrictions of the z path: no coloring (it needs the
+/// plain Csr) — callers gate on Config::use_coloring. Partitions are
+/// bitwise-identical to the plain overloads' on the same graph.
+PhaseResult optimize_phase(simt::Device& device, ZRows& rows,
+                           const Config& config, PhaseState& state,
+                           std::span<const graph::VertexId> active,
+                           double threshold, Workspace& ws,
+                           obs::Recorder* recorder = nullptr);
+
 /// Modularity of the current assignment from the device arrays
 /// (parallel; used for the sweep-termination test).
 double device_modularity(simt::Device& device, const graph::Csr& graph,
@@ -88,6 +105,11 @@ double device_modularity(simt::Device& device, const graph::Csr& graph,
 
 /// Same, with per-worker partials drawn from `ws`.
 double device_modularity(simt::Device& device, const graph::Csr& graph,
+                         const std::vector<graph::Community>& community,
+                         const std::vector<graph::Weight>& tot, Workspace& ws);
+
+/// Same, over a compressed row source.
+double device_modularity(simt::Device& device, ZRows& rows,
                          const std::vector<graph::Community>& community,
                          const std::vector<graph::Weight>& tot, Workspace& ws);
 

@@ -25,6 +25,7 @@
 #include "graph/csr.hpp"
 #include "multi/multi.hpp"
 #include "util/status.hpp"
+#include "zg/zcsr.hpp"
 
 namespace glouvain::obs {
 class Recorder;
@@ -50,8 +51,22 @@ class Detector {
   /// Run the full multi-level pipeline. `recorder` may be null (the
   /// zero-overhead path); when set, the run emits the per-level span
   /// tree and counters described in obs/recorder.hpp.
+  ///
+  /// Options::storage selects the level-0 adjacency layout: backends
+  /// with a compressed path ("core", "seq") encode the graph and run
+  /// it, others throw std::invalid_argument on non-plain storage.
   virtual Result run(const graph::Csr& graph, const Options& options,
                      obs::Recorder* recorder = nullptr) = 0;
+
+  /// Run directly from a compressed graph (a zg::ZCsr — typically the
+  /// view of a mapped .zg container, so the plain arrays never
+  /// materialize). The base implementation decodes to a plain Csr and
+  /// delegates to run(); "core" and "seq" override with their native
+  /// compressed paths. Options::storage and warm_start are ignored
+  /// here (the input is already compressed; warm starts need plain
+  /// rows).
+  virtual Result run_z(const zg::ZCsr& z, const Options& options,
+                       obs::Recorder* recorder = nullptr);
 };
 
 using Factory = std::function<std::unique_ptr<Detector>(const Extensions&)>;

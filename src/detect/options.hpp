@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "core/common.hpp"
@@ -29,6 +30,34 @@ struct WarmStart {
   std::vector<graph::VertexId> frontier;
 };
 
+/// Adjacency storage driving level 0 of a run (detect/README of the
+/// zg subsystem: DESIGN.md §12). kPlain reads the Csr arrays directly.
+/// kZcsr varint-compresses the level-0 adjacency and decodes rows
+/// through per-worker cursors; kMmap is the same decode path over a
+/// file-backed mapping (meaningful when the input is a .zg container —
+/// for in-memory graphs it behaves like kZcsr). Partitions are
+/// bitwise-identical across all three. Honored by the "core" and "seq"
+/// backends; backends without a compressed path reject non-plain
+/// storage with std::invalid_argument.
+enum class Storage { kPlain, kZcsr, kMmap };
+
+constexpr const char* storage_name(Storage s) noexcept {
+  switch (s) {
+    case Storage::kZcsr: return "zcsr";
+    case Storage::kMmap: return "mmap";
+    default: return "plain";
+  }
+}
+
+/// Parse a storage-mode name; returns false (and leaves `out` alone)
+/// on an unknown name.
+inline bool parse_storage(std::string_view name, Storage& out) noexcept {
+  if (name == "plain") { out = Storage::kPlain; return true; }
+  if (name == "zcsr") { out = Storage::kZcsr; return true; }
+  if (name == "mmap") { out = Storage::kMmap; return true; }
+  return false;
+}
+
 struct Options {
   /// The paper's adaptive t_bin/t_final schedule (§5).
   ThresholdSchedule thresholds;
@@ -41,6 +70,9 @@ struct Options {
   /// Null = cold start. Shared so copying Options never copies the
   /// O(n) seed/frontier arrays.
   std::shared_ptr<const WarmStart> warm_start;
+  /// Level-0 adjacency storage (see Storage above). Incompatible with
+  /// warm_start and core's use_coloring — both need the plain arrays.
+  Storage storage = Storage::kPlain;
 };
 
 }  // namespace glouvain::detect

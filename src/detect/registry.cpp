@@ -2,13 +2,26 @@
 
 #include <map>
 #include <mutex>
+#include <stdexcept>
 
 #include "core/louvain.hpp"
 #include "obs/recorder.hpp"
 #include "plm/plm.hpp"
 #include "seq/louvain.hpp"
+#include "zg/zcsr.hpp"
 
 namespace glouvain::detect {
+
+Result Detector::run_z(const zg::ZCsr& z, const Options& options,
+                       obs::Recorder* recorder) {
+  // Generic fallback: materialize the plain graph. Backends with a
+  // native compressed path override this.
+  const graph::Csr plain = z.decode_all();
+  Options opts = options;
+  opts.storage = Storage::kPlain;
+  opts.warm_start.reset();
+  return run(plain, opts, recorder);
+}
 
 namespace {
 
@@ -16,6 +29,15 @@ Result from_louvain(LouvainResult&& base) {
   Result r;
   static_cast<LouvainResult&>(r) = std::move(base);
   return r;
+}
+
+/// Shared guard for the compressed paths: the knobs that need plain
+/// rows are rejected loudly instead of silently decompressing.
+void check_z_compatible(const Options& options, std::string_view backend) {
+  if (options.warm_start) {
+    throw std::invalid_argument(std::string(backend) +
+                                ": warm_start requires plain storage");
+  }
 }
 
 /// GPU-style Louvain on the software SIMT device. Keeps its device
@@ -30,10 +52,35 @@ class CoreDetector final : public Detector {
 
   Result run(const graph::Csr& graph, const Options& options,
              obs::Recorder* recorder) override {
+    core::Louvain& runner = runner_for(options);
+    if (options.storage != Storage::kPlain) {
+      // In-memory graphs reach the compressed path through an encode
+      // (kMmap behaves like kZcsr here; the true out-of-core route is
+      // run_z over a mapped .zg container).
+      check_z_compatible(options, name());
+      const zg::ZCsr z = zg::ZCsr::encode(graph);
+      return runner.run_z(z, recorder);
+    }
+    if (options.warm_start) {
+      return runner.run_warm(graph, options.warm_start->seed,
+                             options.warm_start->frontier, recorder);
+    }
+    return runner.run(graph, recorder);
+  }
+
+  Result run_z(const zg::ZCsr& z, const Options& options,
+               obs::Recorder* recorder) override {
+    return runner_for(options).run_z(z, recorder);
+  }
+
+ private:
+  /// Rebuild or retune the kept runner (thread-count changes rebuild
+  /// the device; anything else is a config swap on the warm instance).
+  core::Louvain& runner_for(const Options& options) {
     core::Config cfg = base_;
     static_cast<Options&>(cfg) = options;
-    cfg.warm_start.reset();  // passed explicitly below; keep the kept
-                             // config from pinning the seed arrays
+    cfg.warm_start.reset();  // passed explicitly in run(); keep the
+                             // kept config from pinning the seed arrays
     const unsigned want =
         cfg.device.worker_threads ? cfg.device.worker_threads : cfg.threads;
     if (!runner_ || want != runner_threads_) {
@@ -42,14 +89,9 @@ class CoreDetector final : public Detector {
     } else {
       runner_->set_config(cfg);
     }
-    if (options.warm_start) {
-      return runner_->run_warm(graph, options.warm_start->seed,
-                               options.warm_start->frontier, recorder);
-    }
-    return runner_->run(graph, recorder);
+    return *runner_;
   }
 
- private:
   core::Config base_;
   std::unique_ptr<core::Louvain> runner_;
   unsigned runner_threads_ = ~0u;
@@ -63,12 +105,25 @@ class SeqDetector final : public Detector {
              obs::Recorder* recorder) override {
     seq::Config cfg;
     static_cast<Options&>(cfg) = options;
+    if (options.storage != Storage::kPlain) {
+      check_z_compatible(options, name());
+      const zg::ZCsr z = zg::ZCsr::encode(graph);
+      return from_louvain(seq::louvain_z(z, cfg, recorder));
+    }
     if (options.warm_start) {
       return from_louvain(seq::louvain_warm(graph, options.warm_start->seed,
                                             options.warm_start->frontier, cfg,
                                             recorder));
     }
     return from_louvain(seq::louvain(graph, cfg, recorder));
+  }
+
+  Result run_z(const zg::ZCsr& z, const Options& options,
+               obs::Recorder* recorder) override {
+    seq::Config cfg;
+    static_cast<Options&>(cfg) = options;
+    cfg.warm_start.reset();
+    return from_louvain(seq::louvain_z(z, cfg, recorder));
   }
 };
 
@@ -78,6 +133,10 @@ class PlmDetector final : public Detector {
 
   Result run(const graph::Csr& graph, const Options& options,
              obs::Recorder* recorder) override {
+    if (options.storage != Storage::kPlain) {
+      throw std::invalid_argument(
+          "plm: compressed storage is not supported (use --storage plain)");
+    }
     plm::Config cfg;
     static_cast<Options&>(cfg) = options;
     return from_louvain(plm::louvain(graph, cfg, recorder));
@@ -92,6 +151,10 @@ class MultiDetector final : public Detector {
 
   Result run(const graph::Csr& graph, const Options& options,
              obs::Recorder* recorder) override {
+    if (options.storage != Storage::kPlain) {
+      throw std::invalid_argument(
+          "multi: compressed storage is not supported (use --storage plain)");
+    }
     multi::Config cfg = ext_.multi;
     cfg.device = ext_.core;  // the core extension governs every device
     static_cast<Options&>(cfg.device) = options;

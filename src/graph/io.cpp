@@ -33,6 +33,19 @@ Status io_failure(const std::string& path, const std::string& what) {
   return Status::io_error(msg(path, what));
 }
 
+/// VertexId is 32-bit with the top value reserved as kInvalidVertex;
+/// ids at or above it would silently wrap under static_cast. Every
+/// loader funnels untrusted counts/ids through these guards.
+bool fits_vertex_id(unsigned long long id) {
+  return id < kInvalidVertex;
+}
+
+Status vertex_overflow(const std::string& path, unsigned long long value) {
+  return Status::invalid_argument(
+      msg(path, "vertex id/count " + std::to_string(value) +
+                    " exceeds the 32-bit vertex-id space"));
+}
+
 bool is_comment(const std::string& line) {
   for (char c : line) {
     if (std::isspace(static_cast<unsigned char>(c))) continue;
@@ -66,6 +79,8 @@ StatusOr<Csr> try_load_edge_list(const std::string& path) {
     double w = 1.0;
     if (!(ss >> u >> v)) return malformed(path, "bad edge line: " + line);
     ss >> w;
+    if (!fits_vertex_id(u)) return vertex_overflow(path, u);
+    if (!fits_vertex_id(v)) return vertex_overflow(path, v);
     edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v), w});
   }
   if (in.bad()) return io_failure(path, "read error");
@@ -92,6 +107,7 @@ StatusOr<Csr> try_load_matrix_market(const std::string& path) {
   unsigned long long rows, cols, nnz;
   if (!(dims >> rows >> cols >> nnz)) return malformed(path, "bad size line");
   if (rows != cols) return malformed(path, "matrix is not square");
+  if (!fits_vertex_id(rows)) return vertex_overflow(path, rows);
 
   std::vector<Edge> edges;
   edges.reserve(nnz);
@@ -128,6 +144,7 @@ StatusOr<Csr> try_load_metis(const std::string& path) {
   std::istringstream hdr(line);
   unsigned long long n, m, fmt = 0;
   if (!(hdr >> n >> m)) return malformed(path, "bad METIS header");
+  if (!fits_vertex_id(n)) return vertex_overflow(path, n);
   hdr >> fmt;
   const bool has_edge_weights = (fmt % 10) == 1;
   const bool has_vertex_weights = (fmt / 10 % 10) == 1;
@@ -197,14 +214,34 @@ template <typename T>
 void read_pod(std::ifstream& in, T& v) {
   in.read(reinterpret_cast<char*>(&v), sizeof v);
 }
+/// Length-prefixed section read, bounded by the bytes actually left in
+/// the file: a crafted or corrupt length prefix must fail with a
+/// status instead of driving a multi-gigabyte allocation (or a silent
+/// short read) off a 64-bit count.
 template <typename T>
-std::vector<T> read_vec(std::ifstream& in) {
+Status read_vec(std::ifstream& in, const std::string& path,
+                std::uint64_t file_size, std::vector<T>& v) {
   std::uint64_t size = 0;
   read_pod(in, size);
-  std::vector<T> v(size);
+  if (!in) return malformed(path, "truncated section header");
+  const auto pos = static_cast<std::uint64_t>(in.tellg());
+  const std::uint64_t remaining = file_size - pos;
+  if (size > remaining / sizeof(T)) {
+    // A count that could never have fit the file is a malformed
+    // header; one that would fit the file but not the remainder looks
+    // like a valid save that lost its tail.
+    if (size <= file_size / sizeof(T)) {
+      return io_failure(path, "truncated file");
+    }
+    return malformed(path, "section claims " + std::to_string(size) +
+                               " entries but only " +
+                               std::to_string(remaining) + " bytes remain");
+  }
+  v.resize(size);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(size * sizeof(T)));
-  return v;
+  if (!in) return io_failure(path, "truncated file");
+  return Status::ok_status();
 }
 }  // namespace
 
@@ -227,17 +264,37 @@ void save_binary(const Csr& graph, const std::string& path) {
 }
 
 StatusOr<Csr> try_load_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return cannot_open(path);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
   char magic[8];
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
     return malformed(path, "bad magic");
   }
-  auto offsets = read_vec<EdgeIdx>(in);
-  auto adj = read_vec<VertexId>(in);
-  auto weights = read_vec<Weight>(in);
-  if (!in) return io_failure(path, "truncated file");
+  std::vector<EdgeIdx> offsets;
+  std::vector<VertexId> adj;
+  std::vector<Weight> weights;
+  if (Status s = read_vec(in, path, file_size, offsets); !s.ok()) return s;
+  if (Status s = read_vec(in, path, file_size, adj); !s.ok()) return s;
+  if (Status s = read_vec(in, path, file_size, weights); !s.ok()) return s;
+  if (offsets.empty()) return malformed(path, "empty offsets section");
+  if (!fits_vertex_id(offsets.size() - 1)) {
+    return vertex_overflow(path, offsets.size() - 1);
+  }
+  if (adj.size() != offsets.back() || weights.size() != adj.size()) {
+    return malformed(path, "section sizes disagree with offsets");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return malformed(path, "offsets are not monotone");
+    }
+  }
+  const auto n = static_cast<VertexId>(offsets.size() - 1);
+  for (const VertexId nb : adj) {
+    if (nb >= n) return malformed(path, "neighbor id out of range");
+  }
   return Csr(std::move(offsets), std::move(adj), std::move(weights));
 }
 

@@ -27,21 +27,89 @@ double modularity_from(const std::vector<Weight>& in,
   return q;
 }
 
-/// The shared phase body. A non-empty `seed` replaces the singleton
-/// bootstrap (in/tot are accumulated from the seeded membership); a
-/// non-empty `active` restricts the sweep to those vertices — everyone
-/// else keeps its community but still participates in every gain term,
-/// so the maintained modularity stays exact.
-int phase_impl(const Csr& graph, std::vector<Community>& community,
+/// One neighbour row handed to the phase body by a row source.
+struct Row {
+  std::span<const VertexId> nbrs;
+  std::span<const Weight> ws;
+};
+
+/// Row source over a plain Csr: zero-cost spans into the arrays.
+struct PlainSource {
+  const Csr& g;
+
+  VertexId num_vertices() const { return g.num_vertices(); }
+  Weight total_weight() const { return g.total_weight(); }
+  void strengths_and_loops(std::vector<Weight>& s, std::vector<Weight>& l) {
+    s = g.compute_strengths();
+    const VertexId n = g.num_vertices();
+    l.resize(n);
+    for (VertexId v = 0; v < n; ++v) l[v] = g.loop_weight(v);
+  }
+  Row row(VertexId v) { return {g.neighbors(v), g.weights(v)}; }
+};
+
+/// Row source over the varint-compressed ZCsr: one cached decode
+/// cursor. The phase body visits vertices in increasing id order, so
+/// the cursor advances sequentially (one cheap reseek per sweep, back
+/// to row 0). Decoded values equal the plain arrays bit for bit, and
+/// sums below run in the same row order as the Csr members, so every
+/// downstream double matches the plain path bitwise.
+class ZSource {
+ public:
+  explicit ZSource(const zg::ZCsr& z)
+      : z_(z), cursor_(z.cursor()), adj_(z.max_degree()), w_(z.max_degree()) {}
+
+  VertexId num_vertices() const { return z_.num_vertices(); }
+  Weight total_weight() const { return z_.total_weight(); }
+  void strengths_and_loops(std::vector<Weight>& s, std::vector<Weight>& l) {
+    const VertexId n = z_.num_vertices();
+    s.resize(n);
+    l.resize(n);
+    auto cur = z_.cursor();
+    for (VertexId v = 0; v < n; ++v) {
+      const std::uint32_t deg = z_.degree(v);
+      cur.decode_into(adj_.data(), w_.data());
+      Weight sum = 0;
+      Weight loop = 0;
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        sum += w_[i];
+        if (adj_[i] == v) loop += w_[i];
+      }
+      s[v] = sum;
+      l[v] = loop;
+    }
+  }
+  Row row(VertexId v) {
+    if (cursor_.vertex() != v) cursor_ = z_.cursor_at(v);
+    const std::uint32_t deg = z_.degree(v);
+    cursor_.decode_into(adj_.data(), w_.data());
+    return {{adj_.data(), deg}, {w_.data(), deg}};
+  }
+
+ private:
+  const zg::ZCsr& z_;
+  zg::ZCsr::Cursor cursor_;
+  std::vector<VertexId> adj_;
+  std::vector<Weight> w_;
+};
+
+/// The shared phase body, templated over the row source. A non-empty
+/// `seed` replaces the singleton bootstrap (in/tot are accumulated
+/// from the seeded membership); a non-empty `active` restricts the
+/// sweep to those vertices — everyone else keeps its community but
+/// still participates in every gain term, so the maintained
+/// modularity stays exact.
+template <typename Source>
+int phase_impl(Source& src, std::vector<Community>& community,
                double threshold, int max_sweeps, double* final_modularity,
                obs::Recorder* rec, std::span<const Community> seed,
                std::span<const VertexId> active) {
-  const VertexId n = graph.num_vertices();
-  const Weight m2 = graph.total_weight();
+  const VertexId n = src.num_vertices();
+  const Weight m2 = src.total_weight();
 
-  std::vector<Weight> strengths = graph.compute_strengths();
-  std::vector<Weight> loops(n);
-  for (VertexId v = 0; v < n; ++v) loops[v] = graph.loop_weight(v);
+  std::vector<Weight> strengths;
+  std::vector<Weight> loops;
+  src.strengths_and_loops(strengths, loops);
 
   std::vector<Weight> tot;
   std::vector<Weight> in;
@@ -59,10 +127,9 @@ int phase_impl(const Csr& graph, std::vector<Community>& community,
       const Community c = community[v];
       tot[c] += strengths[v];
       Weight internal = loops[v];
-      auto nbrs = graph.neighbors(v);
-      auto ws = graph.weights(v);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (nbrs[i] != v && community[nbrs[i]] == c) internal += ws[i];
+      const Row r = src.row(v);
+      for (std::size_t i = 0; i < r.nbrs.size(); ++i) {
+        if (r.nbrs[i] != v && community[r.nbrs[i]] == c) internal += r.ws[i];
       }
       in[c] += internal;  // each internal edge lands twice, once per end
     }
@@ -92,16 +159,15 @@ int phase_impl(const Csr& graph, std::vector<Community>& community,
 
       // Gather d_{v,c} for every adjacent community (self excluded).
       touched.clear();
-      auto nbrs = graph.neighbors(v);
-      auto ws = graph.weights(v);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (nbrs[i] == v) continue;
-        const Community c = community[nbrs[i]];
+      const Row r = src.row(v);
+      for (std::size_t i = 0; i < r.nbrs.size(); ++i) {
+        if (r.nbrs[i] == v) continue;
+        const Community c = community[r.nbrs[i]];
         if (neigh_weight[c] < 0) {
           neigh_weight[c] = 0;
           touched.push_back(c);
         }
-        neigh_weight[c] += ws[i];
+        neigh_weight[c] += r.ws[i];
       }
 
       const Weight d_old = neigh_weight[old_c] < 0 ? 0 : neigh_weight[old_c];
@@ -157,26 +223,103 @@ int phase_impl(const Csr& graph, std::vector<Community>& community,
   return sweeps;
 }
 
+/// The reference contraction over a compressed row source: the exact
+/// algorithm of graph::contract_reference with member rows decoded
+/// from the stream. Rows are appended in the same vertex/row order, so
+/// the sort inputs — and therefore the merged sums and the resulting
+/// Csr arrays — are identical to the plain path bit for bit.
+Csr contract_z(const zg::ZCsr& z, const std::vector<Community>& community,
+               std::vector<VertexId>* new_id_out) {
+  const VertexId n = z.num_vertices();
+
+  std::vector<std::uint8_t> non_empty(n, 0);
+  for (VertexId v = 0; v < n; ++v) non_empty[community[v]] = 1;
+  std::vector<VertexId> new_id(n, graph::kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId c = 0; c < n; ++c) {
+    if (non_empty[c]) new_id[c] = next++;
+  }
+  const VertexId nn = next;
+  if (new_id_out) *new_id_out = new_id;
+
+  std::vector<std::vector<std::pair<VertexId, Weight>>> rows(nn);
+  std::vector<VertexId> adj_buf(z.max_degree());
+  std::vector<Weight> w_buf(z.max_degree());
+  auto cur = z.cursor();
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId c = new_id[community[v]];
+    auto& row = rows[c];
+    const std::uint32_t deg = z.degree(v);
+    cur.decode_into(adj_buf.data(), w_buf.data());
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      row.emplace_back(new_id[community[adj_buf[i]]], w_buf[i]);
+    }
+  }
+
+  std::vector<graph::EdgeIdx> offsets(nn + 1, 0);
+  std::vector<VertexId> adj;
+  std::vector<Weight> weights;
+  for (VertexId c = 0; c < nn; ++c) {
+    auto& row = rows[c];
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    graph::EdgeIdx count = 0;
+    for (std::size_t i = 0; i < row.size();) {
+      const VertexId nb = row[i].first;
+      Weight w = 0;
+      while (i < row.size() && row[i].first == nb) {
+        w += row[i].second;
+        ++i;
+      }
+      adj.push_back(nb);
+      weights.push_back(w);
+      ++count;
+    }
+    offsets[c + 1] = offsets[c] + count;
+    row.clear();
+    row.shrink_to_fit();
+  }
+  return Csr(std::move(offsets), std::move(adj), std::move(weights));
+}
+
 /// Shared multi-level driver; seed/active apply to level 0 only.
-LouvainResult run_impl(const Csr& graph, const Config& config,
-                       obs::Recorder* rec, std::span<const Community> seed,
+/// Exactly one of `graph` / `z0` is non-null: z0 selects the
+/// compressed level-0 path (cold start only), after which the loop
+/// continues on the contracted plain Csr either way.
+LouvainResult run_impl(const Csr* graph, const zg::ZCsr* z0,
+                       const Config& config, obs::Recorder* rec,
+                       std::span<const Community> seed,
                        std::span<const VertexId> active) {
   util::Timer total_timer;
+  const VertexId n0 = z0 ? z0->num_vertices() : graph->num_vertices();
   LouvainResult result;
-  result.community.resize(graph.num_vertices());
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) result.community[v] = v;
+  result.community.resize(n0);
+  for (VertexId v = 0; v < n0; ++v) result.community[v] = v;
 
-  Csr current = graph;
+  if (z0 && rec) {
+    rec->count("zg/bytes_adj", static_cast<double>(z0->bytes_stream()));
+    rec->count("zg/bytes_index", static_cast<double>(z0->bytes_index()));
+    rec->count("zg/plain_bytes", static_cast<double>(z0->plain_bytes()));
+    const double packed =
+        static_cast<double>(z0->bytes_stream() + z0->bytes_index());
+    if (packed > 0) {
+      rec->count("zg/ratio", static_cast<double>(z0->plain_bytes()) / packed);
+    }
+  }
+
+  Csr current;  // empty during level 0 of a compressed run
+  if (!z0) current = *graph;
   double prev_q = -1.0;
 
   for (int level = 0; level < config.max_levels; ++level) {
     if (rec) rec->set_level(level);
+    const bool z_level = z0 != nullptr && level == 0;
     LevelReport report;
-    report.vertices = current.num_vertices();
-    report.arcs = current.num_arcs();
+    report.vertices = z_level ? z0->num_vertices() : current.num_vertices();
+    report.arcs = z_level ? z0->num_arcs() : current.num_arcs();
     report.modularity_before = prev_q < -0.5 ? 0 : prev_q;
 
-    const double threshold = config.thresholds.threshold_for(current.num_vertices());
+    const double threshold = config.thresholds.threshold_for(report.vertices);
 
     util::Timer opt_timer;
     std::vector<Community> phase_community;
@@ -184,17 +327,29 @@ LouvainResult run_impl(const Csr& graph, const Config& config,
     {
       obs::Span opt_span(rec, "modopt");
       const bool warm_level = level == 0 && !seed.empty();
-      report.iterations = phase_impl(
-          current, phase_community, threshold, config.max_sweeps_per_level, &q,
-          rec, warm_level ? seed : std::span<const Community>{},
-          warm_level ? active : std::span<const VertexId>{});
+      const auto level_seed = warm_level ? seed : std::span<const Community>{};
+      const auto level_active =
+          warm_level ? active : std::span<const VertexId>{};
+      if (z_level) {
+        ZSource src(*z0);
+        report.iterations =
+            phase_impl(src, phase_community, threshold,
+                       config.max_sweeps_per_level, &q, rec, level_seed,
+                       level_active);
+      } else {
+        PlainSource src{current};
+        report.iterations =
+            phase_impl(src, phase_community, threshold,
+                       config.max_sweeps_per_level, &q, rec, level_seed,
+                       level_active);
+      }
     }
     report.optimize_seconds = opt_timer.seconds();
     report.modularity_after = q;
 
     if (level == 0) {
       result.first_phase_teps = report.optimize_seconds > 0
-          ? static_cast<double>(current.num_arcs()) * report.iterations /
+          ? static_cast<double>(report.arcs) * report.iterations /
                 report.optimize_seconds
           : 0;
     }
@@ -211,7 +366,9 @@ LouvainResult run_impl(const Csr& graph, const Config& config,
       metrics::renumber(phase_community);
       result.community = metrics::flatten(result.community, phase_community);
       result.dendrogram.push_level(phase_community);
-      contracted = graph::contract_reference(current, phase_community, &new_id);
+      contracted = z_level
+          ? contract_z(*z0, phase_community, &new_id)
+          : graph::contract_reference(current, phase_community, &new_id);
     }
     report.aggregate_seconds = agg_timer.seconds();
     result.levels.push_back(report);
@@ -220,7 +377,7 @@ LouvainResult run_impl(const Csr& graph, const Config& config,
       rec->count("level/arcs", static_cast<double>(report.arcs));
     }
 
-    const bool shrunk = contracted.num_vertices() < current.num_vertices();
+    const bool shrunk = contracted.num_vertices() < report.vertices;
     prev_q = q;
     current = std::move(contracted);
     if (converged || !shrunk) break;
@@ -237,13 +394,19 @@ LouvainResult run_impl(const Csr& graph, const Config& config,
 int optimize_phase(const Csr& graph, std::vector<Community>& community,
                    double threshold, int max_sweeps, double* final_modularity,
                    obs::Recorder* rec) {
-  return phase_impl(graph, community, threshold, max_sweeps, final_modularity,
+  PlainSource src{graph};
+  return phase_impl(src, community, threshold, max_sweeps, final_modularity,
                     rec, {}, {});
 }
 
 LouvainResult louvain(const Csr& graph, const Config& config,
                       obs::Recorder* rec) {
-  return run_impl(graph, config, rec, {}, {});
+  return run_impl(&graph, nullptr, config, rec, {}, {});
+}
+
+LouvainResult louvain_z(const zg::ZCsr& z, const Config& config,
+                        obs::Recorder* rec) {
+  return run_impl(nullptr, &z, config, rec, {}, {});
 }
 
 LouvainResult louvain_warm(const Csr& graph, std::span<const Community> seed,
@@ -262,7 +425,7 @@ LouvainResult louvain_warm(const Csr& graph, std::span<const Community> seed,
       throw std::invalid_argument("louvain_warm: active vertex out of range");
     }
   }
-  return run_impl(graph, config, rec, seed, active);
+  return run_impl(&graph, nullptr, config, rec, seed, active);
 }
 
 }  // namespace glouvain::seq

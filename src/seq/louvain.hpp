@@ -11,6 +11,7 @@
 #include "core/common.hpp"
 #include "detect/options.hpp"
 #include "graph/csr.hpp"
+#include "zg/zcsr.hpp"
 
 namespace glouvain::obs {
 class Recorder;
@@ -29,6 +30,14 @@ struct Config : detect::Options {
 /// "modopt"/"aggregate" spans comparable with the core backend's.
 LouvainResult louvain(const graph::Csr& graph, const Config& config = {},
                       obs::Recorder* recorder = nullptr);
+
+/// Compressed-storage run: level 0 streams neighbour rows from the
+/// varint-encoded `z` through a sequential decode cursor instead of a
+/// plain Csr; the (much smaller) contracted levels run plain as usual.
+/// Partitions are bitwise-identical to louvain() on the graph `z`
+/// encodes.
+LouvainResult louvain_z(const zg::ZCsr& z, const Config& config = {},
+                        obs::Recorder* recorder = nullptr);
 
 /// Warm-start run (the dynamic-graph path): level 0 starts from `seed`
 /// (one label < num_vertices per vertex, need not be dense) and sweeps

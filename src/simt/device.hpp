@@ -93,6 +93,19 @@ class Device {
     check::close_launch(epoch);
   }
 
+  /// for_each that also hands the body its worker id — for elementwise
+  /// kernels that index per-worker state (decode buffers, partial
+  /// sums). Same checker bookkeeping as for_each. fn(i, worker).
+  template <typename F>
+  void for_each_worker(std::size_t n, F&& fn) {
+    const std::uint64_t epoch = check::open_launch(n);
+    pool_->parallel_for(n, [epoch, &fn](std::size_t i, unsigned w) {
+      check::TaskScope task_scope(epoch, i);
+      fn(i, w);
+    });
+    check::close_launch(epoch);
+  }
+
   /// Shared-memory spill diagnostics, summed over workers.
   std::uint64_t total_spills() const noexcept {
     std::uint64_t s = 0;

@@ -77,6 +77,10 @@ Fingerprint job_key(const Fingerprint& graph_fp, std::string_view backend,
   b.absorb(options.thresholds.adaptive ? 1 : 2);
   a.absorb(static_cast<std::uint64_t>(options.max_levels));
   b.absorb(static_cast<std::uint64_t>(options.max_sweeps_per_level));
+  // Results are bitwise-identical across storage modes, but the memory
+  // and timing profile is not — keep the cached spans honest.
+  a.absorb(static_cast<std::uint64_t>(options.storage) + 1);
+  b.absorb(static_cast<std::uint64_t>(options.storage) * 0x9e3779b97f4a7c15ULL);
 
   a.absorb(session);
   b.absorb(session + 0x2545f4914f6cdd1dULL);

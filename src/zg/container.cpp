@@ -1,0 +1,293 @@
+#include "zg/container.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#if __has_include(<sys/mman.h>)
+#define GLOUVAIN_ZG_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define GLOUVAIN_ZG_HAVE_MMAP 0
+#endif
+
+namespace glouvain::zg {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'L', 'Z', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t n;
+  std::uint64_t arcs;
+  std::uint64_t loops;
+  double total_weight;
+  std::uint8_t weight_mode;
+  std::uint8_t reserved[3];
+  std::uint32_t skip_interval;
+  std::uint64_t skip_count;
+  std::uint64_t stream_bytes;
+};
+static_assert(sizeof(Header) == 64, "GLZG header must pack to 64 bytes");
+
+constexpr std::size_t align8(std::size_t x) noexcept {
+  return (x + 7) & ~std::size_t{7};
+}
+
+std::size_t degrees_offset(const Header& h) noexcept {
+  return sizeof(Header) + h.skip_count * sizeof(std::uint64_t);
+}
+
+std::size_t stream_offset(const Header& h) noexcept {
+  return align8(degrees_offset(h) + h.n * sizeof(std::uint32_t));
+}
+
+std::string msg(const std::string& path, const std::string& what) {
+  return path + ": " + what;
+}
+
+/// Validate a header against the actual file size and build the span
+/// view over `base` (the whole file image). Every length is checked
+/// before any span is formed: a truncated or corrupt container must
+/// not produce out-of-bounds spans.
+util::StatusOr<ZCsr> make_view(const std::string& path,
+                               const std::uint8_t* base, std::size_t size) {
+  if (size < sizeof(Header)) {
+    return util::Status::invalid_argument(
+        msg(path, "not a GLZG container (file shorter than header)"));
+  }
+  Header h;
+  std::memcpy(&h, base, sizeof h);
+  if (std::memcmp(h.magic, kMagic, sizeof kMagic) != 0) {
+    return util::Status::invalid_argument(
+        msg(path, "not a GLZG container (bad magic)"));
+  }
+  if (h.version != kVersion) {
+    return util::Status::invalid_argument(
+        msg(path, "unsupported GLZG version " + std::to_string(h.version)));
+  }
+  if (h.weight_mode > static_cast<std::uint8_t>(WeightMode::kRaw)) {
+    return util::Status::invalid_argument(
+        msg(path, "unknown weight mode " + std::to_string(h.weight_mode)));
+  }
+  if (h.skip_interval != ZCsr::kSkipInterval) {
+    return util::Status::invalid_argument(
+        msg(path, "unsupported skip interval " +
+                      std::to_string(h.skip_interval)));
+  }
+  // VertexId is 32-bit with the top value reserved as the invalid
+  // sentinel: refuse anything that would narrow (see graph/io's
+  // matching guard for plain binary graphs).
+  if (h.n >= graph::kInvalidVertex) {
+    return util::Status::invalid_argument(
+        msg(path, "vertex count " + std::to_string(h.n) +
+                      " exceeds the 32-bit vertex-id space"));
+  }
+  const std::uint64_t expected_skips =
+      h.n == 0 ? 0 : (h.n - 1) / ZCsr::kSkipInterval + 1;
+  if (h.skip_count != expected_skips) {
+    return util::Status::invalid_argument(
+        msg(path, "skip-index count mismatch"));
+  }
+  // Section extents, computed in 64-bit with overflow guards.
+  if (h.skip_count > size / sizeof(std::uint64_t) ||
+      h.n > size / sizeof(std::uint32_t)) {
+    return util::Status::invalid_argument(
+        msg(path, "section lengths exceed file size"));
+  }
+  const std::size_t stream_at =
+      stream_offset(h);
+  if (stream_at > size || h.stream_bytes > size - stream_at) {
+    return util::Status::invalid_argument(
+        msg(path, "truncated container (stream section out of bounds)"));
+  }
+
+  const auto* skip =
+      reinterpret_cast<const std::uint64_t*>(base + sizeof(Header));
+  const auto* degrees =
+      reinterpret_cast<const std::uint32_t*>(base + degrees_offset(h));
+  const std::uint8_t* stream = base + stream_at;
+
+  std::uint64_t degree_sum = 0;
+  for (std::uint64_t v = 0; v < h.n; ++v) degree_sum += degrees[v];
+  if (degree_sum != h.arcs) {
+    return util::Status::invalid_argument(
+        msg(path, "degree sum disagrees with arc count"));
+  }
+  for (std::uint64_t s = 0; s < h.skip_count; ++s) {
+    if (skip[s] > h.stream_bytes) {
+      return util::Status::invalid_argument(
+          msg(path, "skip-index offset out of bounds"));
+    }
+  }
+
+  return ZCsr::view(static_cast<graph::VertexId>(h.n), h.arcs, h.loops,
+                    h.total_weight, static_cast<WeightMode>(h.weight_mode),
+                    {degrees, static_cast<std::size_t>(h.n)},
+                    {skip, static_cast<std::size_t>(h.skip_count)},
+                    {stream, static_cast<std::size_t>(h.stream_bytes)});
+}
+
+}  // namespace
+
+util::Status save(const ZCsr& z, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::io_error(msg(path, "cannot open for writing"));
+  }
+
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof kMagic);
+  h.version = kVersion;
+  h.n = z.num_vertices();
+  h.arcs = z.num_arcs();
+  h.loops = z.num_loops();
+  h.total_weight = z.total_weight();
+  h.weight_mode = static_cast<std::uint8_t>(z.weight_mode());
+  h.skip_interval = ZCsr::kSkipInterval;
+  h.skip_count = z.skip().size();
+  h.stream_bytes = z.stream().size();
+
+  out.write(reinterpret_cast<const char*>(&h), sizeof h);
+  out.write(reinterpret_cast<const char*>(z.skip().data()),
+            static_cast<std::streamsize>(z.skip().size_bytes()));
+  out.write(reinterpret_cast<const char*>(z.degrees().data()),
+            static_cast<std::streamsize>(z.degrees().size_bytes()));
+  const std::size_t pad =
+      stream_offset(h) - (degrees_offset(h) + z.degrees().size_bytes());
+  const char zeros[8] = {};
+  out.write(zeros, static_cast<std::streamsize>(pad));
+  out.write(reinterpret_cast<const char*>(z.stream().data()),
+            static_cast<std::streamsize>(z.stream().size()));
+  out.flush();
+  if (!out) {
+    return util::Status::io_error(msg(path, "write failed"));
+  }
+  return util::Status::ok_status();
+}
+
+util::StatusOr<ZCsr> load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return util::Status::not_found(msg(path, "cannot open"));
+  }
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> image(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(image.data()),
+            static_cast<std::streamsize>(size));
+  }
+  if (!in) {
+    return util::Status::io_error(msg(path, "read failed"));
+  }
+  auto view = make_view(path, image.data(), size);
+  if (!view.ok()) return view.status();
+  // Copy the validated sections out of the transient file image into
+  // an owning ZCsr.
+  const ZCsr& z = view.value();
+  return ZCsr::own(
+      z.num_vertices(), z.num_arcs(), z.num_loops(), z.total_weight(),
+      z.weight_mode(),
+      std::vector<std::uint32_t>(z.degrees().begin(), z.degrees().end()),
+      std::vector<std::uint64_t>(z.skip().begin(), z.skip().end()),
+      std::vector<std::uint8_t>(z.stream().begin(), z.stream().end()));
+}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& o) noexcept {
+  if (this == &o) return *this;
+  this->~MappedGraph();
+  view_ = std::move(o.view_);
+  addr_ = o.addr_;
+  len_ = o.len_;
+  fd_ = o.fd_;
+  // A fallback view's spans point into fallback_'s heap buffer, which
+  // the vector move preserves — no re-anchoring needed.
+  fallback_ = std::move(o.fallback_);
+  o.addr_ = nullptr;
+  o.len_ = 0;
+  o.fd_ = -1;
+  return *this;
+}
+
+MappedGraph::~MappedGraph() {
+#if GLOUVAIN_ZG_HAVE_MMAP
+  if (addr_ != nullptr) ::munmap(addr_, len_);
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  addr_ = nullptr;
+  fd_ = -1;
+}
+
+util::StatusOr<MappedGraph> MappedGraph::open(const std::string& path) {
+#if GLOUVAIN_ZG_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::Status::not_found(msg(path, "cannot open"));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::io_error(msg(path, "fstat failed"));
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return util::Status::invalid_argument(msg(path, "empty file"));
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (addr == MAP_FAILED) {
+    ::close(fd);
+    return util::Status::io_error(
+        msg(path, std::string("mmap failed: ") + std::strerror(errno)));
+  }
+  // The row stream is consumed front-to-back by the level-0 kernels:
+  // tell the pager so readahead runs ahead of the decode cursors.
+  ::madvise(addr, size, MADV_SEQUENTIAL);
+  ::madvise(addr, size, MADV_WILLNEED);
+
+  auto view = make_view(path, static_cast<const std::uint8_t*>(addr), size);
+  if (!view.ok()) {
+    ::munmap(addr, size);
+    ::close(fd);
+    return view.status();
+  }
+  MappedGraph g;
+  g.view_ = std::move(view).value();
+  g.addr_ = addr;
+  g.len_ = size;
+  g.fd_ = fd;
+  return g;
+#else
+  // No mmap on this platform: buffered read, same validation.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return util::Status::not_found(msg(path, "cannot open"));
+  }
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  MappedGraph g;
+  g.fallback_.resize(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(g.fallback_.data()),
+            static_cast<std::streamsize>(size));
+  }
+  if (!in) {
+    return util::Status::io_error(msg(path, "read failed"));
+  }
+  g.len_ = size;
+  auto view = make_view(path, g.fallback_.data(), size);
+  if (!view.ok()) return view.status();
+  g.view_ = std::move(view).value();
+  return g;
+#endif
+}
+
+}  // namespace glouvain::zg

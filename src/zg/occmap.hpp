@@ -1,0 +1,155 @@
+// Bit-packed-occupancy variant of the task-local community hash table
+// (core::LocalCommunityHashMap). Emptiness lives in a separate bitmap
+// — one bit per slot, 32 slots per uint32 occupancy word (the Lumen
+// HashMapEntry idiom) — instead of a kNull sentinel in the key array.
+// Two wins for the memory-bound regime this subsystem targets:
+//   * clear() touches cap/32 words instead of cap key slots, so the
+//     per-vertex table reset stops rivalling the probe work itself on
+//     low-degree vertices;
+//   * the key array needs no sentinel, so a future narrower key type
+//     keeps its full value range.
+// The probe sequence (double hashing over a prime capacity, fastmod
+// seeds from util::HashTableParams, conditional-subtract advance) is
+// IDENTICAL to BasicCommunityHashMap — same slots visited in the same
+// order, so accumulation order and therefore every downstream float
+// is bitwise-unchanged when modopt swaps layouts.
+//
+// Task-local only: a lane group runs inside one OS thread (see the
+// atomicity policy note in core/hash_map.hpp), and claim tracking is
+// per-caller state. key_at() returns kNull for unoccupied slots, so
+// scan loops written against the sentinel layout work unchanged.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "check/check.hpp"
+#include "core/hash_map.hpp"
+#include "graph/types.hpp"
+#include "util/primes.hpp"
+
+namespace glouvain::zg {
+
+class OccCommunityHashMap {
+ public:
+  static constexpr graph::Community kNull = graph::kInvalidCommunity;
+
+  /// Occupancy words needed for a table of `capacity` slots.
+  static constexpr std::size_t occ_words(std::size_t capacity) noexcept {
+    return (capacity + 31) / 32;
+  }
+
+  /// Spans come from the arena like the sentinel table's; `occ` must
+  /// hold occ_words(keys.size()) words. `params` must describe
+  /// capacity == keys.size() (prime, > 1).
+  OccCommunityHashMap(std::span<graph::Community> keys,
+                      std::span<graph::Weight> weights,
+                      std::span<std::uint32_t> occ,
+                      const util::HashTableParams& params) noexcept
+      : keys_(keys),
+        weights_(weights),
+        occ_(occ),
+        cap_(params.capacity),
+        mod_cap_(params.magic_capacity, params.capacity),
+        mod_cap_minus1_(params.magic_capacity_minus1, params.capacity - 1) {
+    assert(keys_.size() == weights_.size());
+    assert(keys_.size() == params.capacity);
+    assert(occ_.size() >= occ_words(keys_.size()));
+    assert(params.capacity > 1);
+  }
+
+  /// Reset: zero the occupancy words only — cap/32 stores versus the
+  /// sentinel layout's cap. Keys/weights become logically
+  /// uninitialized; the note_init calls tell the race checker so
+  /// (they compile to nothing outside GLOUVAIN_SIMTCHECK builds).
+  void clear() noexcept {
+    const std::size_t words = occ_words(cap_);
+    for (std::size_t i = 0; i < words; ++i) {
+      check::note_init(&occ_[i]);
+      occ_[i] = 0;
+    }
+    for (std::uint32_t i = 0; i < cap_; ++i) {
+      check::note_init(&keys_[i]);
+      check::note_init(&weights_[i]);
+    }
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  std::size_t insert_add(graph::Community c, graph::Weight w) noexcept {
+    bool claimed;
+    return insert_add_claim(c, w, claimed);
+  }
+
+  /// Same contract as the sentinel table's insert_add_claim: accumulate
+  /// w onto c's slot, reporting whether this call claimed a fresh slot.
+  std::size_t insert_add_claim(graph::Community c, graph::Weight w,
+                               bool& claimed) noexcept {
+    claimed = false;
+    std::uint32_t pos = mod_cap_.mod(c);
+    const std::uint32_t step = 1 + mod_cap_minus1_.mod(c);
+    for (;;) {
+      check::note_plain_read(&occ_[pos >> 5]);
+      if ((occ_[pos >> 5] & (1u << (pos & 31))) == 0) {
+        check::note_plain_claim(&keys_[pos]);
+        check::note_plain_write(&occ_[pos >> 5]);
+        occ_[pos >> 5] |= 1u << (pos & 31);
+        keys_[pos] = c;
+        check::note_plain_write(&weights_[pos]);
+        weights_[pos] = w;
+        claimed = true;
+        return pos;
+      }
+      check::note_plain_read(&keys_[pos]);
+      if (keys_[pos] == c) {
+        check::note_plain_write(&weights_[pos]);
+        weights_[pos] += w;
+        return pos;
+      }
+      pos += step;
+      if (pos >= cap_) pos -= cap_;
+    }
+  }
+
+  graph::Weight lookup(graph::Community c) const noexcept {
+    std::uint32_t pos = mod_cap_.mod(c);
+    const std::uint32_t step = 1 + mod_cap_minus1_.mod(c);
+    for (std::uint32_t it = 0; it < cap_; ++it) {
+      check::note_plain_read(&occ_[pos >> 5]);
+      if ((occ_[pos >> 5] & (1u << (pos & 31))) == 0) return 0;
+      check::note_plain_read(&keys_[pos]);
+      if (keys_[pos] == c) return weights_[pos];
+      pos += step;
+      if (pos >= cap_) pos -= cap_;
+    }
+    return 0;
+  }
+
+  /// kNull for unoccupied slots — sentinel-compatible scans need no
+  /// layout awareness.
+  graph::Community key_at(std::size_t pos) const noexcept {
+    check::note_plain_read(&occ_[pos >> 5]);
+    if ((occ_[pos >> 5] & (1u << (pos & 31))) == 0) return kNull;
+    check::note_plain_read(&keys_[pos]);
+    return keys_[pos];
+  }
+  graph::Weight weight_at(std::size_t pos) const noexcept {
+    check::note_plain_read(&weights_[pos]);
+    return weights_[pos];
+  }
+  bool occupied(std::size_t pos) const noexcept {
+    check::note_plain_read(&occ_[pos >> 5]);
+    return (occ_[pos >> 5] & (1u << (pos & 31))) != 0;
+  }
+
+ private:
+  std::span<graph::Community> keys_;
+  std::span<graph::Weight> weights_;
+  std::span<std::uint32_t> occ_;
+  std::uint32_t cap_;
+  core::FastMod mod_cap_;
+  core::FastMod mod_cap_minus1_;
+};
+
+}  // namespace glouvain::zg

@@ -1,0 +1,69 @@
+// Byte-aligned LEB128 varints plus zigzag signed mapping — the codec
+// underneath zg::ZCsr's delta-encoded adjacency streams. Values are
+// emitted little-endian, 7 payload bits per byte, high bit = continue;
+// a uint64 therefore takes at most 10 bytes. Header-only and branch-
+// light so decode cursors inline into the kernels that iterate rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace glouvain::zg {
+
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Zigzag-map a signed delta onto an unsigned varint-friendly value:
+/// 0,-1,1,-2,2,... -> 0,1,2,3,4,... Small magnitudes of either sign
+/// stay small, so near-sorted adjacency deltas encode in one byte.
+inline std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t u) noexcept {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+/// Append `value` to `out` as LEB128; returns the number of bytes
+/// written (1..kMaxVarintBytes).
+inline std::size_t varint_append(std::vector<std::uint8_t>& out,
+                                 std::uint64_t value) {
+  std::size_t n = 0;
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+    ++n;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+  return n + 1;
+}
+
+/// Decode one varint starting at `p`; advances `p` past it. The caller
+/// guarantees the stream is well formed (encoded by varint_append), so
+/// no bounds parameter: corrupt streams are caught at container load
+/// by the section checksums/lengths, not per-read.
+inline std::uint64_t varint_read(const std::uint8_t*& p) noexcept {
+  std::uint64_t value = *p & 0x7F;
+  if ((*p++ & 0x80) == 0) return value;  // 1-byte fast path
+  unsigned shift = 7;
+  for (;;) {
+    const std::uint8_t byte = *p++;
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+/// Number of bytes varint_append would emit for `value`.
+inline std::size_t varint_size(std::uint64_t value) noexcept {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace glouvain::zg

@@ -1,0 +1,145 @@
+#include "zg/zcsr.hpp"
+
+#include <cmath>
+
+namespace glouvain::zg {
+
+namespace {
+
+/// 2^53: the largest magnitude at which every integer is exactly
+/// representable as a double, i.e. the ceiling for the lossless
+/// uint64 <-> double round-trip of WeightMode::kIntegralVarint.
+constexpr double kMaxExactIntegral = 9007199254740992.0;
+
+WeightMode pick_weight_mode(std::span<const graph::Weight> weights) {
+  WeightMode mode = WeightMode::kUniform;
+  for (const graph::Weight w : weights) {
+    if (w == 1.0) continue;
+    if (w >= 0.0 && w <= kMaxExactIntegral &&
+        static_cast<double>(static_cast<std::uint64_t>(w)) == w) {
+      mode = WeightMode::kIntegralVarint;
+      continue;
+    }
+    return WeightMode::kRaw;
+  }
+  return mode;
+}
+
+}  // namespace
+
+ZCsr ZCsr::encode(const graph::Csr& g) {
+  ZCsr z;
+  z.n_ = g.num_vertices();
+  z.arcs_ = g.num_arcs();
+  z.loops_ = g.num_loops();
+  z.total_weight_ = g.total_weight();
+  z.mode_ = pick_weight_mode(g.edge_weights());
+
+  const graph::VertexId n = z.n_;
+  z.owned_degrees_.resize(n);
+  z.owned_skip_.resize(n == 0 ? 0 : (n - 1) / kSkipInterval + 1);
+  // Unweighted graphs land near 1 byte/arc; leave headroom for the
+  // row prefixes and first-neighbour deltas.
+  z.owned_stream_.reserve(static_cast<std::size_t>(z.arcs_) +
+                          static_cast<std::size_t>(n) * 2);
+
+  std::vector<std::uint8_t> row;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (v % kSkipInterval == 0) {
+      z.owned_skip_[v / kSkipInterval] = z.owned_stream_.size();
+    }
+    const auto adj = g.neighbors(v);
+    const auto w = g.weights(v);
+    const auto deg = static_cast<std::uint32_t>(adj.size());
+    z.owned_degrees_[v] = deg;
+    if (deg > z.max_degree_) z.max_degree_ = deg;
+
+    row.clear();
+    if (deg > 0) {
+      varint_append(row, zigzag_encode(static_cast<std::int64_t>(adj[0]) -
+                                       static_cast<std::int64_t>(v)));
+      for (std::uint32_t i = 1; i < deg; ++i) {
+        varint_append(row, zigzag_encode(static_cast<std::int64_t>(adj[i]) -
+                                         static_cast<std::int64_t>(adj[i - 1])));
+      }
+      switch (z.mode_) {
+        case WeightMode::kUniform:
+          break;
+        case WeightMode::kIntegralVarint:
+          for (const graph::Weight x : w) {
+            varint_append(row, static_cast<std::uint64_t>(x));
+          }
+          break;
+        case WeightMode::kRaw: {
+          const std::size_t at = row.size();
+          row.resize(at + deg * sizeof(graph::Weight));
+          std::memcpy(row.data() + at, w.data(), deg * sizeof(graph::Weight));
+          break;
+        }
+      }
+    }
+    varint_append(z.owned_stream_, row.size());
+    z.owned_stream_.insert(z.owned_stream_.end(), row.begin(), row.end());
+  }
+
+  z.adopt_owned();
+  return z;
+}
+
+ZCsr ZCsr::view(graph::VertexId n, graph::EdgeIdx arcs, graph::EdgeIdx loops,
+                graph::Weight total_weight, WeightMode mode,
+                std::span<const std::uint32_t> degrees,
+                std::span<const std::uint64_t> skip,
+                std::span<const std::uint8_t> stream) {
+  ZCsr z;
+  z.n_ = n;
+  z.arcs_ = arcs;
+  z.loops_ = loops;
+  z.total_weight_ = total_weight;
+  z.mode_ = mode;
+  z.degrees_ = degrees;
+  z.skip_ = skip;
+  z.stream_ = stream;
+  for (const std::uint32_t d : degrees) {
+    if (d > z.max_degree_) z.max_degree_ = d;
+  }
+  return z;
+}
+
+ZCsr ZCsr::own(graph::VertexId n, graph::EdgeIdx arcs, graph::EdgeIdx loops,
+               graph::Weight total_weight, WeightMode mode,
+               std::vector<std::uint32_t> degrees,
+               std::vector<std::uint64_t> skip,
+               std::vector<std::uint8_t> stream) {
+  ZCsr z;
+  z.n_ = n;
+  z.arcs_ = arcs;
+  z.loops_ = loops;
+  z.total_weight_ = total_weight;
+  z.mode_ = mode;
+  z.owned_degrees_ = std::move(degrees);
+  z.owned_skip_ = std::move(skip);
+  z.owned_stream_ = std::move(stream);
+  z.adopt_owned();
+  for (const std::uint32_t d : z.degrees_) {
+    if (d > z.max_degree_) z.max_degree_ = d;
+  }
+  return z;
+}
+
+graph::Csr ZCsr::decode_all() const {
+  std::vector<graph::EdgeIdx> offsets(static_cast<std::size_t>(n_) + 1);
+  offsets[0] = 0;
+  for (graph::VertexId v = 0; v < n_; ++v) {
+    offsets[v + 1] = offsets[v] + degrees_[v];
+  }
+  std::vector<graph::VertexId> adj(arcs_);
+  std::vector<graph::Weight> weights(arcs_);
+  Cursor c = cursor();
+  for (graph::VertexId v = 0; v < n_; ++v) {
+    c.decode_into(adj.data() + offsets[v], weights.data() + offsets[v]);
+  }
+  return graph::Csr(std::move(offsets), std::move(adj), std::move(weights));
+}
+
+}  // namespace glouvain::zg

@@ -1,0 +1,261 @@
+// Delta/varint-compressed CSR — the in-memory form of the zg storage
+// layer. The adjacency of a Csr (rows already sorted ascending, the
+// validate() invariant) compresses as one byte stream:
+//
+//   row(v) = [row_bytes varint]                  // bytes after prefix
+//            [zigzag(adj[0] - v)      varint]    // first neighbour
+//            [zigzag(adj[i]-adj[i-1]) varint]*   // remaining deltas
+//            [weights, per WeightMode]
+//
+// Degrees live in a separate uncompressed uint32 array (kernels bin
+// vertices by degree in O(1)), and a skip index records the absolute
+// stream offset of every kSkipInterval-th row so random access costs
+// at most kSkipInterval-1 prefix hops. Weights use the cheapest mode
+// that round-trips bitwise: kUniform (all 1.0 — zero bytes, the
+// unweighted-input case), kIntegralVarint (non-negative integral
+// doubles ≤ 2^53, exact in a uint64 — aggregated levels of unweighted
+// graphs), or kRaw (little-endian double images).
+//
+// A ZCsr either owns its arrays (encode()) or is a view over spans
+// into an open container mapping (zg::MappedGraph) — same read API,
+// so kernels are oblivious to residency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "zg/varint.hpp"
+
+namespace glouvain::zg {
+
+enum class WeightMode : std::uint8_t {
+  kUniform = 0,        ///< every weight is exactly 1.0; zero bytes
+  kIntegralVarint = 1, ///< non-negative integral doubles as varints
+  kRaw = 2,            ///< 8-byte little-endian double images
+};
+
+inline const char* to_string(WeightMode mode) noexcept {
+  switch (mode) {
+    case WeightMode::kUniform: return "uniform";
+    case WeightMode::kIntegralVarint: return "integral";
+    case WeightMode::kRaw: return "raw";
+  }
+  return "?";
+}
+
+class ZCsr {
+ public:
+  /// Skip-index sampling stride: one absolute offset per this many
+  /// rows. 64 keeps the index at ~1/8 bit per adjacency byte while a
+  /// cold random access skips at most 63 row prefixes.
+  static constexpr std::uint32_t kSkipInterval = 64;
+
+  ZCsr() = default;
+
+  /// Compress `g`. The encoding is total: any valid Csr round-trips
+  /// bitwise (weights included) through decode_all().
+  static ZCsr encode(const graph::Csr& g);
+
+  /// Wrap externally owned sections (the mmap path). Spans must
+  /// outlive the view; no copies are made.
+  static ZCsr view(graph::VertexId n, graph::EdgeIdx arcs,
+                   graph::EdgeIdx loops, graph::Weight total_weight,
+                   WeightMode mode, std::span<const std::uint32_t> degrees,
+                   std::span<const std::uint64_t> skip,
+                   std::span<const std::uint8_t> stream);
+
+  /// Adopt already-validated sections (the container load path).
+  static ZCsr own(graph::VertexId n, graph::EdgeIdx arcs,
+                  graph::EdgeIdx loops, graph::Weight total_weight,
+                  WeightMode mode, std::vector<std::uint32_t> degrees,
+                  std::vector<std::uint64_t> skip,
+                  std::vector<std::uint8_t> stream);
+
+  graph::VertexId num_vertices() const noexcept { return n_; }
+  graph::EdgeIdx num_arcs() const noexcept { return arcs_; }
+  graph::EdgeIdx num_edges() const noexcept { return (arcs_ + loops_) / 2; }
+  graph::EdgeIdx num_loops() const noexcept { return loops_; }
+  /// The modularity denominator "2m", copied bitwise from the source
+  /// Csr so z-path runs share the plain path's arithmetic exactly.
+  graph::Weight total_weight() const noexcept { return total_weight_; }
+  WeightMode weight_mode() const noexcept { return mode_; }
+
+  std::uint32_t degree(graph::VertexId v) const noexcept {
+    return degrees_[v];
+  }
+  std::uint32_t max_degree() const noexcept { return max_degree_; }
+
+  /// Sequential row reader. Decode order is the row's storage order,
+  /// so weight sums match plain-CSR row iteration bitwise.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    /// Row the cursor is positioned at (== num_vertices() at end).
+    graph::VertexId vertex() const noexcept { return v_; }
+
+    /// Decode the current row into caller buffers (each must hold
+    /// degree(vertex()) entries; `weights` may be null to skip the
+    /// weight section) and advance to the next row.
+    void decode_into(graph::VertexId* adj, graph::Weight* weights) noexcept {
+      const std::uint32_t deg = z_->degrees_[v_];
+      varint_read(p_);  // row_bytes prefix
+      if (deg > 0) {
+        std::int64_t prev = static_cast<std::int64_t>(v_) +
+                            zigzag_decode(varint_read(p_));
+        adj[0] = static_cast<graph::VertexId>(prev);
+        for (std::uint32_t i = 1; i < deg; ++i) {
+          prev += zigzag_decode(varint_read(p_));
+          adj[i] = static_cast<graph::VertexId>(prev);
+        }
+        switch (z_->mode_) {
+          case WeightMode::kUniform:
+            if (weights != nullptr) {
+              for (std::uint32_t i = 0; i < deg; ++i) weights[i] = 1.0;
+            }
+            break;
+          case WeightMode::kIntegralVarint:
+            if (weights != nullptr) {
+              for (std::uint32_t i = 0; i < deg; ++i) {
+                weights[i] = static_cast<graph::Weight>(varint_read(p_));
+              }
+            } else {
+              for (std::uint32_t i = 0; i < deg; ++i) varint_read(p_);
+            }
+            break;
+          case WeightMode::kRaw:
+            if (weights != nullptr) {
+              std::memcpy(weights, p_, deg * sizeof(graph::Weight));
+            }
+            p_ += deg * sizeof(graph::Weight);
+            break;
+        }
+      }
+      ++v_;
+    }
+
+    /// Advance past the current row without decoding it.
+    void skip_row() noexcept {
+      const std::uint64_t row_bytes = varint_read(p_);
+      p_ += row_bytes;
+      ++v_;
+    }
+
+   private:
+    friend class ZCsr;
+    Cursor(const ZCsr* z, const std::uint8_t* p, graph::VertexId v) noexcept
+        : z_(z), p_(p), v_(v) {}
+
+    const ZCsr* z_ = nullptr;
+    const std::uint8_t* p_ = nullptr;
+    graph::VertexId v_ = 0;
+  };
+
+  Cursor cursor() const noexcept { return {this, stream_.data(), 0}; }
+
+  /// Position a cursor at row `v`: jump to the nearest skip-index
+  /// sample at or below v, then hop row prefixes.
+  Cursor cursor_at(graph::VertexId v) const noexcept {
+    const std::size_t sample = v / kSkipInterval;
+    Cursor c{this, stream_.data() + skip_[sample],
+             static_cast<graph::VertexId>(sample * kSkipInterval)};
+    while (c.vertex() < v) c.skip_row();
+    return c;
+  }
+
+  /// Random-access decode of one row (see Cursor::decode_into).
+  void decode_row(graph::VertexId v, graph::VertexId* adj,
+                  graph::Weight* weights) const noexcept {
+    Cursor c = cursor_at(v);
+    c.decode_into(adj, weights);
+  }
+
+  /// Reconstruct the plain Csr (bitwise-equal to the encode() input).
+  graph::Csr decode_all() const;
+
+  /// Compressed adjacency+weight stream bytes.
+  std::size_t bytes_stream() const noexcept { return stream_.size(); }
+  /// Side-table bytes: skip index + degree array.
+  std::size_t bytes_index() const noexcept {
+    return skip_.size() * sizeof(std::uint64_t) +
+           degrees_.size() * sizeof(std::uint32_t);
+  }
+  /// What the plain Csr spends on the same data (offsets + adjacency
+  /// + weights), for the compression-ratio counters.
+  std::size_t plain_bytes() const noexcept {
+    return (static_cast<std::size_t>(n_) + 1) * sizeof(graph::EdgeIdx) +
+           static_cast<std::size_t>(arcs_) *
+               (sizeof(graph::VertexId) + sizeof(graph::Weight));
+  }
+
+  // Raw sections, for the container writer.
+  std::span<const std::uint32_t> degrees() const noexcept { return degrees_; }
+  std::span<const std::uint64_t> skip() const noexcept { return skip_; }
+  std::span<const std::uint8_t> stream() const noexcept { return stream_; }
+
+ private:
+  graph::VertexId n_ = 0;
+  graph::EdgeIdx arcs_ = 0;
+  graph::EdgeIdx loops_ = 0;
+  graph::Weight total_weight_ = 0;
+  WeightMode mode_ = WeightMode::kUniform;
+  std::uint32_t max_degree_ = 0;
+
+  // Views over either the owned_* vectors or an external mapping.
+  std::span<const std::uint32_t> degrees_;
+  std::span<const std::uint64_t> skip_;
+  std::span<const std::uint8_t> stream_;
+
+  std::vector<std::uint32_t> owned_degrees_;
+  std::vector<std::uint64_t> owned_skip_;
+  std::vector<std::uint8_t> owned_stream_;
+
+  void adopt_owned() noexcept {
+    degrees_ = owned_degrees_;
+    skip_ = owned_skip_;
+    stream_ = owned_stream_;
+  }
+
+ public:
+  // Spans point into the owned vectors: moves must re-anchor them.
+  ZCsr(const ZCsr& o)
+      : n_(o.n_), arcs_(o.arcs_), loops_(o.loops_),
+        total_weight_(o.total_weight_), mode_(o.mode_),
+        max_degree_(o.max_degree_), degrees_(o.degrees_), skip_(o.skip_),
+        stream_(o.stream_), owned_degrees_(o.owned_degrees_),
+        owned_skip_(o.owned_skip_), owned_stream_(o.owned_stream_) {
+    if (!o.owned_stream_.empty() || !o.owned_degrees_.empty()) adopt_owned();
+  }
+  ZCsr& operator=(const ZCsr& o) {
+    if (this != &o) { ZCsr tmp(o); *this = std::move(tmp); }
+    return *this;
+  }
+  ZCsr(ZCsr&& o) noexcept
+      : n_(o.n_), arcs_(o.arcs_), loops_(o.loops_),
+        total_weight_(o.total_weight_), mode_(o.mode_),
+        max_degree_(o.max_degree_), degrees_(o.degrees_), skip_(o.skip_),
+        stream_(o.stream_), owned_degrees_(std::move(o.owned_degrees_)),
+        owned_skip_(std::move(o.owned_skip_)),
+        owned_stream_(std::move(o.owned_stream_)) {
+    if (!owned_stream_.empty() || !owned_degrees_.empty()) adopt_owned();
+  }
+  ZCsr& operator=(ZCsr&& o) noexcept {
+    n_ = o.n_; arcs_ = o.arcs_; loops_ = o.loops_;
+    total_weight_ = o.total_weight_; mode_ = o.mode_;
+    max_degree_ = o.max_degree_;
+    degrees_ = o.degrees_; skip_ = o.skip_; stream_ = o.stream_;
+    owned_degrees_ = std::move(o.owned_degrees_);
+    owned_skip_ = std::move(o.owned_skip_);
+    owned_stream_ = std::move(o.owned_stream_);
+    if (!owned_stream_.empty() || !owned_degrees_.empty()) adopt_owned();
+    return *this;
+  }
+  ~ZCsr() = default;
+};
+
+}  // namespace glouvain::zg

@@ -2,6 +2,7 @@
 // canonicalization, file IO round-trips, graph operations.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -284,6 +285,60 @@ TEST_F(IoRoundTrip, BadMagicThrows) {
   out << "NOTMAGIC overlong";
   out.close();
   EXPECT_THROW(load_binary(path("bad.bin")), std::runtime_error);
+}
+
+void expect_vertex_overflow(const util::Status& status) {
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.to_string().find("exceeds the 32-bit vertex-id space"),
+            std::string::npos)
+      << status.to_string();
+}
+
+TEST_F(IoRoundTrip, EdgeListRejectsOversizedVertexId) {
+  // 5e9 does not fit a 32-bit VertexId; a silent static_cast would
+  // wrap it onto an unrelated vertex.
+  std::ofstream out(path("big.txt"));
+  out << "0 1 1.0\n5000000000 0 1.0\n";
+  out.close();
+  const auto g = try_load_edge_list(path("big.txt"));
+  expect_vertex_overflow(g.status());
+}
+
+TEST_F(IoRoundTrip, MatrixMarketRejectsOversizedHeader) {
+  std::ofstream out(path("big.mtx"));
+  out << "%%MatrixMarket matrix coordinate real symmetric\n"
+      << "5000000000 5000000000 1\n"
+      << "2 1 1.0\n";
+  out.close();
+  const auto g = try_load_matrix_market(path("big.mtx"));
+  expect_vertex_overflow(g.status());
+}
+
+TEST_F(IoRoundTrip, MetisRejectsOversizedHeader) {
+  std::ofstream out(path("big.graph"));
+  out << "5000000000 1\n";
+  out.close();
+  const auto g = try_load_metis(path("big.graph"));
+  expect_vertex_overflow(g.status());
+}
+
+TEST_F(IoRoundTrip, BinaryRejectsOversizedSectionCount) {
+  // Craft a file whose offsets section claims far more entries than
+  // bytes remain: the length prefix must be bounded by the file size,
+  // never trusted into a resize.
+  std::ofstream out(path("huge.bin"), std::ios::binary);
+  out << "GLOUBIN1";
+  const std::uint64_t bogus_count = 1ull << 40;
+  out.write(reinterpret_cast<const char*>(&bogus_count), sizeof bogus_count);
+  const std::uint64_t filler = 0;
+  out.write(reinterpret_cast<const char*>(&filler), sizeof filler);
+  out.close();
+  const auto g = try_load_binary(path("huge.bin"));
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().to_string().find("section claims"), std::string::npos)
+      << g.status().to_string();
 }
 
 }  // namespace

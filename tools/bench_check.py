@@ -7,7 +7,11 @@ harnesses via --json FILE). The guarded metric is TIME PER LEVEL
 the hot-path kernels while staying robust to a graph generator change
 shifting how many levels the hierarchy needs. A run regresses when its
 time-per-level exceeds the baseline's by more than --tolerance
-(default 25%).
+(default 25%). When both reports carry a top-level peak_rss_bytes
+(sampled via ru_maxrss at write time), the report-level memory
+high-water mark is gated the same way with --rss-tolerance — the zg
+storage layer exists to shrink exactly this number, so a silent RSS
+regression is as real a failure as a slow kernel.
 
 Exit codes: 0 = within tolerance, 1 = regression, 2 = unusable input
 (schema mismatch, different operating point, no comparable runs).
@@ -53,6 +57,10 @@ def main():
                         help="freshly measured JSON to judge")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--rss-tolerance", type=float, default=0.25,
+                        help="allowed fractional peak-RSS regression when "
+                             "both reports record peak_rss_bytes "
+                             "(default 0.25)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -98,11 +106,23 @@ def main():
               file=sys.stderr)
         sys.exit(2)
 
+    base_rss = baseline.get("peak_rss_bytes")
+    cur_rss = current.get("peak_rss_bytes")
+    if base_rss and cur_rss:
+        rss_delta = cur_rss / base_rss - 1.0
+        flag = "  REGRESSED" if rss_delta > args.rss_tolerance else ""
+        print(f"\npeak RSS: {base_rss / 2**20:.1f} MiB -> "
+              f"{cur_rss / 2**20:.1f} MiB ({rss_delta:+.1%}){flag}")
+        if rss_delta > args.rss_tolerance:
+            regressions.append((("peak_rss_bytes", "report"), rss_delta))
+
     print(f"\n{compared} runs compared, tolerance {args.tolerance:.0%}")
     if regressions:
         print(f"{len(regressions)} regression(s):", file=sys.stderr)
         for (graph, backend), delta in regressions:
-            print(f"  {graph}/{backend}: {delta:+.1%} time per level",
+            what = ("peak RSS" if graph == "peak_rss_bytes"
+                    else "time per level")
+            print(f"  {graph}/{backend}: {delta:+.1%} {what}",
                   file=sys.stderr)
         return 1
     print("no regressions")

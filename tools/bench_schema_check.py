@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate bench JSON report(s) against schemas/bench.schema.json.
+
+Usage: bench_schema_check.py REPORT [REPORT...]
+
+Full draft-07 validation when the `jsonschema` package is importable;
+otherwise a structural spot-check of the same contract (required keys,
+numeric params/metrics) so the gate still bites on a bare interpreter.
+
+Exit codes: 0 = every report conforms, 1 = violation, 2 = unreadable
+input.
+"""
+
+import json
+import numbers
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "schemas", "bench.schema.json")
+
+
+def structural_check(doc, path):
+    """Fallback mirror of the schema's load-bearing constraints."""
+    for key in ("schema", "bench", "params", "peak_rss_bytes", "runs"):
+        if key not in doc:
+            return f"{path}: missing required key {key!r}"
+    if doc["schema"] != "glouvain-bench-1":
+        return f"{path}: schema {doc['schema']!r} != 'glouvain-bench-1'"
+    if not isinstance(doc["peak_rss_bytes"], int) or doc["peak_rss_bytes"] < 0:
+        return f"{path}: peak_rss_bytes must be a non-negative integer"
+    for key, value in doc["params"].items():
+        if not isinstance(value, numbers.Number):
+            return f"{path}: params.{key} is not numeric"
+    for i, run in enumerate(doc["runs"]):
+        for key in ("graph", "backend", "metrics"):
+            if key not in run:
+                return f"{path}: runs[{i}] missing {key!r}"
+        for key, value in run["metrics"].items():
+            if not isinstance(value, numbers.Number):
+                return f"{path}: runs[{i}].metrics.{key} is not numeric"
+            if key.startswith("zg/") and value < 0:
+                return f"{path}: runs[{i}].metrics.{key} is negative"
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(SCHEMA_PATH) as f:
+            schema = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read schema: {e}", file=sys.stderr)
+        return 2
+
+    try:
+        import jsonschema
+        validator = jsonschema.Draft7Validator(schema)
+    except ImportError:
+        validator = None
+        print("note: jsonschema unavailable — structural spot-check only")
+
+    failed = False
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {path}: {e}", file=sys.stderr)
+            return 2
+        if validator is not None:
+            errors = sorted(validator.iter_errors(doc), key=str)
+            for err in errors:
+                where = "/".join(str(p) for p in err.absolute_path) or "<root>"
+                print(f"FAIL {path}: {where}: {err.message}", file=sys.stderr)
+            if errors:
+                failed = True
+                continue
+        problem = structural_check(doc, path)
+        if problem:
+            print(f"FAIL {problem}", file=sys.stderr)
+            failed = True
+            continue
+        print(f"ok   {path} conforms to {os.path.basename(SCHEMA_PATH)}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
