@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
   report.set_param("repeat", static_cast<double>(repeat));
 
   util::Table table({"graph", "stands in for", "|V|", "|E|", "deg(avg)",
-                     "seq[s]", "gpu[s]", "speedup", "Q(seq)", "Q(gpu)"});
+                     "seq[s]", "gpu[s]", "vec[s]", "speedup", "Q(seq)",
+                     "Q(gpu)"});
   for (const auto& name : graphs) {
     const auto& entry = gen::suite_entry(name);
     const auto g = entry.build(scale, static_cast<std::uint64_t>(seed));
@@ -53,18 +54,35 @@ int main(int argc, char** argv) {
       }
       report.add_run(name, "seq", g.num_vertices(), g.num_edges(), seq_run);
     }
-    auto core_run = bench::run_core(g);
+    // "core" is pinned to the scalar lane substrate — the bitwise
+    // reference whose timings stay comparable across baseline
+    // refreshes regardless of the host's vector ISA. The vector
+    // substrate gets its own gated (graph, "core-vector") rows.
+    core::Config scalar_cfg;
+    scalar_cfg.device.backend = simt::Backend::kScalar;
+    auto core_run = bench::run_core(g, scalar_cfg);
     for (int r = 1; r < repeat; ++r) {
-      auto again = bench::run_core(g);
+      auto again = bench::run_core(g, scalar_cfg);
       if (again.seconds < core_run.seconds) core_run = std::move(again);
     }
     report.add_run(name, "core", g.num_vertices(), g.num_edges(), core_run);
+
+    core::Config vector_cfg;
+    vector_cfg.device.backend = simt::Backend::kVector;
+    auto vec_run = bench::run_core(g, vector_cfg);
+    for (int r = 1; r < repeat; ++r) {
+      auto again = bench::run_core(g, vector_cfg);
+      if (again.seconds < vec_run.seconds) vec_run = std::move(again);
+    }
+    report.add_run(name, "core-vector", g.num_vertices(), g.num_edges(),
+                   vec_run);
 
     table.add_row({name, entry.paper_graph, util::Table::count(g.num_vertices()),
                    util::Table::count(g.num_edges()),
                    util::Table::fixed(stats.mean_degree, 1),
                    skip_seq ? "-" : util::Table::fixed(seq_run.seconds, 3),
                    util::Table::fixed(core_run.seconds, 3),
+                   util::Table::fixed(vec_run.seconds, 3),
                    skip_seq ? "-"
                             : util::Table::fixed(seq_run.seconds /
                                                      std::max(core_run.seconds, 1e-9),

@@ -13,7 +13,9 @@
 #include "obs/recorder.hpp"
 #include "prim/scan.hpp"
 #include "simt/atomics.hpp"
+#include "simt/kernel_ops.hpp"
 #include "simt/lane_group.hpp"
+#include "simt/lane_vec.hpp"
 #include "util/primes.hpp"
 
 namespace glouvain::core {
@@ -34,6 +36,8 @@ AggregationResult aggregate_impl(simt::Device& device, Rows& rows,
   check::WorkspaceGuard ws_guard(&ws);
   const VertexId n = rows.num_vertices();
   auto& pool = device.pool();
+  const bool vector_backend =
+      device.backend() == simt::Backend::kVector && !check::enabled();
   obs::Span phase_span(rec, "aggregate");
   const Workspace::Counters ws_since = ws.counters();
   using Slot = Workspace::Slot;
@@ -164,12 +168,19 @@ AggregationResult aggregate_impl(simt::Device& device, Rows& rows,
       simt::LaneGroup group(lanes);
       // Members processed one after another, all lanes cooperating on
       // each member's edge list (§4.1, aggregation thread assignment).
+      // The hashing collective lowers to bulk community gathers on the
+      // vector backend (the lane width only shapes the scalar rounds,
+      // so one vector group serves every bucket); emission below stays
+      // on the scalar group either way.
       for (EdgeIdx m = vertex_start[c]; m < vertex_start[c] + com_size[c]; ++m) {
         const VertexId v = com[m];
         const RowView r = rows.row(v, ctx.worker());
-        group.strided_for(r.deg, [&](unsigned, std::size_t idx) {
-          table.insert_add(community[r.adj[idx]], r.w[idx]);
-        });
+        if (vector_backend) {
+          simt::hash_row(simt::VectorLaneGroup<32>{}, r, community.data(),
+                         table);
+        } else {
+          simt::hash_row(group, r, community.data(), table);
+        }
       }
 
       // Emission: each lane counts the slots it owns, a lane prefix sum

@@ -55,16 +55,10 @@ struct BucketScheme {
   }
 };
 
-/// Slot layout of the task-local neighbour-community hash tables.
-enum class TableLayout {
-  /// kNull sentinel in the key array (core::LocalCommunityHashMap):
-  /// the paper's layout, clear() rewrites every key slot.
-  kSentinel,
-  /// Bit-packed occupancy words beside the key array
-  /// (zg::OccCommunityHashMap): clear() zeroes capacity/32 words. The
-  /// probe sequence is identical, so results are bitwise-unchanged.
-  kOccupancy,
-};
+/// The table-layout knob now lives on detect::Options (one canonical
+/// surface for every front end); the old core-qualified name stays
+/// valid for existing call sites.
+using TableLayout = detect::TableLayout;
 
 /// When vertices observe each other's moves (§5 "relaxed" experiment).
 enum class UpdateStrategy {
@@ -92,19 +86,30 @@ struct Config : detect::Options {
   /// holds nearly every vertex. Quality/cost measured by the
   /// `ablation_subrounds` bench; see DESIGN.md.
   unsigned commit_subrounds = 4;
-  /// Serialize moves by a proper graph coloring instead of hash
-  /// classes: the exact conflict-avoidance mechanism of Lu et al. [16].
-  /// No two adjacent vertices then ever decide in the same sub-round,
-  /// eliminating swap oscillation entirely, at the cost of a coloring
-  /// per level and (num_colors) launches per bucket per sweep.
-  /// Overrides commit_subrounds when true. Ablated in
-  /// `bench/ablation_subrounds`.
-  bool use_coloring = false;
-  /// Layout of the per-vertex community tables in modopt (the
-  /// aggregation tables keep the sentinel layout: they are written
-  /// once and scanned once, so the cheap clear() buys nothing there).
-  TableLayout table_layout = TableLayout::kSentinel;
+  /// use_coloring and table_layout moved to the detect::Options base —
+  /// they are front-end knobs now, inherited here. Only the device
+  /// machinery below remains core-specific.
+  ///
+  /// NOTE: this member hides the inherited Options::device backend
+  /// knob (a simt::Backend) by design: within core the full
+  /// DeviceConfig is the source of truth, and to_config() copies the
+  /// Options knob into device.backend during lowering.
   simt::DeviceConfig device;
 };
+
+/// THE single lowering from the canonical front-end surface
+/// (detect::Options) to the GPU-style backend's Config. Every front
+/// end — detect registry, svc, CLI, benches — goes through here
+/// instead of assembling a core::Config field by field, so an Options
+/// knob can never silently diverge from the core knob it shadows.
+/// `base` carries backend-internal extension fields (bucket schemes,
+/// update strategy, device shape); its Options slice is overwritten.
+inline Config to_config(const detect::Options& options, Config base = {}) {
+  static_cast<detect::Options&>(base) = options;
+  base.device.backend = options.device;
+  // worker_threads stays as the extension set it; core::Louvain's
+  // resolve_device falls back to Options::threads when it is 0.
+  return base;
+}
 
 }  // namespace glouvain::core

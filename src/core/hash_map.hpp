@@ -61,6 +61,11 @@ class BasicCommunityHashMap {
  public:
   static constexpr graph::Community kNull = graph::kInvalidCommunity;
 
+  /// Emptiness is encoded as a kNull sentinel inside the key array
+  /// itself (vs the bit-packed occupancy of zg::OccCommunityHashMap).
+  /// The vector slot scan dispatches its masking strategy on this.
+  static constexpr bool kOccLayout = false;
+
   /// capacity = keys.size() must be prime (double hashing needs the
   /// step h2 in [1, capacity) to be coprime with the capacity) and fit
   /// in 32 bits.
@@ -214,6 +219,16 @@ class BasicCommunityHashMap {
   bool occupied(std::size_t pos) const noexcept {
     check::note_plain_read(&keys_[pos]);
     return keys_[pos] != kNull;
+  }
+
+  /// Raw slot arrays for the vector scan (simt/vector_ops.hpp), which
+  /// sweeps whole cache lines instead of per-slot accessors. Bulk
+  /// vector loads carry no check:: notes, so these are only consumed
+  /// outside GLOUVAIN_SIMTCHECK builds (kernel_ops gates on
+  /// check::enabled()).
+  const graph::Community* keys_data() const noexcept { return keys_.data(); }
+  const graph::Weight* weights_data() const noexcept {
+    return weights_.data();
   }
 
  private:

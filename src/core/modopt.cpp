@@ -14,7 +14,9 @@
 #include "obs/recorder.hpp"
 #include "zg/occmap.hpp"
 #include "simt/atomics.hpp"
+#include "simt/kernel_ops.hpp"
 #include "simt/lane_group.hpp"
+#include "simt/lane_vec.hpp"
 #include "util/primes.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
@@ -29,46 +31,19 @@ using graph::EdgeIdx;
 using graph::VertexId;
 using graph::Weight;
 
-/// Per-lane candidate for the warp argmax reduction (Algorithm 2 line
-/// 14): best (gain, community) seen by this lane, ties to the lowest
-/// community id, as §4 prescribes.
-struct Candidate {
-  double gain;
-  Community comm;
-};
-
-/// Identity element of better(): what an idle lane reports. Kept
-/// trivially copyable so the per-group candidate array can stay
-/// uninitialized past the active lanes.
-constexpr Candidate kEmptyCandidate{
-    -std::numeric_limits<double>::infinity(), graph::kInvalidCommunity};
-
-Candidate better(const Candidate& a, const Candidate& b) noexcept {
-  constexpr double kEps = 1e-15;
-  if (b.gain > a.gain + kEps) return b;
-  if (b.gain > a.gain - kEps && b.comm < a.comm) return b;
-  return a;
-}
-
-/// Ascending sort of the claimed-slot list; tiny lists (the common
-/// case) use insertion sort to skip the introsort dispatch.
-void sort_slots(std::span<std::uint32_t> slots) noexcept {
-  if (slots.size() <= 16) {
-    for (std::size_t i = 1; i < slots.size(); ++i) {
-      const std::uint32_t x = slots[i];
-      std::size_t j = i;
-      for (; j > 0 && slots[j - 1] > x; --j) slots[j] = slots[j - 1];
-      slots[j] = x;
-    }
-    return;
-  }
-  std::sort(slots.begin(), slots.end());
-}
+/// The warp collectives (better(), the argmax identity, the slot sort,
+/// the hashing and scan loops) live in simt/kernel_ops.hpp now, single-
+/// sourced over the scalar and vector lane substrates. The aliases keep
+/// this file reading like Algorithm 2.
+using Candidate = simt::BestComm;
+constexpr Candidate kEmptyCandidate = simt::kEmptyBest;
+using simt::better;
 
 /// The computeMove kernel body (Algorithm 2) for one vertex. Rows is
 /// the storage seam (PlainRows or ZRows); Table is the task-local
-/// hash map; Group is LaneGroup or a FixedLaneGroup specialization.
-/// `touched` is caller scratch for >= capacity slot indices.
+/// hash map; Group is LaneGroup, a FixedLaneGroup specialization, or a
+/// VectorLaneGroup. `touched` is caller scratch for >= capacity slot
+/// indices.
 template <typename Rows, typename Group, typename Table>
 void compute_move(Rows& rows, unsigned worker, PhaseState& state, Weight m2,
                   VertexId v, Group group, Table& table,
@@ -78,65 +53,22 @@ void compute_move(Rows& rows, unsigned worker, PhaseState& state, Weight m2,
   const Weight k = state.strengths[v];
   const double inv_m2 = 1.0 / m2;
 
-  // --- Lines 2-13: lane-parallel hashing of the neighbourhood. Each
-  // lane visits edges lane, lane+L, ... and accumulates the weight
-  // under the neighbour's community. The self-loop contributes
-  // equally to every candidate (it moves with v), so it is skipped.
-  // Claimed slots are recorded so a sparse table can be scanned
-  // compactly below.
-  std::uint32_t num_touched = 0;
-  group.strided_for(r.deg, [&](unsigned /*lane*/, std::size_t idx) {
-    const VertexId j = r.adj[idx];
-    if (j == v) return;
-    bool claimed = false;
-    const std::size_t pos = table.insert_add_claim(
-        simt::atomic_load(state.community[j]), r.w[idx], claimed);
-    if (claimed) touched[num_touched++] = static_cast<std::uint32_t>(pos);
-  });
+  // --- Lines 2-13: lane-parallel hashing of the neighbourhood into
+  // the task-local table (the self-loop contributes equally to every
+  // candidate, so it is skipped). Claimed slots are recorded so a
+  // sparse table can be scanned compactly below.
+  const std::uint32_t num_touched = simt::hash_row_claim(
+      group, r, v, state.community.data(), table, touched.data());
 
-  // --- Line 14: per-lane scan of the table slots followed by a warp
-  // reduction picks the best destination. The gain term per candidate
-  // community c (v removed from its own community first) is
+  // --- Line 14: scan the table slots and reduce to the best
+  // destination. The gain term per candidate community c (v removed
+  // from its own community first) is
   //   e_{v->c} - k_v * a_c / 2m,
-  // the variable part of Eq. (2). Only the group's own lanes are
-  // initialized: for a 4-lane group the other 124 entries are never
-  // read, and zeroing all 2KB per vertex dominated small-degree
-  // kernels.
-  std::array<Candidate, 128> lane_best;
-  for (unsigned l = 0; l < group.lanes(); ++l) lane_best[l] = kEmptyCandidate;
+  // the variable part of Eq. (2).
   Weight d_old = 0;  // e_{v->C(v)\{v}}, collected during the slot scan
-  const auto scan_slot = [&](unsigned lane, std::size_t pos) {
-    const Community c = table.key_at(pos);
-    if (c == old_c) {
-      // Lanes of a group execute inside one OS thread, so this plain
-      // write is race-free (at most one slot holds old_c).
-      d_old = table.weight_at(pos);
-      return;
-    }
-    const double gain =
-        table.weight_at(pos) - k * simt::atomic_load(state.tot[c]) * inv_m2;
-    lane_best[lane] = better(lane_best[lane], {gain, c});
-  };
-  if (std::size_t{num_touched} * 4 <= table.capacity()) {
-    // Sparse table (typical once the neighbourhood has collapsed into
-    // a few communities): visit only the claimed slots, in ascending
-    // position. strided_for assigns index i to lane i % lanes, so this
-    // replays the full scan's exact per-lane fold sequences and the
-    // chosen move is bit-identical.
-    sort_slots(touched.first(num_touched));
-    for (std::uint32_t i = 0; i < num_touched; ++i) {
-      const std::uint32_t pos = touched[i];
-      scan_slot(static_cast<unsigned>(pos % group.lanes()), pos);
-    }
-  } else {
-    group.strided_for(table.capacity(), [&](unsigned lane, std::size_t pos) {
-      if (!table.occupied(pos)) return;
-      scan_slot(lane, pos);
-    });
-  }
-  const Candidate best = group.reduce(
-      std::span<Candidate>(lane_best.data(), group.lanes()),
-      [](const Candidate& a, const Candidate& b) { return better(a, b); });
+  const Candidate best =
+      simt::scan_best(group, table, touched.first(num_touched), old_c,
+                      state.tot.data(), k, inv_m2, d_old);
 
   // --- Lines 15-18: move only on strictly positive modularity gain
   // relative to staying (e_{v->C(v)\{v}} enters both sides of Eq. (2),
@@ -340,14 +272,26 @@ double device_modularity_impl(simt::Device& device, Rows& rows,
     in_partial[w] = 0;
     tot_partial[w] = 0;
   }
+  // The vector backend gathers + mask-sums each row's internal weight
+  // (re-associated sum — permitted there, not on the bitwise-stable
+  // scalar backend). Under the checker the scalar loop runs so its
+  // plain reads stay visible.
+  const bool vec_rows =
+      device.backend() == simt::Backend::kVector && !check::enabled();
   auto& pool = device.pool();
   pool.parallel_for(rows.num_vertices(), [&](std::size_t vi, unsigned worker) {
     const auto v = static_cast<VertexId>(vi);
     const Community c = community[v];
     const RowView r = rows.row(v, worker);
-    Weight internal = 0;
-    for (std::uint32_t i = 0; i < r.deg; ++i) {
-      if (community[r.adj[i]] == c) internal += r.w[i];
+    Weight internal;
+    if (vec_rows) {
+      internal = simt::vec::row_internal_weight(r.adj, r.w, r.deg,
+                                                community.data(), c);
+    } else {
+      internal = 0;
+      for (std::uint32_t i = 0; i < r.deg; ++i) {
+        if (community[r.adj[i]] == c) internal += r.w[i];
+      }
     }
     in_partial[worker] += internal;
     // Each community's tot is summed once by its representative slot:
@@ -421,6 +365,18 @@ PhaseResult optimize_phase_impl(simt::Device& device, Rows& rows,
     active = {all.data(), all.size()};
   }
   const std::size_t num_active = active.size();
+
+  // Vector lane substrate? Resolved once per phase from the device.
+  // Under the checker the scalar twin always runs (kernel_ops gates on
+  // check::enabled()), so the checker keeps validating every build.
+  const bool vector_backend =
+      device.backend() == simt::Backend::kVector && !check::enabled();
+  std::span<simt::VecLaneStats> vstats;
+  if (vector_backend) {
+    vstats = ws.buffer<simt::VecLaneStats>(Workspace::Slot::kModoptVecStats,
+                                           device.workers());
+    for (unsigned w = 0; w < device.workers(); ++w) vstats[w] = {};
+  }
 
   const BucketScheme& scheme = config.modopt_buckets;
   // Degrees are fixed within a phase, so one binning serves every sweep
@@ -607,8 +563,42 @@ PhaseResult optimize_phase_impl(simt::Device& device, Rows& rows,
             // The standard widths get compile-time lane counts (constant
             // strided loops and reduction trees); anything else falls
             // back to the runtime group. Same arithmetic either way.
+            // On the vector backend the same widths dispatch to
+            // VectorLaneGroup, whose collectives lower to AVX2 gathers
+            // and masked scans; non-standard ablation widths stay on
+            // the scalar substrate.
             const auto run_table = [&](auto& table) {
               table.clear();
+              if (vector_backend) {
+                simt::VecLaneStats* st = &vstats[ctx.worker()];
+                switch (lanes) {
+                  case 4:
+                    compute_move(rows, ctx.worker(), state, m2, v,
+                                 simt::VectorLaneGroup<4>{st}, table, touched);
+                    return;
+                  case 8:
+                    compute_move(rows, ctx.worker(), state, m2, v,
+                                 simt::VectorLaneGroup<8>{st}, table, touched);
+                    return;
+                  case 16:
+                    compute_move(rows, ctx.worker(), state, m2, v,
+                                 simt::VectorLaneGroup<16>{st}, table,
+                                 touched);
+                    return;
+                  case 32:
+                    compute_move(rows, ctx.worker(), state, m2, v,
+                                 simt::VectorLaneGroup<32>{st}, table,
+                                 touched);
+                    return;
+                  case 128:
+                    compute_move(rows, ctx.worker(), state, m2, v,
+                                 simt::VectorLaneGroup<128>{st}, table,
+                                 touched);
+                    return;
+                  default:
+                    break;  // ablation widths: scalar substrate below
+                }
+              }
               switch (lanes) {
                 case 4:
                   compute_move(rows, ctx.worker(), state, m2, v,
@@ -702,6 +692,19 @@ PhaseResult optimize_phase_impl(simt::Device& device, Rows& rows,
   }
 
   if (rec) rec->count("modopt/sweeps", result.sweeps);
+  if (rec && vector_backend) {
+    std::uint64_t lanes_active = 0;
+    std::uint64_t lanes_issued = 0;
+    for (unsigned w = 0; w < device.workers(); ++w) {
+      lanes_active += vstats[w].active;
+      lanes_issued += vstats[w].slots;
+    }
+    if (lanes_issued > 0) {
+      rec->count("modopt/vector_lane_occupancy",
+                 static_cast<double>(lanes_active) /
+                     static_cast<double>(lanes_issued));
+    }
+  }
   if (q_fresh) {
     result.modularity = current_q;
   } else {

@@ -60,6 +60,7 @@ class Workspace {
     kModoptMovedPartial, ///< per-worker moved counts (commit)
     kModoptInPartial,    ///< per-worker internal-weight sums (modularity)
     kModoptTotPartial,   ///< per-worker tot^2 sums (modularity)
+    kModoptVecStats,     ///< per-worker vector-lane occupancy counters
     // --- aggregation (core/aggregate.cpp) ---
     kAggComSize,         ///< members per community (atomic histogram)
     kAggComDegree,       ///< degree sum per community (atomic histogram)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "simt/backend.hpp"
 
 namespace glouvain::detect {
 
@@ -58,6 +59,32 @@ inline bool parse_storage(std::string_view name, Storage& out) noexcept {
   return false;
 }
 
+/// Slot layout of the task-local neighbour-community hash tables used
+/// by the GPU-style backend's modularity-optimization kernels. Ignored
+/// by backends without such tables (seq, plm).
+enum class TableLayout {
+  /// kNull sentinel in the key array (core::LocalCommunityHashMap):
+  /// the paper's layout, clear() rewrites every key slot.
+  kSentinel,
+  /// Bit-packed occupancy words beside the key array
+  /// (zg::OccCommunityHashMap): clear() zeroes capacity/32 words. The
+  /// probe sequence is identical, so results are bitwise-unchanged.
+  kOccupancy,
+};
+
+constexpr const char* table_layout_name(TableLayout t) noexcept {
+  return t == TableLayout::kOccupancy ? "occ" : "sentinel";
+}
+
+/// Parse a table-layout name; returns false (and leaves `out` alone)
+/// on an unknown name.
+inline bool parse_table_layout(std::string_view name,
+                               TableLayout& out) noexcept {
+  if (name == "sentinel") { out = TableLayout::kSentinel; return true; }
+  if (name == "occ") { out = TableLayout::kOccupancy; return true; }
+  return false;
+}
+
 struct Options {
   /// The paper's adaptive t_bin/t_final schedule (§5).
   ThresholdSchedule thresholds;
@@ -71,8 +98,19 @@ struct Options {
   /// O(n) seed/frontier arrays.
   std::shared_ptr<const WarmStart> warm_start;
   /// Level-0 adjacency storage (see Storage above). Incompatible with
-  /// warm_start and core's use_coloring — both need the plain arrays.
+  /// warm_start and use_coloring — both need the plain arrays.
   Storage storage = Storage::kPlain;
+  /// Lane substrate for the GPU-style backend's kernels: kScalar is
+  /// the lockstep interpreter (bitwise-stable partitions), kVector the
+  /// AVX2 lowering, kAuto picks vector iff the CPU supports it.
+  /// Ignored by backends without a simt device (seq, plm).
+  simt::Backend device = simt::Backend::kAuto;
+  /// Hash-table slot layout for the GPU-style backend (see TableLayout).
+  TableLayout table_layout = TableLayout::kSentinel;
+  /// Serialize moves by a proper graph coloring (Lu et al. [16])
+  /// instead of hash-partitioned sub-rounds. GPU-style backend only;
+  /// requires plain storage.
+  bool use_coloring = false;
 };
 
 }  // namespace glouvain::detect

@@ -74,18 +74,21 @@ class CoreDetector final : public Detector {
   }
 
  private:
-  /// Rebuild or retune the kept runner (thread-count changes rebuild
-  /// the device; anything else is a config swap on the warm instance).
+  /// Rebuild or retune the kept runner. Thread-count and lane-backend
+  /// changes rebuild the device (the live device's shape — pool AND
+  /// resolved backend — is immutable, see Louvain::set_config);
+  /// anything else is a config swap on the warm instance.
   core::Louvain& runner_for(const Options& options) {
-    core::Config cfg = base_;
-    static_cast<Options&>(cfg) = options;
+    core::Config cfg = core::to_config(options, base_);
     cfg.warm_start.reset();  // passed explicitly in run(); keep the
                              // kept config from pinning the seed arrays
     const unsigned want =
         cfg.device.worker_threads ? cfg.device.worker_threads : cfg.threads;
-    if (!runner_ || want != runner_threads_) {
+    const simt::Backend backend = simt::resolve_backend(cfg.device.backend);
+    if (!runner_ || want != runner_threads_ || backend != runner_backend_) {
       runner_ = std::make_unique<core::Louvain>(cfg);
       runner_threads_ = want;
+      runner_backend_ = backend;
     } else {
       runner_->set_config(cfg);
     }
@@ -95,6 +98,7 @@ class CoreDetector final : public Detector {
   core::Config base_;
   std::unique_ptr<core::Louvain> runner_;
   unsigned runner_threads_ = ~0u;
+  simt::Backend runner_backend_ = simt::Backend::kAuto;
 };
 
 class SeqDetector final : public Detector {
@@ -156,8 +160,9 @@ class MultiDetector final : public Detector {
           "multi: compressed storage is not supported (use --storage plain)");
     }
     multi::Config cfg = ext_.multi;
-    cfg.device = ext_.core;  // the core extension governs every device
-    static_cast<Options&>(cfg.device) = options;
+    // The core extension governs every simulated device; lower through
+    // the one canonical Options -> Config path.
+    cfg.device = core::to_config(options, ext_.core);
     multi::Result mr = multi::louvain(graph, cfg, recorder);
     return static_cast<Result&&>(std::move(mr));  // slice off multi extras
   }

@@ -1,0 +1,32 @@
+#include "simt/backend.hpp"
+
+#include <cstdlib>
+
+namespace glouvain::simt {
+
+namespace {
+
+bool probe_avx2() noexcept {
+  if (std::getenv("GLOUVAIN_NO_AVX2") != nullptr) return false;
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool cpu_has_avx2() noexcept {
+  static const bool has = probe_avx2();
+  return has;
+}
+
+Backend resolve_backend(Backend requested) noexcept {
+  if (requested == Backend::kAuto) {
+    return cpu_has_avx2() ? Backend::kVector : Backend::kScalar;
+  }
+  return requested;
+}
+
+}  // namespace glouvain::simt

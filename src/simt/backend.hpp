@@ -1,0 +1,59 @@
+// Execution backend of the software-SIMT device: which substrate a
+// lane group's rounds run on.
+//
+//   kScalar — the original lockstep interpretation: every lane round
+//     is an inner `for` loop. Bitwise-reference semantics; this is the
+//     twin the simtcheck shadow-memory checker instruments.
+//   kVector — the same kernels with the lane rounds lowered to real
+//     vector instructions (AVX2 gathers, masked compares, 4-wide FMA
+//     gain evaluation). Requires AVX2 at runtime; on a machine without
+//     it the vector lane group transparently executes the scalar
+//     emulation path, so selecting kVector is always safe.
+//   kAuto — resolve at device construction: kVector when the CPU
+//     reports AVX2, kScalar otherwise.
+//
+// The enum is deliberately dependency-free: detect::Options embeds it,
+// and options.hpp must stay below every backend.
+#pragma once
+
+#include <string_view>
+
+namespace glouvain::simt {
+
+enum class Backend {
+  kScalar,
+  kVector,
+  kAuto,
+};
+
+constexpr const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kVector: return "vector";
+    default: return "auto";
+  }
+}
+
+/// Parse a backend name; returns false (and leaves `out` alone) on an
+/// unknown name — callers turn that into the uniform exit-2 path.
+inline bool parse_backend(std::string_view name, Backend& out) noexcept {
+  if (name == "scalar") { out = Backend::kScalar; return true; }
+  if (name == "vector") { out = Backend::kVector; return true; }
+  if (name == "auto") { out = Backend::kAuto; return true; }
+  return false;
+}
+
+/// True when the running CPU supports the AVX2 lane substrate. Probed
+/// once (cpuid via __builtin_cpu_supports) and cached. The environment
+/// variable GLOUVAIN_NO_AVX2, read at first call, forces false — the
+/// CI fallback-dispatch smoke uses it to exercise the emulation path
+/// on AVX2 hardware.
+bool cpu_has_avx2() noexcept;
+
+/// Collapse kAuto to the substrate this machine will actually run:
+/// kVector when AVX2 is available, kScalar otherwise. kScalar and
+/// kVector pass through unchanged (kVector without AVX2 still runs,
+/// via the vector group's scalar emulation).
+Backend resolve_backend(Backend requested) noexcept;
+
+}  // namespace glouvain::simt

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "simt/backend.hpp"
 #include "simt/lane_group.hpp"
 #include "simt/shared_arena.hpp"
 #include "simt/thread_pool.hpp"
@@ -23,6 +24,10 @@ struct DeviceConfig {
   unsigned block_threads = 128; ///< 4 warps per block, as in the paper
   unsigned worker_threads = 0;  ///< 0 = hardware concurrency
   std::size_t shared_bytes = SharedArena::kDefaultCapacity;
+  /// Lane substrate for the kernels launched on this device. kAuto
+  /// resolves at construction (vector iff the CPU has AVX2 and
+  /// GLOUVAIN_NO_AVX2 is unset); Device::backend() is always concrete.
+  Backend backend = Backend::kAuto;
 };
 
 /// Execution context handed to each kernel task ("thread block").
@@ -45,6 +50,7 @@ class Device {
  public:
   explicit Device(const DeviceConfig& config = {})
       : config_(config),
+        backend_(resolve_backend(config.backend)),
         pool_(std::make_unique<ThreadPool>(config.worker_threads)) {
     arenas_.reserve(pool_->size());
     for (unsigned w = 0; w < pool_->size(); ++w) {
@@ -53,6 +59,11 @@ class Device {
   }
 
   const DeviceConfig& config() const noexcept { return config_; }
+
+  /// The resolved lane substrate — never kAuto. Kernel hosts dispatch
+  /// their group type (scalar lockstep vs vector) on this.
+  Backend backend() const noexcept { return backend_; }
+
   unsigned workers() const noexcept { return pool_->size(); }
   ThreadPool& pool() noexcept { return *pool_; }
 
@@ -118,8 +129,25 @@ class Device {
 
  private:
   DeviceConfig config_;
+  Backend backend_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<SharedArena> arenas_;
+};
+
+/// Device pinned to the scalar lockstep substrate — today's semantics,
+/// bitwise-identical partitions. Convenience over DeviceConfig.backend.
+class ScalarDevice : public Device {
+ public:
+  explicit ScalarDevice(DeviceConfig config = {})
+      : Device((config.backend = Backend::kScalar, config)) {}
+};
+
+/// Device pinned to the vector substrate (AVX2 when available, scalar
+/// emulation of the same call graph otherwise).
+class VectorDevice : public Device {
+ public:
+  explicit VectorDevice(DeviceConfig config = {})
+      : Device((config.backend = Backend::kVector, config)) {}
 };
 
 }  // namespace glouvain::simt

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <span>
 #include <utility>
@@ -23,7 +24,20 @@ namespace glouvain::simt {
 
 class LaneGroup {
  public:
-  explicit constexpr LaneGroup(unsigned lanes) noexcept : lanes_(lanes) {}
+  /// Scalar lockstep substrate; kernels written against the group
+  /// concept branch on this to pick their lowering (see kernel_ops.hpp
+  /// and lane_vec.hpp for the vector twin).
+  static constexpr bool kVector = false;
+
+  // Precondition: `lanes` is a power of two (the GPU widths 4..32 and
+  // 128 all are). reduce()'s offset-halving tree visits exactly
+  // lanes/2 + lanes/4 + ... slots; with a non-power-of-two width the
+  // first halving drops the top lanes' values on the floor, silently
+  // losing candidates.
+  explicit constexpr LaneGroup(unsigned lanes) noexcept : lanes_(lanes) {
+    assert(lanes > 0 && (lanes & (lanes - 1)) == 0 &&
+           "LaneGroup width must be a power of two");
+  }
 
   constexpr unsigned lanes() const noexcept { return lanes_; }
 
@@ -41,8 +55,16 @@ class LaneGroup {
 
   /// Tree reduction of per-lane values, emulating __shfl_down_sync.
   /// combine(a, b) must be associative and commutative.
+  ///
+  /// Preconditions: lane_values covers ALL lanes() entries and every
+  /// entry is initialized (idle lanes must hold the combine identity —
+  /// a partial final strided_for round leaves trailing lanes untouched,
+  /// and the first halving reads them). lane count must be a power of
+  /// two, enforced at construction.
   template <typename T, typename Combine>
   T reduce(std::span<T> lane_values, Combine&& combine) const {
+    assert(lane_values.size() >= lanes_ &&
+           "reduce needs a full-width lane array");
     for (unsigned offset = lanes_ / 2; offset > 0; offset /= 2) {
       for (unsigned lane = 0; lane < offset; ++lane) {
         lane_values[lane] =
@@ -54,8 +76,13 @@ class LaneGroup {
 
   /// Exclusive prefix sum over per-lane counts (Hillis–Steele shape);
   /// returns the total. Used when lanes claim slots in an output array.
+  ///
+  /// Precondition: lane_values covers all lanes() entries, idle lanes
+  /// zero-initialized (they contribute nothing but are still read).
   template <typename T>
   T exclusive_scan(std::span<T> lane_values) const {
+    assert(lane_values.size() >= lanes_ &&
+           "exclusive_scan needs a full-width lane array");
     T running{};
     for (unsigned lane = 0; lane < lanes_; ++lane) {
       const T v = lane_values[lane];
@@ -77,6 +104,11 @@ class LaneGroup {
 template <unsigned kLanes>
 class FixedLaneGroup {
  public:
+  static_assert(kLanes > 0 && (kLanes & (kLanes - 1)) == 0,
+                "lane groups are power-of-two wide (see LaneGroup)");
+
+  static constexpr bool kVector = false;
+
   static constexpr unsigned lanes() noexcept { return kLanes; }
 
   template <typename F>
@@ -89,8 +121,12 @@ class FixedLaneGroup {
     }
   }
 
+  /// Same preconditions as LaneGroup::reduce: full-width span, every
+  /// lane initialized (idle lanes hold the combine identity).
   template <typename T, typename Combine>
   T reduce(std::span<T> lane_values, Combine&& combine) const {
+    assert(lane_values.size() >= kLanes &&
+           "reduce needs a full-width lane array");
     for (unsigned offset = kLanes / 2; offset > 0; offset /= 2) {
       for (unsigned lane = 0; lane < offset; ++lane) {
         lane_values[lane] =
@@ -102,6 +138,8 @@ class FixedLaneGroup {
 
   template <typename T>
   T exclusive_scan(std::span<T> lane_values) const {
+    assert(lane_values.size() >= kLanes &&
+           "exclusive_scan needs a full-width lane array");
     T running{};
     for (unsigned lane = 0; lane < kLanes; ++lane) {
       const T v = lane_values[lane];

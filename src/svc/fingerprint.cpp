@@ -81,6 +81,20 @@ Fingerprint job_key(const Fingerprint& graph_fp, std::string_view backend,
   // and timing profile is not — keep the cached spans honest.
   a.absorb(static_cast<std::uint64_t>(options.storage) + 1);
   b.absorb(static_cast<std::uint64_t>(options.storage) * 0x9e3779b97f4a7c15ULL);
+  // The RESOLVED lane backend keys the cache, not the request: kAuto
+  // and an explicit request for what kAuto resolves to produce the
+  // same partition, and a vector-backend result must never satisfy a
+  // later --device scalar request (different fold order).
+  const auto resolved =
+      static_cast<std::uint64_t>(simt::resolve_backend(options.device));
+  a.absorb(resolved + 0x517cc1b727220a95ULL);
+  b.absorb(~resolved);
+  // Table layout is bitwise-invariant too, but keeps the spans honest
+  // like storage above.
+  a.absorb(static_cast<std::uint64_t>(options.table_layout) + 3);
+  b.absorb(static_cast<std::uint64_t>(options.table_layout) * 0xff51afd7ed558ccdULL);
+  a.absorb(options.use_coloring ? 5 : 7);
+  b.absorb(options.use_coloring ? 11 : 13);
 
   a.absorb(session);
   b.absorb(session + 0x2545f4914f6cdd1dULL);

@@ -150,7 +150,7 @@ Service::Service(const ServiceConfig& config)
   impl_->paused = config_.start_paused;
 
   impl_->run_ext = config_.ext;
-  static_cast<detect::Options&>(impl_->run_ext.core) = config_.options;
+  impl_->run_ext.core = core::to_config(config_.options, impl_->run_ext.core);
   impl_->run_ext.core.device.worker_threads = config_.device_threads;
   impl_->device_threads_resolved =
       config_.device_threads

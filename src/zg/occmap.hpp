@@ -35,6 +35,10 @@ class OccCommunityHashMap {
  public:
   static constexpr graph::Community kNull = graph::kInvalidCommunity;
 
+  /// Emptiness lives in the occupancy bitmap; keys of dead slots are
+  /// garbage. The vector slot scan masks by occ words accordingly.
+  static constexpr bool kOccLayout = true;
+
   /// Occupancy words needed for a table of `capacity` slots.
   static constexpr std::size_t occ_words(std::size_t capacity) noexcept {
     return (capacity + 31) / 32;
@@ -142,6 +146,15 @@ class OccCommunityHashMap {
     check::note_plain_read(&occ_[pos >> 5]);
     return (occ_[pos >> 5] & (1u << (pos & 31))) != 0;
   }
+
+  /// Raw slot arrays for the vector scan — see the matching accessors
+  /// on core::BasicCommunityHashMap. Dead slots hold garbage keys; the
+  /// consumer must mask every lane by occ_data().
+  const graph::Community* keys_data() const noexcept { return keys_.data(); }
+  const graph::Weight* weights_data() const noexcept {
+    return weights_.data();
+  }
+  const std::uint32_t* occ_data() const noexcept { return occ_.data(); }
 
  private:
   std::span<graph::Community> keys_;

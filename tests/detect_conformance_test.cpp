@@ -11,6 +11,7 @@
 #include <set>
 #include <string>
 
+#include "check/check.hpp"
 #include "gen/rmat.hpp"
 #include "gen/sbm.hpp"
 #include "obs/recorder.hpp"
@@ -176,6 +177,114 @@ TEST(DetectConformance, DetectorsAreReusableAcrossRuns) {
   const detect::Result rb = (*d)->run(b, small_options());
   check_labels(ra, a.num_vertices(), "core run 1");
   check_labels(rb, b.num_vertices(), "core run 2");
+}
+
+// --- Device-backend parity matrix (DESIGN.md §13): the scalar lane
+// substrate is the bitwise reference — identical partitions across
+// every storage × table-layout combination — while the vector substrate
+// answers to a quality bar (≥98% of the sequential modularity) plus
+// label validity, since its argmax fold order differs.
+
+TEST(DetectConformance, ScalarDeviceIsBitwiseStableAcrossStorageAndLayout) {
+  const graph::Csr g = sbm_graph();
+  auto d = detect::make("core");
+  ASSERT_TRUE(d.ok());
+
+  detect::Options options = small_options();
+  options.device = simt::Backend::kScalar;
+  const detect::Result reference = (*d)->run(g, options);
+  check_labels(reference, g.num_vertices(), "scalar/plain/sentinel");
+
+  for (const detect::Storage storage :
+       {detect::Storage::kPlain, detect::Storage::kZcsr,
+        detect::Storage::kMmap}) {
+    for (const detect::TableLayout layout :
+         {detect::TableLayout::kSentinel, detect::TableLayout::kOccupancy}) {
+      SCOPED_TRACE(std::string(detect::storage_name(storage)) + "/" +
+                   detect::table_layout_name(layout));
+      detect::Options combo = options;
+      combo.storage = storage;
+      combo.table_layout = layout;
+      const detect::Result result = (*d)->run(g, combo);
+      // Bitwise: the same labels, not merely the same modularity.
+      EXPECT_EQ(result.community, reference.community);
+    }
+  }
+}
+
+TEST(DetectConformance, VectorDeviceMeetsQualityParityAcrossTheMatrix) {
+  const graph::Csr g = sbm_graph();
+  auto seq = detect::make("seq");
+  ASSERT_TRUE(seq.ok());
+  const double seq_q = (*seq)->run(g, small_options()).modularity;
+  ASSERT_GT(seq_q, 0.3);
+
+  auto d = detect::make("core");
+  ASSERT_TRUE(d.ok());
+  for (const detect::Storage storage :
+       {detect::Storage::kPlain, detect::Storage::kZcsr,
+        detect::Storage::kMmap}) {
+    for (const detect::TableLayout layout :
+         {detect::TableLayout::kSentinel, detect::TableLayout::kOccupancy}) {
+      SCOPED_TRACE(std::string(detect::storage_name(storage)) + "/" +
+                   detect::table_layout_name(layout));
+      detect::Options options = small_options();
+      options.device = simt::Backend::kVector;
+      options.storage = storage;
+      options.table_layout = layout;
+      const detect::Result result = (*d)->run(g, options);
+      check_labels(result, g.num_vertices(), "vector");
+      EXPECT_GE(result.modularity, 0.98 * seq_q);
+    }
+  }
+}
+
+TEST(DetectConformance, AutoDeviceMatchesItsResolution) {
+  // kAuto must behave exactly like whatever it resolves to on this
+  // machine — one detector instance, re-run across the switch, so the
+  // registry's backend-aware runner rebuild is exercised too.
+  const graph::Csr g = sbm_graph();
+  auto d = detect::make("core");
+  ASSERT_TRUE(d.ok());
+  detect::Options options = small_options();
+  options.device = simt::Backend::kAuto;
+  const detect::Result auto_run = (*d)->run(g, options);
+  options.device = simt::resolve_backend(simt::Backend::kAuto);
+  const detect::Result resolved_run = (*d)->run(g, options);
+  EXPECT_EQ(auto_run.community, resolved_run.community);
+}
+
+TEST(DetectConformance, VectorLaneOccupancyCounterIsEmitted) {
+  // The obs counter only exists on vector runs; scalar runs must not
+  // emit it (it would read as 0/0). Under a GLOUVAIN_SIMTCHECK build
+  // the vector collectives deliberately take the scalar reference path
+  // (that is the twin the checker instruments), so no run emits it.
+  const graph::Csr g = sbm_graph();
+  auto d = detect::make("core");
+  ASSERT_TRUE(d.ok());
+  for (const simt::Backend device :
+       {simt::Backend::kScalar, simt::Backend::kVector}) {
+    SCOPED_TRACE(simt::backend_name(device));
+    detect::Options options = small_options();
+    options.device = device;
+    obs::Recorder rec;
+    (void)(*d)->run(g, options, &rec);
+    bool found = false;
+    double value = -1.0;
+    for (const auto& c : rec.counters()) {
+      if (rec.name(c.name) == std::string_view("modopt/vector_lane_occupancy")) {
+        found = true;
+        value = c.value;
+      }
+    }
+    if (device == simt::Backend::kVector && !check::enabled()) {
+      EXPECT_TRUE(found);
+      EXPECT_GT(value, 0.0);
+      EXPECT_LE(value, 1.0);
+    } else {
+      EXPECT_FALSE(found);
+    }
+  }
 }
 
 TEST(DetectConformance, ServiceRunsEveryBackend) {

@@ -5,6 +5,7 @@
 //
 // Expected findings:
 //   raw-atomic       lines with std::atomic / <atomic> below
+//   raw-intrinsic    the <immintrin.h> include and the _mm256 gather
 //   seq-cst          the memory_order_seq_cst load
 //   kernel-alloc     the push_back / new inside the launch body
 //   unpaired-launch  the launch with no obs::Span nearby
@@ -12,6 +13,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <immintrin.h>
 #include <vector>
 
 #include "simt/device.hpp"
@@ -19,6 +21,11 @@
 namespace glouvain::fixture {
 
 std::atomic<int> g_bad_counter{0};  // raw-atomic: should use simt::atomic_*
+
+// raw-intrinsic: vector code outside src/simt/ must use simt::vec.
+inline __m256i bad_gather(const int* table, __m256i idx) {
+  return _mm256_i32gather_epi32(table, idx, 4);
+}
 
 inline int bad_seq_cst_read() {
   return g_bad_counter.load(std::memory_order_seq_cst);  // seq-cst

@@ -35,9 +35,21 @@ expect(1 "no command" )
 expect(1 "unknown command" frobnicate)
 expect(1 "churn without --out" churn --in "${graph}")
 
+# 0 ok: the device-backend matrix documented in --help. `vector` on a
+# machine without AVX2 silently runs the scalar-emulation twins, so all
+# three names succeed everywhere.
+expect(0 "detect with --device scalar"
+  detect --in "${graph}" --device scalar --out "${WORK_DIR}/cli_scalar.part")
+expect(0 "detect with --device vector"
+  detect --in "${graph}" --device vector --out "${WORK_DIR}/cli_vector.part")
+expect(0 "detect with --device auto"
+  detect --in "${graph}" --device auto --out "${WORK_DIR}/cli_auto.part")
+
 # 2 invalid argument
 expect(2 "detect without --in" detect)
 expect(2 "unknown detect backend" detect --in "${graph}" --backend bogus)
+expect(2 "unknown device backend" detect --in "${graph}" --device avx512)
+expect(2 "unknown table layout" detect --in "${graph}" --table cuckoo)
 set(deltas "${WORK_DIR}/cli_codes.deltas")
 file(WRITE "${deltas}" "batch 1\n+ 0 1\n")
 expect(2 "unknown stream backend"

@@ -59,6 +59,7 @@ int usage(const char* error = nullptr) {
                "            [--trace FILE] [--tbin X --tfinal Y] [--devices D]\n"
                "            [--coloring] [--threads N] [--verbose]\n"
                "            [--storage plain|zcsr|mmap] [--table sentinel|occ]\n"
+               "            [--device scalar|vector|auto]\n"
                "  compress  varint-compress a graph into a .zg container\n"
                "            --in FILE --out FILE.zg\n"
                "  batch     run a manifest of graphs through the service\n"
@@ -82,6 +83,20 @@ int usage(const char* error = nullptr) {
                "         through per-worker cursors; partitions bitwise-equal\n"
                "  mmap   the zcsr layout read from a mapped .zg container\n"
                "         (out-of-core: the plain arrays never materialize)\n"
+               "\n"
+               "device backends (detect --device; core/multi backends only):\n"
+               "  scalar  lockstep lane interpreter; partitions bitwise-stable\n"
+               "          across runs and machines\n"
+               "  vector  AVX2 lane substrate (gathered hash probes, masked\n"
+               "          slot scans); falls back to a scalar emulation of\n"
+               "          the same call graph without AVX2 or with\n"
+               "          GLOUVAIN_NO_AVX2 set\n"
+               "  auto    vector iff the CPU supports AVX2 (default)\n"
+               "\n"
+               "flag/exit-code matrix: unknown names for --backend, --storage,\n"
+               "  --table or --device, and unsupported combinations (zcsr/mmap\n"
+               "  with --coloring or warm starts; non-plain storage on plm or\n"
+               "  multi) all exit 2 (invalid argument).\n"
                "\n"
                "exit codes (util::Status, see README):\n"
                "  0 ok                 1 usage error          2 invalid argument\n"
@@ -175,6 +190,8 @@ int cmd_detect(util::Options& opt) {
       "storage", "", "level-0 storage: plain | zcsr | mmap (see below)");
   const std::string table_arg = opt.get_string(
       "table", "sentinel", "modopt hash-table layout: sentinel | occ");
+  const std::string device_arg = opt.get_string(
+      "device", "auto", "lane substrate: scalar | vector | auto");
 
   detect::Storage storage =
       is_zg_path(in) ? detect::Storage::kMmap : detect::Storage::kPlain;
@@ -182,23 +199,27 @@ int cmd_detect(util::Options& opt) {
     return fail_status(
         util::Status::invalid_argument("unknown --storage: " + storage_arg));
   }
-  if (table_arg != "sentinel" && table_arg != "occ") {
-    return fail_status(
-        util::Status::invalid_argument("unknown --table: " + table_arg));
-  }
 
+  // One canonical Options carries every algorithm knob; the Extensions
+  // struct is reserved for backend-internal machinery (bucket schemes,
+  // multi device counts) that has no Options equivalent.
   detect::Options options;
   options.thresholds = ThresholdSchedule{.t_bin = t_bin, .t_final = t_final,
                                          .adaptive_limit = 100'000,
                                          .adaptive = true};
   options.threads = threads;
   options.storage = storage;
+  options.use_coloring = coloring;
+  if (!detect::parse_table_layout(table_arg, options.table_layout)) {
+    return fail_status(
+        util::Status::invalid_argument("unknown --table: " + table_arg));
+  }
+  if (!simt::parse_backend(device_arg, options.device)) {
+    return fail_status(
+        util::Status::invalid_argument("unknown --device: " + device_arg));
+  }
 
   detect::Extensions ext;
-  ext.core.use_coloring = coloring;
-  ext.core.table_layout = table_arg == "occ" ? core::TableLayout::kOccupancy
-                                             : core::TableLayout::kSentinel;
-  ext.core.device.worker_threads = threads;
   ext.multi.num_devices = devices;
   ext.multi.partition =
       opt.get_string("partition", "random", "block | random (multi only)") ==

@@ -8,6 +8,12 @@ with rules that are cheaper to enforce at the source level:
                    outside src/simt/ — kernel code must go through
                    simt::atomic_* so the CUDA-intrinsic semantics (and
                    the simtcheck instrumentation) stay in one place.
+  raw-intrinsic    #include <immintrin.h> or _mm*/__m256* vector
+                   intrinsics outside src/simt/ — kernel code must go
+                   through the simt::vec primitives so the scalar
+                   emulation twin and the simtcheck gating stay in one
+                   place (only src/simt/vector_ops_avx2.cpp is compiled
+                   with -mavx2).
   seq-cst          memory_order_seq_cst anywhere — the device model is
                    relaxed/acq-rel like the GPU original; a seq_cst op
                    on the hot path is either a bug or an unmarked fence.
@@ -40,12 +46,16 @@ import os
 import re
 import sys
 
-RULES = ("raw-atomic", "seq-cst", "kernel-alloc", "unpaired-launch")
+RULES = ("raw-atomic", "raw-intrinsic", "seq-cst", "kernel-alloc",
+         "unpaired-launch")
 SOURCE_EXT = (".cpp", ".hpp", ".cc", ".h")
 OBS_WINDOW = 40  # lines an obs span may precede its launch by
 
 RAW_ATOMIC_RE = re.compile(
     r"std\s*::\s*atomic(_ref|_flag)?\b|^\s*#\s*include\s*<atomic>")
+RAW_INTRINSIC_RE = re.compile(
+    r"^\s*#\s*include\s*<(imm|x86|avx|emm|smm|tmm)intrin\.h>|"
+    r"\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[id]?\b")
 SEQ_CST_RE = re.compile(r"\bmemory_order_seq_cst\b|\bmemory_order\s*::\s*seq_cst\b")
 LAUNCH_RE = re.compile(r"\bdevice_?\s*(\.|->)\s*(launch|for_each)\s*\(")
 # Only true kernel launches need an obs span; for_each is the trivial
@@ -182,6 +192,10 @@ def lint_file(path, rel, findings):
         if not simt and RAW_ATOMIC_RE.search(line):
             add(idx, "raw-atomic",
                 "raw std::atomic outside src/simt/ — use simt::atomic_*")
+        if not simt and RAW_INTRINSIC_RE.search(line):
+            add(idx, "raw-intrinsic",
+                "raw vector intrinsic outside src/simt/ — use the "
+                "simt::vec primitives")
         if SEQ_CST_RE.search(line):
             add(idx, "seq-cst",
                 "seq_cst ordering on the device hot path — the model is "
