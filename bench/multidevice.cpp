@@ -8,6 +8,9 @@
 //     using an initial random vertex partitioning".
 // This harness sweeps device count x partition strategy and prints the
 // coarse-phase and final modularity against single-device quality.
+// (The multi backend is deprecated in favour of the sharded engine —
+// bench/shard_scale.cpp — but this harness remains the reproduction of
+// the coarse-grained [4] scheme the paper's conclusion discusses.)
 #include "bench_common.hpp"
 
 #include "multi/multi.hpp"
@@ -18,10 +21,19 @@ int main(int argc, char** argv) {
   util::Options opt(argc, argv);
   const double scale = opt.get_double("scale", 0.1, "suite size multiplier");
   const std::int64_t seed = opt.get_int("seed", 1, "generator seed");
+  const std::string device_arg = opt.get_string(
+      "device", "auto", "lane substrate: scalar | vector | auto");
+  const std::string json = opt.get_string("json", "", "bench JSON output file");
   const auto graphs = bench::graphs_from_options(opt, "community");
   if (opt.help_requested()) {
     std::printf("%s", opt.usage("multi-device coarse-grained Louvain").c_str());
     return 0;
+  }
+
+  simt::Backend device = simt::Backend::kAuto;
+  if (!simt::parse_backend(device_arg, device)) {
+    std::fprintf(stderr, "unknown --device: %s\n", device_arg.c_str());
+    return 2;
   }
 
   bench::banner("Multi-device — coarse-grained partitioned Louvain (§6)",
@@ -29,28 +41,51 @@ int main(int argc, char** argv) {
                 "conclusion: coarse-grained holds up even under random "
                 "vertex partitioning");
 
+  bench::JsonReport report("multidevice");
+  report.set_param("scale", scale);
+  report.set_param("seed", static_cast<double>(seed));
+  report.set_param("device",
+                   static_cast<double>(simt::resolve_backend(device)));
+
   util::Table table({"graph", "partition", "D", "Q(coarse)", "Q(final)",
                      "vs single", "time[s]"});
   for (const auto& name : graphs) {
-    const auto g = gen::suite_entry(name).build(scale, static_cast<std::uint64_t>(seed));
-    const double q_single = bench::run_core(g).modularity;
+    const auto g =
+        gen::suite_entry(name).build(scale, static_cast<std::uint64_t>(seed));
+    core::Config single;
+    single.device.backend = device;
+    const bench::AlgoRun base = bench::run_core(g, single);
+    const double q_single = base.modularity;
     table.add_row({name, "-", "1", "-", util::Table::fixed(q_single, 4),
                    "100.0%", "-"});
+    report.add_run(name, "core", g.num_vertices(), g.num_edges(), base);
     for (auto strategy : {multi::PartitionStrategy::Block,
                           multi::PartitionStrategy::Random}) {
+      const char* pname =
+          strategy == multi::PartitionStrategy::Block ? "block" : "random";
       for (unsigned d : {2u, 4u, 8u}) {
         multi::Config cfg;
         cfg.num_devices = d;
         cfg.partition = strategy;
-        cfg.device.thresholds = bench::paper_thresholds();
+        cfg.thresholds = bench::paper_thresholds();
+        cfg.device = device;  // lowered into every per-device core run
         const multi::Result r = multi::louvain(g, cfg);
         table.add_row(
-            {name,
-             strategy == multi::PartitionStrategy::Block ? "block" : "random",
-             std::to_string(d), util::Table::fixed(r.local_modularity, 4),
+            {name, pname, std::to_string(d),
+             util::Table::fixed(r.local_modularity, 4),
              util::Table::fixed(r.modularity, 4),
-             util::Table::percent(q_single > 1e-9 ? r.modularity / q_single : 1.0, 1),
+             util::Table::percent(
+                 q_single > 1e-9 ? r.modularity / q_single : 1.0, 1),
              util::Table::fixed(r.total_seconds, 3)});
+        report.add_metrics(
+            name, std::string("multi-") + pname,
+            {{"vertices", static_cast<double>(g.num_vertices())},
+             {"edges", static_cast<double>(g.num_edges())},
+             {"devices", static_cast<double>(d)},
+             {"seconds", r.total_seconds},
+             {"modularity", r.modularity},
+             {"local_modularity", r.local_modularity},
+             {"vs_single", q_single > 1e-9 ? r.modularity / q_single : 1.0}});
       }
     }
   }
@@ -58,5 +93,6 @@ int main(int argc, char** argv) {
   std::printf("\nexpected shape: block partitioning tracks single-device; "
               "random costs up to ~10-20%% before the finishing pass "
               "recovers most of it.\n");
+  if (!json.empty() && !report.write(json)) return 4;
   return 0;
 }

@@ -86,6 +86,17 @@ struct Config : detect::Options {
   /// holds nearly every vertex. Quality/cost measured by the
   /// `ablation_subrounds` bench; see DESIGN.md.
   unsigned commit_subrounds = 4;
+  /// Evaluate the exact modularity inside optimize_phase (one O(|E|)
+  /// pass up front plus one per surviving sweep — the oscillation
+  /// catch of the sweep stopping rule, and the source of
+  /// PhaseResult::modularity). The sharded engine disables it for its
+  /// frontier rounds: there the round loop is the outer iteration,
+  /// stopping on all-reduced move counts, and a per-phase O(|E|)
+  /// evaluation would put the full edge set on the per-round critical
+  /// path. With false, sweeps stop on the accumulated predicted gain
+  /// alone (bounded by max_sweeps_per_level) and
+  /// PhaseResult::modularity is 0.
+  bool eval_phase_modularity = true;
   /// use_coloring and table_layout moved to the detect::Options base —
   /// they are front-end knobs now, inherited here. Only the device
   /// machinery below remains core-specific.

@@ -228,6 +228,24 @@ void PhaseState::reset_from(const Csr& graph, simt::Device& device,
   });
 }
 
+void PhaseState::reseed(simt::Device& device,
+                        std::span<const Community> seed) {
+  const std::size_t n = strengths.size();
+  assert(seed.size() == n);  // sized by a prior reset over this graph
+  device.for_each(n, [&](std::size_t v) {
+    assert(seed[v] < n);
+    community[v] = seed[v];
+    new_comm[v] = seed[v];
+    tot[v] = 0;
+    com_size[v] = 0;
+    move_gain[v] = 0;
+  });
+  device.for_each(n, [&](std::size_t v) {
+    simt::atomic_add(tot[seed[v]], strengths[v]);
+    simt::atomic_add(com_size[seed[v]], VertexId{1});
+  });
+}
+
 void PhaseState::reset(ZRows& rows, simt::Device& device) {
   const VertexId n = rows.num_vertices();
   strengths.resize(n);
@@ -490,15 +508,16 @@ PhaseResult optimize_phase_impl(simt::Device& device, Rows& rows,
         ws.buffer<Weight>(Workspace::Slot::kModoptTotPartial,
                           device.workers()));
   };
-  double current_q = [&] {
+  double current_q = 0;
+  if (config.eval_phase_modularity) {
     obs::Span span(rec, "modopt/modularity");
-    return eval_q();
-  }();
+    current_q = eval_q();
+  }
   // True while current_q is the exact modularity of the live partition
   // (no commit moved a vertex since it was evaluated); lets the final
   // report reuse the last in-loop evaluation instead of paying one
   // more O(|E|) pass.
-  bool q_fresh = true;
+  bool q_fresh = config.eval_phase_modularity;
 
   while (result.sweeps < config.max_sweeps_per_level) {
     ++result.sweeps;
@@ -681,6 +700,7 @@ PhaseResult optimize_phase_impl(simt::Device& device, Rows& rows,
     // catches oscillation (real gain <= 0 while predictions stay
     // positive).
     if (sweep_gain < threshold) break;
+    if (!config.eval_phase_modularity) continue;
     obs::Span q_span(rec, "modopt/modularity");
     const double new_q = eval_q();
     q_fresh = true;
@@ -705,7 +725,7 @@ PhaseResult optimize_phase_impl(simt::Device& device, Rows& rows,
                      static_cast<double>(lanes_issued));
     }
   }
-  if (q_fresh) {
+  if (q_fresh || !config.eval_phase_modularity) {
     result.modularity = current_q;
   } else {
     obs::Span final_q_span(rec, "modopt/modularity");

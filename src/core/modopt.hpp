@@ -44,6 +44,14 @@ struct PhaseState {
   /// from sequential decode (same row-order summation as the plain
   /// path, so every double matches bitwise).
   void reset(ZRows& rows, simt::Device& device);
+
+  /// Re-seed community/tot/|c| from `seed`, keeping the cached static
+  /// strengths/loops of an earlier reset over the SAME graph. This is
+  /// the sharded engine's exchange-round path: the local graph is
+  /// unchanged between rounds, so only the O(n) label-derived state is
+  /// rebuilt and the O(arcs) strength pass is skipped. A real resident
+  /// device pays exactly this — halo updates, not a re-upload.
+  void reseed(simt::Device& device, std::span<const graph::Community> seed);
 };
 
 struct PhaseResult {

@@ -24,6 +24,7 @@
 #include "detect/result.hpp"
 #include "graph/csr.hpp"
 #include "multi/multi.hpp"
+#include "shard/engine.hpp"
 #include "util/status.hpp"
 #include "zg/zcsr.hpp"
 
@@ -40,6 +41,7 @@ namespace glouvain::detect {
 struct Extensions {
   core::Config core;
   multi::Config multi;
+  shard::Config shard;
 };
 
 class Detector {

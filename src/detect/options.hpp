@@ -59,6 +59,39 @@ inline bool parse_storage(std::string_view name, Storage& out) noexcept {
   return false;
 }
 
+/// Graph partition strategy of the sharded multi-device backend
+/// ("shard"): how vertices are assigned to the k edge-cut shards.
+/// Ignored by every other backend.
+enum class Partition {
+  /// Contiguous vertex-id ranges balanced by arc count.
+  kBlock,
+  /// Hash-based assignment (the paper's "initial random vertex
+  /// partitioning"; the conclusion's coarse-grained observation).
+  kRandom,
+  /// Arc-balanced block ranges for low-degree vertices; high-degree
+  /// hubs (degree above the paper's top modopt bucket bound) are
+  /// placed with the plurality of their neighbours and row-replicated
+  /// into every shard they touch (the vertex-cut mirror idiom).
+  kHubRep,
+};
+
+constexpr const char* partition_name(Partition p) noexcept {
+  switch (p) {
+    case Partition::kBlock: return "block";
+    case Partition::kRandom: return "random";
+    default: return "hubrep";
+  }
+}
+
+/// Parse a partition-strategy name; returns false (and leaves `out`
+/// alone) on an unknown name.
+inline bool parse_partition(std::string_view name, Partition& out) noexcept {
+  if (name == "block") { out = Partition::kBlock; return true; }
+  if (name == "random") { out = Partition::kRandom; return true; }
+  if (name == "hubrep") { out = Partition::kHubRep; return true; }
+  return false;
+}
+
 /// Slot layout of the task-local neighbour-community hash tables used
 /// by the GPU-style backend's modularity-optimization kernels. Ignored
 /// by backends without such tables (seq, plm).
@@ -111,6 +144,14 @@ struct Options {
   /// instead of hash-partitioned sub-rounds. GPU-style backend only;
   /// requires plain storage.
   bool use_coloring = false;
+  /// Sharded backend only: number of edge-cut shards (0 and 1 both
+  /// mean a single shard, which is bitwise-identical to "core").
+  unsigned shards = 1;
+  /// Sharded backend only: how vertices are assigned to shards.
+  Partition partition = Partition::kHubRep;
+  /// Seed of the random/hubrep partitioners. Folded into svc job keys
+  /// (a different partition is a different computation).
+  std::uint64_t partition_seed = 1;
 };
 
 }  // namespace glouvain::detect

@@ -160,15 +160,69 @@ class MultiDetector final : public Detector {
           "multi: compressed storage is not supported (use --storage plain)");
     }
     multi::Config cfg = ext_.multi;
-    // The core extension governs every simulated device; lower through
-    // the one canonical Options -> Config path.
-    cfg.device = core::to_config(options, ext_.core);
+    static_cast<Options&>(cfg) = options;
+    // The core extension governs every simulated device; multi's own
+    // louvain() runs it through the canonical Options -> Config path.
+    cfg.core = ext_.core;
     multi::Result mr = multi::louvain(graph, cfg, recorder);
     return static_cast<Result&&>(std::move(mr));  // slice off multi extras
   }
 
  private:
   Extensions ext_;
+};
+
+/// Sharded multi-device Louvain (DESIGN.md §14). Keeps its engine
+/// (device + workspace) warm across runs, exactly like CoreDetector —
+/// the svc device pool relies on this for cheap repeated jobs.
+class ShardDetector final : public Detector {
+ public:
+  explicit ShardDetector(const Extensions& ext) : base_(ext.shard) {}
+
+  std::string_view name() const noexcept override { return "shard"; }
+
+  Result run(const graph::Csr& graph, const Options& options,
+             obs::Recorder* recorder) override {
+    if (options.storage != Storage::kPlain) {
+      throw std::invalid_argument(
+          "shard: compressed storage is not supported (use --storage plain)");
+    }
+    if (options.warm_start) {
+      throw std::invalid_argument(
+          "shard: warm_start is not supported (shards are rebuilt per run)");
+    }
+    if (options.use_coloring) {
+      throw std::invalid_argument(
+          "shard: use_coloring is not supported (moves are serialized by "
+          "the shard round structure)");
+    }
+    shard::Result sr = engine_for(options).run(graph, recorder);
+    return static_cast<Result&&>(std::move(sr));  // slice off shard extras
+  }
+
+ private:
+  shard::Engine& engine_for(const Options& options) {
+    shard::Config cfg = shard::to_config(options, base_);
+    cfg.warm_start.reset();
+    const unsigned want = cfg.core.device.worker_threads
+                              ? cfg.core.device.worker_threads
+                              : cfg.threads;
+    const simt::Backend backend =
+        simt::resolve_backend(cfg.core.device.backend);
+    if (!engine_ || want != engine_threads_ || backend != engine_backend_) {
+      engine_ = std::make_unique<shard::Engine>(cfg);
+      engine_threads_ = want;
+      engine_backend_ = backend;
+    } else {
+      engine_->set_config(cfg);
+    }
+    return *engine_;
+  }
+
+  shard::Config base_;
+  std::unique_ptr<shard::Engine> engine_;
+  unsigned engine_threads_ = ~0u;
+  simt::Backend engine_backend_ = simt::Backend::kAuto;
 };
 
 struct Registry {
@@ -187,6 +241,9 @@ struct Registry {
     });
     factories.emplace("multi", [](const Extensions& ext) {
       return std::make_unique<MultiDetector>(ext);
+    });
+    factories.emplace("shard", [](const Extensions& ext) {
+      return std::make_unique<ShardDetector>(ext);
     });
   }
 };

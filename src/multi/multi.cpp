@@ -38,6 +38,11 @@ Result louvain(const Csr& graph, const Config& config, obs::Recorder* rec) {
   }
   if (rec) rec->end_span(part_span);
 
+  // The one canonical Options -> Config lowering: the front-end knobs
+  // in the Options base govern every simulated device.
+  core::Config device_config = core::to_config(config, config.core);
+  device_config.warm_start.reset();  // no warm path across partitions
+
   // --- 2. Independent local Louvain per device on the induced
   // subgraph. Devices are simulated sequentially (they share this
   // host); each run uses the full worker pool, so wall-clock measures
@@ -45,7 +50,7 @@ Result louvain(const Csr& graph, const Config& config, obs::Recorder* rec) {
   const std::size_t local_span = rec ? rec->begin_span("multi/local") : 0;
   std::vector<Community> global_label(n, 0);
   Community label_base = 0;
-  core::Config local_config = config.device;
+  core::Config local_config = device_config;
   local_config.max_levels = std::max(1, config.local_levels);
   for (unsigned d = 0; d < devices; ++d) {
     if (members[d].empty()) continue;
@@ -70,7 +75,7 @@ Result louvain(const Csr& graph, const Config& config, obs::Recorder* rec) {
   const std::size_t merge_span = rec ? rec->begin_span("multi/merge") : 0;
   const Csr contracted = graph::contract_reference(graph, global_label);
   if (rec) rec->end_span(merge_span);
-  const core::Result finish = core::louvain(contracted, config.device, rec);
+  const core::Result finish = core::louvain(contracted, device_config, rec);
 
   result.community = metrics::flatten(global_label, finish.community);
   result.modularity = metrics::modularity(graph, result.community);

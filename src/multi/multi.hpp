@@ -35,10 +35,23 @@ enum class PartitionStrategy {
   Random,  ///< hash-based assignment (the paper's "initial random vertex partitioning")
 };
 
-struct Config {
+/// DEPRECATED: the shard backend (src/shard, `--backend shard`)
+/// supersedes this subsystem as the partitioned path — it exchanges
+/// ghost labels/totals between rounds instead of dropping cut edges,
+/// so quality tracks the sequential algorithm. `multi` remains as the
+/// zero-communication coarse-grained comparator the paper's conclusion
+/// sketches.
+///
+/// The shared knobs (thresholds, threads, device, ...) live in the
+/// detect::Options base; multi::louvain lowers them onto every
+/// simulated device through the canonical core::to_config() path.
+struct Config : detect::Options {
   unsigned num_devices = 2;
   PartitionStrategy partition = PartitionStrategy::Random;
-  core::Config device;  ///< configuration of every simulated device
+  /// Per-device backend machinery (bucket schemes, device shape). Its
+  /// Options slice is overwritten by the canonical lowering inside
+  /// louvain().
+  core::Config core;
   /// Levels each device runs locally before the global merge. Cut
   /// edges are invisible during the local phase, so deep local
   /// hierarchies bake in mistakes the finishing pass cannot undo

@@ -1,0 +1,469 @@
+#include "shard/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/recorder.hpp"
+#include "shard/halo.hpp"
+#include "util/timer.hpp"
+
+namespace glouvain::shard {
+
+namespace {
+using graph::Community;
+using graph::Csr;
+using graph::VertexId;
+using graph::Weight;
+using graph::kInvalidVertex;
+
+simt::DeviceConfig resolve_device(const Config& config) {
+  simt::DeviceConfig dev = config.core.device;
+  if (dev.worker_threads == 0) dev.worker_threads = config.threads;
+  return dev;
+}
+
+/// Canonicalize: the inner core config always re-derives from the
+/// outer Options slice, so a hand-assembled Config can never run the
+/// per-shard phases with knobs that diverge from the front-end surface.
+Config lowered(Config config) {
+  config.core = core::to_config(config, config.core);
+  return config;
+}
+}  // namespace
+
+Engine::Engine(const Config& config)
+    : config_(lowered(config)),
+      device_(std::make_unique<simt::Device>(resolve_device(config_))) {}
+
+Engine::~Engine() = default;
+
+void Engine::set_config(const Config& config) {
+  const simt::DeviceConfig keep = config_.core.device;
+  config_ = lowered(config);
+  config_.core.device = keep;  // the live device's shape is immutable
+}
+
+unsigned Engine::shards_for(VertexId n) const noexcept {
+  const unsigned want = config_.shards == 0 ? 1 : config_.shards;
+  if (want <= 1) return 1;
+  const VertexId min_n = std::max<VertexId>(config_.min_shard_vertices, 1);
+  const std::uint64_t fit = std::max<std::uint64_t>(n / min_n, 1);
+  return static_cast<unsigned>(std::min<std::uint64_t>(want, fit));
+}
+
+Result Engine::run(const Csr& graph, obs::Recorder* rec) {
+  const bool debug = std::getenv("GLOUVAIN_SHARD_DEBUG") != nullptr;
+  util::Timer total_timer;
+  device_->clear_spills();
+
+  const VertexId n0 = graph.num_vertices();
+  Result result;
+  result.community.resize(n0);
+  device_->for_each(n0, [&](std::size_t v) {
+    result.community[v] = static_cast<Community>(v);
+  });
+
+  const Csr* current = &graph;
+  Csr owned;
+  double prev_q = -1.0;
+  std::uint64_t prev_spills = 0;
+
+  // Sharded-level scratch, reused across levels and rounds.
+  GlobalState gs;
+  std::vector<Weight> strengths;
+  std::vector<Community> seed;       ///< per-shard local seed labels
+  std::vector<Community> rep_comm;   ///< local slot -> global community
+  std::vector<Community> comm_slot;  ///< global community -> local slot
+  std::vector<VertexId> slot_list;   ///< slots claimed by this shard
+  std::vector<VertexId> active_ids;  ///< iota; prefix = a shard's owned
+  std::vector<int> last_moved;       ///< round a global vertex last moved
+  std::vector<int> dirty_round;      ///< round a neighbour last moved
+  std::vector<VertexId> frontier;    ///< round >= 1 restricted active set
+
+  for (int level = 0; level < config_.max_levels; ++level) {
+    if (rec) rec->set_level(level);
+    const VertexId n = current->num_vertices();
+    const unsigned k = shards_for(n);
+    LevelReport report;
+    report.vertices = n;
+    report.arcs = current->num_arcs();
+    report.modularity_before = prev_q < -0.5 ? 0 : prev_q;
+    const double threshold = config_.thresholds.threshold_for(report.vertices);
+
+    double phase_q = 0;
+    int sweeps = 0;
+    std::span<const Community> labels;
+    util::Timer opt_timer;
+
+    if (k <= 1) {
+      // ---- unsharded level: the core::Louvain level protocol
+      // verbatim, so shards <= 1 stays bitwise-identical to "core" and
+      // small contracted levels get an exact finishing pass.
+      state_.reset(*current, *device_);
+      const core::PhaseResult phase = core::optimize_phase(
+          *device_, *current, config_.core, state_,
+          std::span<const VertexId>{}, threshold, ws_, rec);
+      phase_q = phase.modularity;
+      sweeps = phase.sweeps;
+      labels = state_.community;
+      const double crit = opt_timer.seconds();
+      result.critical_seconds += crit;
+      // Work model (Result::critical_work): upload + one arc pass per
+      // move sweep. The phase's own per-sweep modularity evaluations
+      // are not charged — a deliberate bias AGAINST the sharded runs,
+      // whose gates compare to this baseline.
+      const double level_work =
+          static_cast<double>(report.arcs) *
+          (1.0 + static_cast<double>(std::max(phase.sweeps, 1)));
+      result.critical_work += level_work;
+      if (rec) {
+        rec->count("shard/critical_ns", crit * 1e9);
+        rec->count("shard/critical_work", level_work);
+      }
+      if (level == 0) {
+        result.shards_used = 1;
+        result.first_phase_teps =
+            phase.first_sweep_seconds > 0
+                ? static_cast<double>(report.arcs) / phase.first_sweep_seconds
+                : 0;
+      }
+    } else {
+      // ---- sharded level: partition, then alternate per-shard
+      // restricted phases (sequentially on the one warm device — see
+      // engine.hpp) with halo exchanges of labels and community totals.
+      Plan plan;
+      {
+        obs::Span span(rec, "shard/partition");
+        plan = make_plan(*current,
+                         PartitionConfig{k, config_.partition,
+                                         config_.partition_seed,
+                                         config_.hub_degree});
+      }
+      if (level == 0) {
+        result.partition = plan.stats;
+        result.shards_used = k;
+      }
+      if (rec) {
+        rec->count("shard/shards", static_cast<double>(k));
+        rec->count("shard/cut_edges",
+                   static_cast<double>(plan.stats.cut_edges));
+        rec->count("shard/ghost_ratio", plan.stats.ghost_ratio);
+        rec->count("shard/imbalance", plan.stats.imbalance);
+        rec->count("shard/replicated_hubs",
+                   static_cast<double>(plan.stats.replicated_hubs));
+        rec->count("shard/halo_values",
+                   static_cast<double>(plan.exchange.values_per_round()));
+      }
+
+      strengths = current->compute_strengths();
+      gs.reset(n);
+      gs.rebuild_tot(strengths);
+      comm_slot.assign(n, kInvalidVertex);
+      VertexId max_owned = 0;
+      for (const Shard& sh : plan.shards) {
+        max_owned = std::max(max_owned, sh.num_owned);
+      }
+      active_ids.resize(max_owned);
+      for (VertexId i = 0; i < max_owned; ++i) active_ids[i] = i;
+      last_moved.assign(n, -1);
+      dirty_round.assign(n, -1);
+      if (shard_states_.size() < k) shard_states_.resize(k);
+
+      // Every round (round 0 included) runs with the phase-internal
+      // modularity machinery off and the sweep count capped: the round
+      // loop is the outer iteration here (stopping on the all-reduced
+      // moved count), each in-phase evaluation is a full O(|E_local|)
+      // pass that would otherwise dominate the per-round critical path
+      // at small k, and a shard-locally-converged deep phase is
+      // redundant with the rounds themselves — moves its later sweeps
+      // would make happen in the next round instead, against an
+      // exchanged (fresher) boundary. Sweeps stop on the accumulated
+      // predicted gain, bounded hard.
+      core::Config frontier_cfg = config_.core;
+      frontier_cfg.eval_phase_modularity = false;
+      // ONE sweep per round: an in-phase second sweep would re-scan
+      // the whole active set against the same stale boundary, while
+      // the next round re-scans only the shrunken frontier against
+      // exchanged labels — the round loop is the cheaper (and fresher)
+      // iteration. This is the one-scan-per-exchange structure of
+      // distributed Louvain.
+      frontier_cfg.max_sweeps_per_level = 1;
+
+      double level_critical = 0;
+      double level_work = 0;
+      double first_sweep_max = 0;
+      for (int round = 0; round < config_.rounds_per_level; ++round) {
+        std::uint64_t moved = 0;
+        double max_shard_seconds = 0;
+        double max_shard_work = 0;
+        // Symmetric Gauss-Seidel over the shards: odd rounds sweep in
+        // reverse, so no shard is permanently the leader (with a fixed
+        // order the first shard always moves against a stale boundary
+        // and the last always reacts — the cut settles lopsided).
+        for (unsigned si = 0; si < k; ++si) {
+          const unsigned s = (round & 1) != 0 ? k - 1 - si : si;
+          const Shard& sh = plan.shards[s];
+          if (sh.num_owned == 0) continue;
+          util::Timer shard_timer;
+          obs::Span shard_span(rec, "shard/phase");
+          const VertexId local_n = sh.num_local();
+          const VertexId mapped_n =
+              local_n - (sh.has_phantom ? 1 : 0);
+
+          // Round 0 optimizes every owned vertex. Later rounds only
+          // revisit the change frontier: owned vertices that moved
+          // since this shard last ran, or whose neighbourhood changed
+          // (movers stamp their neighbours dirty at publish time — the
+          // push-based marking below — so membership is two O(1) reads
+          // per owned vertex, no adjacency scan). Everything else sits
+          // at the local optimum it reached last round (stale only in
+          // second-order a_c drift), so re-sweeping it buys nothing
+          // and costs a full phase — an idle shard skips even the
+          // reseed marshal below.
+          std::span<const VertexId> active(active_ids.data(), sh.num_owned);
+          double active_arcs = 0;  ///< local arcs the phase will scan
+          if (round > 0) {
+            frontier.clear();
+            // Hub settling (Config::hub_settle_rounds): past the
+            // opening rounds a dirty hub row is not re-scanned — on a
+            // scale-free cut every hub is dirtied every round, and
+            // those full-degree re-scans would dominate the settle
+            // tail. A hub that itself moved stays eligible.
+            const bool settle_hubs = round >= config_.hub_settle_rounds;
+            for (VertexId i = 0; i < sh.num_owned; ++i) {
+              const VertexId g = sh.global_of[i];
+              const bool moved_recently = last_moved[g] >= round - 1;
+              if (!moved_recently &&
+                  (dirty_round[g] < round - 1 ||
+                   (settle_hubs &&
+                    sh.local.degree(i) > config_.hub_degree))) {
+                continue;
+              }
+              frontier.push_back(i);
+              active_arcs += static_cast<double>(sh.local.degree(i));
+            }
+            active = frontier;
+          } else {
+            for (VertexId i = 0; i < sh.num_owned; ++i) {
+              active_arcs += static_cast<double>(sh.local.degree(i));
+            }
+          }
+          if (active.empty()) continue;
+
+          // Seed the local state from the exchanged global view: the
+          // slot of community c is the first local vertex found in c,
+          // and rep_comm remembers which global community a slot
+          // stands for.
+          seed.resize(local_n);
+          rep_comm.resize(local_n);
+          slot_list.clear();
+          for (VertexId i = 0; i < mapped_n; ++i) {
+            const Community c = gs.community_of(sh.global_of[i]);
+            if (comm_slot[c] == kInvalidVertex) {
+              comm_slot[c] = i;
+              rep_comm[i] = c;
+              slot_list.push_back(i);
+            }
+            seed[i] = comm_slot[c];
+          }
+          if (sh.has_phantom) seed[local_n - 1] = local_n - 1;
+          core::PhaseState& st = shard_states_[s];
+          if (round == 0) {
+            st.reset_from(sh.local, *device_, seed);
+          } else {
+            st.reseed(*device_, seed);
+          }
+          // Exchanged community totals replace the locally-accumulated
+          // ones, so gains computed inside the shard are GLOBAL gains.
+          // The phantom keeps its reset total (its own pad strength —
+          // it is frozen and adjacent to nothing, so it never appears
+          // as a move candidate).
+          for (const VertexId slot : slot_list) {
+            st.tot[slot] = gs.tot_of(rep_comm[slot]);
+          }
+
+          const core::PhaseResult phase = core::optimize_phase(
+              *device_, sh.local, frontier_cfg, st, active, threshold, ws_,
+              rec);
+          sweeps += phase.sweeps;
+          if (round == 0) {
+            first_sweep_max =
+                std::max(first_sweep_max, phase.first_sweep_seconds);
+          }
+
+          // Publish the owned labels back into the global view, with
+          // the community totals updated in the same stroke. Later
+          // shards of this round see both (Gauss-Seidel order); the
+          // round-end exchange re-reduces the totals from scratch so
+          // incremental float drift cannot accumulate across rounds.
+          for (VertexId i = 0; i < sh.num_owned; ++i) {
+            const Community c_new = rep_comm[st.community[i]];
+            const VertexId g = sh.global_of[i];
+            if (gs.apply_move(g, c_new, strengths)) {
+              ++moved;
+              last_moved[g] = round;
+              // Push-based frontier maintenance: the mover dirties its
+              // global neighbourhood (the targeting of a real halo
+              // message), so the next round's membership test needs no
+              // adjacency scan. Cost is proportional to the round's
+              // migration, not to the edge set. Delta-screening prune
+              // (Vite/GVE lineage): a neighbour already in the mover's
+              // destination community saw its stay-put option
+              // reinforced, not weakened — skip it.
+              for (const VertexId u : current->neighbors(g)) {
+                if (gs.community_of(u) != c_new) dirty_round[u] = round;
+              }
+            }
+          }
+          for (const VertexId slot : slot_list) {
+            comm_slot[rep_comm[slot]] = kInvalidVertex;
+          }
+          max_shard_seconds =
+              std::max(max_shard_seconds, shard_timer.seconds());
+          // Deterministic per-shard cost (engine.hpp Result doc): one
+          // arc pass over the active set per sweep, the O(slots) seed
+          // marshal, and the state transfer — full upload on round 0,
+          // label-derived reseed after.
+          const double shard_work =
+              active_arcs *
+                  static_cast<double>(std::max(phase.sweeps, 1)) +
+              static_cast<double>(mapped_n) +
+              (round == 0 ? static_cast<double>(sh.local.num_arcs())
+                          : static_cast<double>(local_n));
+          max_shard_work = std::max(max_shard_work, shard_work);
+          if (debug) {
+            std::fprintf(stderr,
+                         "  [shard %u] active=%zu sweeps=%d t=%.3fs\n", s,
+                         active.size(), phase.sweeps, shard_timer.seconds());
+          }
+        }
+
+        // Halo exchange: rebuild every community's total strength from
+        // scratch (the O(|C|) all-reduce of a real deployment, and the
+        // fp-drift hygiene for apply_move's incremental updates).
+        util::Timer ex_timer;
+        {
+          obs::Span ex_span(rec, "shard/exchange");
+          gs.rebuild_tot(strengths);
+        }
+        const double exchange_seconds = ex_timer.seconds();
+        level_critical += max_shard_seconds + exchange_seconds;
+        // The exchange is the O(n) label broadcast + tot all-reduce.
+        level_work += max_shard_work + static_cast<double>(n);
+        ++result.exchange_rounds;
+        if (rec) {
+          rec->count("shard/rounds", 1);
+          rec->count("shard/exchange_ns", exchange_seconds * 1e9);
+          rec->count("shard/moved", static_cast<double>(moved), round);
+        }
+        // Round stopping rule: the all-reduced moved count, as
+        // distributed Louvain does it — a global modularity evaluation
+        // is a full O(|E|) pass and does NOT belong in the per-round
+        // exchange (it would dominate the critical path at small k).
+        // Rounds settle the cut boundary, so run them until migration
+        // dries up; the frontier restriction above makes the trailing
+        // rounds cheap.
+        if (debug) {
+          std::fprintf(stderr,
+                       "[shard] level=%d k=%u round=%d moved=%llu "
+                       "max_shard=%.3fs work=%.1fM exchange=%.3fs\n",
+                       level, k, round,
+                       static_cast<unsigned long long>(moved),
+                       max_shard_seconds, max_shard_work * 1e-6,
+                       exchange_seconds);
+        }
+        const auto move_floor = static_cast<std::uint64_t>(
+            config_.round_move_floor * static_cast<double>(n));
+        if (moved < std::max<std::uint64_t>(move_floor, 16)) break;
+      }
+      // One global modularity evaluation per level (the figure a real
+      // deployment computes alongside the final all-reduce), charged to
+      // the critical path once.
+      util::Timer q_timer;
+      {
+        obs::Span q_span(rec, "shard/modularity");
+        phase_q = core::device_modularity(*device_, *current, gs.labels_raw,
+                                          gs.tot_raw, ws_);
+      }
+      level_critical += q_timer.seconds();
+      // The level-end modularity evaluation is itself sharded in a
+      // real deployment (each device reduces its local arcs, then an
+      // all-reduce), so the critical path carries arcs / k of it.
+      level_work += static_cast<double>(report.arcs) / k;
+      labels = gs.labels();
+      result.critical_seconds += level_critical;
+      result.critical_work += level_work;
+      if (rec) {
+        rec->count("shard/critical_ns", level_critical * 1e9);
+        rec->count("shard/critical_work", level_work);
+      }
+      if (level == 0) {
+        result.first_phase_teps =
+            first_sweep_max > 0
+                ? static_cast<double>(report.arcs) / first_sweep_max
+                : 0;
+      }
+    }
+
+    report.optimize_seconds = opt_timer.seconds();
+    report.iterations = sweeps;
+    report.modularity_after = phase_q;
+
+    // Termination always checks against the FINE threshold (as core).
+    const bool converged =
+        prev_q >= -0.5 && (phase_q - prev_q) < config_.thresholds.t_final;
+
+    util::Timer agg_timer;
+    core::AggregationResult agg =
+        core::aggregate(*device_, *current, config_.core, labels, ws_, rec);
+    {
+      obs::Span fold_span(rec, "fold");
+      auto dense =
+          ws_.buffer<Community>(core::Workspace::Slot::kFoldDense, n);
+      device_->for_each(n, [&](std::size_t v) {
+        dense[v] = agg.new_id[labels[v]];
+      });
+      device_->for_each(result.community.size(), [&](std::size_t v) {
+        result.community[v] = dense[result.community[v]];
+      });
+      result.dendrogram.push_level(
+          std::vector<Community>(dense.begin(), dense.end()));
+    }
+    ws_.put(std::move(agg.new_id));
+    report.aggregate_seconds = agg_timer.seconds();
+    result.levels.push_back(report);
+
+    if (rec) {
+      rec->count("level/vertices", static_cast<double>(report.vertices));
+      rec->count("level/arcs", static_cast<double>(report.arcs));
+      const std::uint64_t spills = device_->total_spills();
+      rec->count("level/shared_spills",
+                 static_cast<double>(spills - prev_spills));
+      prev_spills = spills;
+    }
+
+    const bool shrunk = agg.contracted.num_vertices() < n;
+    prev_q = phase_q;
+    Csr next = std::move(agg.contracted);
+    if (owned.num_vertices() > 0) ws_.recycle(std::move(owned));
+    owned = std::move(next);
+    current = &owned;
+    if (converged || !shrunk) break;
+  }
+  if (rec) rec->set_level(-1);
+
+  result.modularity = prev_q;
+  result.total_seconds = total_timer.seconds();
+  result.device.shared_spills = device_->total_spills();
+  result.device.workers = device_->workers();
+  return result;
+}
+
+Result louvain(const Csr& graph, const Config& config, obs::Recorder* rec) {
+  Engine engine(config);
+  return engine.run(graph, rec);
+}
+
+}  // namespace glouvain::shard

@@ -1,0 +1,161 @@
+// The sharded multi-device Louvain driver (DESIGN.md §14): k edge-cut
+// shards, per-shard move phases on the simt device, inter-round halo
+// exchange of ghost community/tot, and a global aggregation that
+// rebuilds the shards per level.
+//
+// Execution model on this substrate: the container exposes ONE host
+// CPU, so — exactly like the multi subsystem it supersedes — the k
+// "devices" are simulated sequentially on a single warm simt::Device
+// that uses the full worker pool for each shard. Wall clock therefore
+// measures TOTAL work; the distributed figure of merit is the modeled
+// device-parallel critical path
+//
+//     Σ_rounds ( max_shard(marshal + phase) + exchange )
+//
+// emitted twice: as measured seconds (shard/critical_ns — a noisy
+// diagnostic on a timeshared CPU) and as deterministic work units
+// (shard/critical_work, see Result::critical_work — what
+// bench/shard_scale gates monotone-decreasing in k). DESIGN.md §14
+// maps each piece to the real multi-GPU deployment (one device per
+// shard, NCCL halo messages, an all-reduce for tot).
+//
+// Semantics: every shard's local graph carries a phantom "rest of
+// world" self-loop so its total_weight() equals the GLOBAL 2m, and
+// frozen ghost/replica slots are seeded with exchanged global labels
+// and community totals — so local move gains equal global gains and
+// per-shard quality tracks the sequential algorithm (the ≥98% gate).
+// With shards <= 1 (or once a contracted level drops below
+// min_shard_vertices) a level runs the core::Louvain level protocol
+// verbatim on the unpartitioned graph: a k=1 run is bitwise-identical
+// to the "core" backend.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/louvain.hpp"
+#include "shard/partition.hpp"
+
+namespace glouvain::obs {
+class Recorder;
+}
+
+namespace glouvain::shard {
+
+/// The shared knobs live in the detect::Options base (shards,
+/// partition, partition_seed, thresholds, threads, device, ...); only
+/// the shard machinery remains here.
+struct Config : detect::Options {
+  /// Per-shard phase machinery (bucket schemes, device shape). Its
+  /// Options slice is overwritten by to_config().
+  core::Config core;
+  /// Degree above which a vertex is a replicated hub (hubrep only).
+  graph::EdgeIdx hub_degree = 319;
+  /// Move/exchange rounds per level before aggregating. Round r+1
+  /// re-seeds every shard from the exchanged labels and only revisits
+  /// the change frontier, so rounds after the first are cheap; the
+  /// round loop additionally stops once a round's all-reduced moved
+  /// count drops under round_move_floor (cross-shard moves
+  /// need tighter settling than intra-phase sweeps, or the cut
+  /// boundary freezes prematurely and quality decays with 1/k).
+  int rounds_per_level = 12;
+  /// Contracted levels smaller than this collapse to a single shard
+  /// (the core-identical path doubles as the finishing pass).
+  graph::VertexId min_shard_vertices = 1u << 13;
+  /// Rounds during which dirty high-degree vertices (local degree >
+  /// hub_degree) are re-scanned like everyone else. From this round
+  /// on a hub re-enters the frontier only by moving itself: on a
+  /// scale-free graph some neighbour of every hub moves every round,
+  /// so dirty-marking alone would re-scan each hub's full row per
+  /// round forever — the dominant term of the settle tail's critical
+  /// path — while the hubs themselves, holding the strongest
+  /// community signal, settle within the first rounds.
+  int hub_settle_rounds = 2;
+  /// Round stopping rule: stop the move/exchange rounds of a level
+  /// once a round migrates fewer than this fraction of the level's
+  /// vertices (floored at 16 absolute). The knob trades cut-boundary
+  /// settling depth against rounds on the critical path; with hubs
+  /// settled the tail rounds are cheap (non-hub frontier only), so a
+  /// deep 0.1% floor buys quality margin for a few M arcs.
+  double round_move_floor = 1e-3;
+};
+
+/// THE lowering from the canonical front-end surface, mirroring
+/// core::to_config(): the Options slice of `base` (and of its inner
+/// core extension) is overwritten, extension fields survive.
+inline Config to_config(const detect::Options& options, Config base = {}) {
+  static_cast<detect::Options&>(base) = options;
+  base.core = core::to_config(options, base.core);
+  return base;
+}
+
+struct Result : detect::Result {
+  /// Partition diagnostics of level 0 (default-initialized when level
+  /// 0 ran unsharded).
+  PlanStats partition;
+  /// Effective shard count at level 0 (adaptive: may be below
+  /// Config::shards on small inputs).
+  unsigned shards_used = 1;
+  /// Total move/exchange rounds across all sharded levels.
+  int exchange_rounds = 0;
+  /// Modeled device-parallel critical path across all levels, seconds
+  /// (see header comment; also the shard/critical_ns counters).
+  /// Measured on the simulating CPU, so noisy — reported as a
+  /// diagnostic; gates use critical_work.
+  double critical_seconds = 0;
+  /// The same critical path in DETERMINISTIC work units (arc
+  /// traversals + linear marshal/exchange terms): per round, the
+  /// busiest shard's sweeps × active arcs + seed marshal + state
+  /// upload (round 0) or reseed, plus the O(n) tot all-reduce; plus
+  /// one O(arcs) modularity evaluation per level. The unsharded path
+  /// is charged (1 + sweeps) × arcs per level (upload + move sweeps —
+  /// its per-sweep modularity evaluations are NOT charged, which
+  /// biases the k = 1 baseline LOW, i.e. against the shards). Wall
+  /// time on this one-CPU simulator folds in thread-pool launch
+  /// overhead a real device does not pay per element, and is too
+  /// noisy to gate; identical runs produce identical critical_work,
+  /// so bench/shard_scale gates its monotone decrease in k exactly.
+  double critical_work = 0;
+};
+
+/// A warm sharded runner: owns one simt device + workspace reused by
+/// every shard of every run (the svc device pool keeps Engines warm
+/// exactly like core::Louvain instances). Not thread-safe.
+class Engine {
+ public:
+  explicit Engine(const Config& config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Result run(const graph::Csr& graph, obs::Recorder* recorder = nullptr);
+
+  /// Replace the configuration, keeping the device warm. The device
+  /// shape of the new config is ignored (as core::Louvain::set_config).
+  void set_config(const Config& config);
+
+  const Config& config() const noexcept { return config_; }
+  simt::Device& device() noexcept { return *device_; }
+
+ private:
+  /// Effective shard count for a level of n vertices.
+  unsigned shards_for(graph::VertexId n) const noexcept;
+
+  Config config_;
+  std::unique_ptr<simt::Device> device_;
+  core::Workspace ws_;
+  core::PhaseState state_;
+  /// One resident state per shard (as one device per shard would
+  /// keep): round 0 of a level uploads the local graph (reset_from,
+  /// O(arcs)); later rounds only reseed the label-derived state
+  /// (O(n)), which is what a real device pays after a halo update.
+  std::vector<core::PhaseState> shard_states_;
+};
+
+/// One-shot convenience wrapper.
+Result louvain(const graph::Csr& graph, const Config& config = {},
+               obs::Recorder* recorder = nullptr);
+
+}  // namespace glouvain::shard

@@ -95,6 +95,16 @@ Fingerprint job_key(const Fingerprint& graph_fp, std::string_view backend,
   b.absorb(static_cast<std::uint64_t>(options.table_layout) * 0xff51afd7ed558ccdULL);
   a.absorb(options.use_coloring ? 5 : 7);
   b.absorb(options.use_coloring ? 11 : 13);
+  // Sharding changes the computation (a different partition explores a
+  // different move order), so shard count, strategy and seed all key
+  // the cache. Backends that ignore them absorb the defaults, which is
+  // harmless.
+  a.absorb(static_cast<std::uint64_t>(options.shards) + 0x1000);
+  b.absorb(~static_cast<std::uint64_t>(options.shards));
+  a.absorb(static_cast<std::uint64_t>(options.partition) + 17);
+  b.absorb(static_cast<std::uint64_t>(options.partition) * 0xc2b2ae3d27d4eb4fULL);
+  a.absorb(options.partition_seed);
+  b.absorb(options.partition_seed ^ 0x9e3779b97f4a7c15ULL);
 
   a.absorb(session);
   b.absorb(session + 0x2545f4914f6cdd1dULL);

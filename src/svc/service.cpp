@@ -25,6 +25,7 @@ Backend backend_from_name(std::string_view name) noexcept {
   if (name == "seq") return Backend::Seq;
   if (name == "plm") return Backend::Plm;
   if (name == "multi") return Backend::Multi;
+  if (name == "shard") return Backend::Shard;
   return Backend::Auto;  // custom registry backends count as "other"
 }
 }  // namespace
@@ -72,6 +73,7 @@ const char* to_string(Backend b) noexcept {
     case Backend::Seq: return "seq";
     case Backend::Plm: return "plm";
     case Backend::Multi: return "multi";
+    case Backend::Shard: return "shard";
   }
   return "?";
 }
@@ -152,6 +154,11 @@ Service::Service(const ServiceConfig& config)
   impl_->run_ext = config_.ext;
   impl_->run_ext.core = core::to_config(config_.options, impl_->run_ext.core);
   impl_->run_ext.core.device.worker_threads = config_.device_threads;
+  // The sharded backend's per-shard phases share the pooled-device
+  // thread budget (its Options slice is re-lowered per run).
+  impl_->run_ext.shard =
+      shard::to_config(config_.options, impl_->run_ext.shard);
+  impl_->run_ext.shard.core.device.worker_threads = config_.device_threads;
   impl_->device_threads_resolved =
       config_.device_threads
           ? config_.device_threads
@@ -616,6 +623,10 @@ void Service::worker_loop(unsigned index) {
           s.counters.shared_spills += result->device.shared_spills;
           break;
         case Backend::Seq: ++s.counters.ran_sequential; break;
+        case Backend::Shard:
+          ++s.counters.ran_sharded;
+          s.counters.shared_spills += result->device.shared_spills;
+          break;
         default: ++s.counters.ran_other; break;
       }
     }

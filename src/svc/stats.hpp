@@ -28,6 +28,7 @@ struct Stats {
   // Routing of accepted jobs.
   std::uint64_t ran_on_device = 0;  ///< core backend, pooled device
   std::uint64_t ran_sequential = 0; ///< degraded to the seq backend
+  std::uint64_t ran_sharded = 0;    ///< shard backend, pooled device
   std::uint64_t ran_other = 0;      ///< plm / multi backends
 
   // Time accounting, summed over jobs (seconds).

@@ -1,0 +1,47 @@
+// Lint fixture for the shard-ghost rule: cross-shard reads and writes
+// that index the exchanged label/total arrays directly instead of
+// going through the GlobalState accessors (src/shard/halo.hpp). It is
+// intentionally NOT part of any build target — it exists so the
+// `simt_lint_fixture` ctest (run with --expect-violations) fails the
+// build if the linter rots and stops catching these.
+//
+// Expected findings:
+//   shard-ghost  the three direct element accesses below
+// The suppressed read and the whole-vector pass at the end must NOT be
+// reported.
+
+#include <span>
+
+#include "shard/halo.hpp"
+
+namespace glouvain::fixture {
+
+inline graph::Community bad_ghost_read(const shard::GlobalState& gs,
+                                       graph::VertexId v) {
+  return gs.labels_raw[v];  // shard-ghost: use gs.community_of(v)
+}
+
+inline void bad_ghost_write(shard::GlobalState& gs, graph::VertexId v,
+                            graph::Community c) {
+  gs.labels_raw[v] = c;  // shard-ghost: use gs.store_label / apply_move
+}
+
+inline graph::Weight bad_tot_read(const shard::GlobalState& gs,
+                                  graph::Community c) {
+  return gs.tot_raw[c];  // shard-ghost: use gs.tot_of(c)
+}
+
+inline graph::Community tolerated_read(const shard::GlobalState& gs,
+                                       graph::VertexId v) {
+  return gs.labels_raw[v];  // simt-lint: allow(shard-ghost)
+}
+
+/// Passing the whole array to a reduction is the blessed bulk path
+/// (device_modularity takes the full span) — the rule only flags
+/// element access, so this must stay clean.
+inline std::span<const graph::Community> bulk_view(
+    const shard::GlobalState& gs) {
+  return gs.labels_raw;
+}
+
+}  // namespace glouvain::fixture

@@ -1,0 +1,381 @@
+// Tests for the sharded multi-device backend: the partitioner's
+// invariants (every edge owned by exactly one shard, hub replicas
+// consistent with the global rows, ghost tables closed under the
+// exchange plan, the phantom 2m padding), the k=1 bitwise identity
+// against the core backend, quality under real sharding, and the
+// fingerprint/registry integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/louvain.hpp"
+#include "detect/detector.hpp"
+#include "gen/cliques.hpp"
+#include "gen/lfr.hpp"
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "graph/builder.hpp"
+#include "metrics/modularity.hpp"
+#include "shard/engine.hpp"
+#include "shard/halo.hpp"
+#include "shard/partition.hpp"
+#include "svc/fingerprint.hpp"
+
+namespace glouvain::shard {
+namespace {
+
+using graph::Community;
+using graph::Csr;
+using graph::EdgeIdx;
+using graph::VertexId;
+using graph::Weight;
+using graph::kInvalidVertex;
+
+/// Check every structural invariant of a plan against its graph.
+void check_plan(const Csr& g, const Plan& plan, const PartitionConfig& pc) {
+  const VertexId n = g.num_vertices();
+  ASSERT_EQ(plan.owner.size(), n);
+  ASSERT_EQ(plan.shards.size(), plan.num_shards);
+  for (const unsigned o : plan.owner) ASSERT_LT(o, plan.num_shards);
+
+  // Every edge owned by exactly one shard (the min-endpoint rule):
+  // the per-shard owned_edges counts must tile the edge set.
+  EdgeIdx owned_total = 0;
+  for (const Shard& sh : plan.shards) owned_total += sh.owned_edges;
+  EXPECT_EQ(owned_total, g.num_edges());
+
+  std::vector<VertexId> seen_owner(n, kInvalidVertex);
+  std::uint64_t frozen_listed = 0;
+  for (unsigned s = 0; s < plan.num_shards; ++s) {
+    const Shard& sh = plan.shards[s];
+    const VertexId local_n = sh.num_local();
+    ASSERT_EQ(sh.global_of.size(), local_n);
+    ASSERT_EQ(local_n, sh.num_owned + sh.num_replica + sh.num_ghost +
+                           (sh.has_phantom ? 1 : 0));
+
+    // The phantom makes every shard's 2m equal the global 2m (modulo
+    // the parallel-reduction rounding of total_weight()).
+    EXPECT_GE(sh.pad_weight, 0.0);
+    if (sh.has_phantom) {
+      EXPECT_NEAR(sh.local.total_weight(), g.total_weight(),
+                  1e-9 * g.total_weight());
+    }
+
+    // Build the global->local map of this shard.
+    std::map<VertexId, VertexId> to_local;
+    for (VertexId i = 0; i < local_n; ++i) {
+      const VertexId v = sh.global_of[i];
+      if (i + 1 == local_n && sh.has_phantom) {
+        EXPECT_EQ(v, kInvalidVertex);
+        continue;
+      }
+      ASSERT_LT(v, n);
+      EXPECT_TRUE(to_local.emplace(v, i).second) << "duplicate local vertex";
+    }
+
+    for (VertexId i = 0; i < local_n; ++i) {
+      const VertexId v = sh.global_of[i];
+      const auto lnbr = sh.local.neighbors(i);
+      const auto lwts = sh.local.weights(i);
+      if (sh.has_phantom && i + 1 == local_n) {
+        // Phantom: exactly one self-loop carrying the pad.
+        ASSERT_EQ(lnbr.size(), 1u);
+        EXPECT_EQ(lnbr[0], i);
+        EXPECT_DOUBLE_EQ(lwts[0], sh.pad_weight);
+        continue;
+      }
+      if (i < sh.num_owned) {
+        // Owned: the full global row, bitwise, endpoints remapped.
+        EXPECT_EQ(plan.owner[v], s);
+        const auto gnbr = g.neighbors(v);
+        const auto gwts = g.weights(v);
+        ASSERT_EQ(lnbr.size(), gnbr.size());
+        for (std::size_t e = 0; e < gnbr.size(); ++e) {
+          const auto it = to_local.find(gnbr[e]);
+          ASSERT_NE(it, to_local.end()) << "owned-row endpoint not local";
+          EXPECT_EQ(lnbr[e], it->second);
+          EXPECT_EQ(lwts[e], gwts[e]);
+        }
+      } else if (i < sh.num_owned + sh.num_replica) {
+        // Replica (hub mirror): the split row — exactly the global
+        // edges of v whose endpoint this shard owns, same weights.
+        EXPECT_NE(plan.owner[v], s);
+        EXPECT_GT(g.degree(v), pc.hub_degree);
+        std::multiset<std::pair<VertexId, Weight>> expect;
+        const auto gnbr = g.neighbors(v);
+        const auto gwts = g.weights(v);
+        for (std::size_t e = 0; e < gnbr.size(); ++e) {
+          if (plan.owner[gnbr[e]] == s) expect.emplace(gnbr[e], gwts[e]);
+        }
+        std::multiset<std::pair<VertexId, Weight>> got;
+        for (std::size_t e = 0; e < lnbr.size(); ++e) {
+          const VertexId u = sh.global_of[lnbr[e]];
+          EXPECT_EQ(plan.owner[u], s) << "split-row endpoint not owned";
+          got.emplace(u, lwts[e]);
+        }
+        EXPECT_EQ(got, expect);
+      } else {
+        // Ghost: label-only, empty row. Under hubrep a hub can never
+        // be a ghost (the owned neighbor guarantees a mirror); block
+        // and random have no mirrors, so hub-degree ghosts are fine.
+        EXPECT_NE(plan.owner[v], s);
+        if (pc.strategy == detect::Partition::kHubRep) {
+          EXPECT_LE(g.degree(v), pc.hub_degree);
+        }
+        EXPECT_EQ(lnbr.size(), 0u);
+      }
+    }
+
+    // Exchange closure: every frozen non-phantom vertex appears in
+    // exactly one recv list, filed under its true owner, and every
+    // listed vertex is frozen here.
+    ASSERT_EQ(plan.exchange.recv[s].size(), plan.num_shards);
+    std::set<VertexId> frozen;
+    for (VertexId i = sh.num_owned;
+         i < sh.num_owned + sh.num_replica + sh.num_ghost; ++i) {
+      frozen.insert(sh.global_of[i]);
+    }
+    std::set<VertexId> listed;
+    for (unsigned p = 0; p < plan.num_shards; ++p) {
+      for (const VertexId v : plan.exchange.recv[s][p]) {
+        EXPECT_EQ(plan.owner[v], p);
+        EXPECT_TRUE(listed.insert(v).second) << "vertex in two recv lists";
+      }
+      // send is the exact mirror.
+      EXPECT_EQ(plan.exchange.send[p][s], plan.exchange.recv[s][p]);
+    }
+    EXPECT_EQ(listed, frozen);
+    frozen_listed += frozen.size();
+
+    // Every owned vertex claimed exactly once across shards.
+    for (VertexId i = 0; i < sh.num_owned; ++i) {
+      ASSERT_EQ(seen_owner[sh.global_of[i]], kInvalidVertex);
+      seen_owner[sh.global_of[i]] = s;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) EXPECT_EQ(seen_owner[v], plan.owner[v]);
+  EXPECT_EQ(plan.exchange.values_per_round(), frozen_listed);
+  std::uint64_t phantoms = 0;
+  for (const Shard& sh : plan.shards) phantoms += sh.has_phantom ? 1 : 0;
+  EXPECT_NEAR(plan.stats.ghost_ratio,
+              static_cast<double>(frozen_listed + phantoms) / n, 1e-12);
+}
+
+TEST(Partition, InvariantsAcrossStrategiesAndCounts) {
+  const Csr g = gen::rmat({.scale = 11, .edge_factor = 12}, 17);
+  for (const auto strategy :
+       {detect::Partition::kBlock, detect::Partition::kRandom,
+        detect::Partition::kHubRep}) {
+    for (const unsigned k : {2u, 3u, 8u}) {
+      PartitionConfig pc;
+      pc.num_shards = k;
+      pc.strategy = strategy;
+      pc.hub_degree = 24;  // rmat at this scale has real hubs above this
+      const Plan plan = make_plan(g, pc);
+      ASSERT_EQ(plan.num_shards, k);
+      check_plan(g, plan, pc);
+      if (strategy == detect::Partition::kHubRep) {
+        EXPECT_GT(plan.stats.replicated_hubs, 0u);
+      }
+    }
+  }
+}
+
+TEST(Partition, SingleShardIsTheInputGraph) {
+  const auto bench = gen::lfr({.num_vertices = 2048, .mu = 0.2, .seed = 5});
+  PartitionConfig pc;
+  pc.num_shards = 1;
+  const Plan plan = make_plan(bench.graph, pc);
+  ASSERT_EQ(plan.num_shards, 1u);
+  const Shard& sh = plan.shards[0];
+  EXPECT_FALSE(sh.has_phantom);
+  EXPECT_EQ(sh.num_owned, bench.graph.num_vertices());
+  EXPECT_EQ(sh.num_frozen(), 0u);
+  EXPECT_EQ(sh.local, bench.graph);  // bitwise: same arrays
+  EXPECT_EQ(plan.stats.cut_edges, 0u);
+}
+
+TEST(Partition, MoreShardsThanVerticesClamps) {
+  const auto g = gen::ring_of_cliques(2, 3);
+  PartitionConfig pc;
+  pc.num_shards = 100;
+  const Plan plan = make_plan(g, pc);
+  EXPECT_LE(plan.num_shards, g.num_vertices());
+  check_plan(g, plan, pc);
+}
+
+TEST(Partition, HubRepReplicatesHighDegreeRows) {
+  // A star: the hub touches every block, so hubrep must mirror it into
+  // every other shard while block partitioning makes it a ghostless cut.
+  std::vector<graph::Edge> edges;
+  for (VertexId v = 1; v < 1025; ++v) edges.push_back({0, v, 1.0});
+  const Csr g = graph::build_csr(1025, std::move(edges));
+  PartitionConfig pc;
+  pc.num_shards = 4;
+  pc.strategy = detect::Partition::kHubRep;
+  const Plan plan = make_plan(g, pc);
+  check_plan(g, plan, pc);
+  EXPECT_EQ(plan.stats.replicated_hubs, 1u);
+  // In the leaf shards every cut edge carries the hub endpoint, which
+  // is mirrored — no ghosts. The hub's own shard holds the full star
+  // row, so the leaves owned elsewhere are its ghosts.
+  for (unsigned s = 0; s < plan.num_shards; ++s) {
+    if (s == plan.owner[0]) {
+      EXPECT_EQ(plan.shards[s].num_ghost + plan.shards[s].num_owned, 1025u);
+    } else {
+      EXPECT_EQ(plan.shards[s].num_ghost, 0u);
+      EXPECT_EQ(plan.shards[s].num_replica, 1u);
+    }
+  }
+}
+
+TEST(GlobalState, AccessorsRoundTrip) {
+  const Csr g = graph::build_csr(4, {{0, 1, 1}, {1, 2, 2}, {2, 3, 1}});
+  GlobalState gs;
+  gs.reset(g.num_vertices());
+  EXPECT_EQ(gs.community_of(2), 2u);
+  const auto strengths = g.compute_strengths();
+  gs.rebuild_tot(strengths);
+  EXPECT_DOUBLE_EQ(gs.tot_of(1), 3.0);
+  gs.store_label(3, 2);
+  gs.rebuild_tot(strengths);
+  EXPECT_DOUBLE_EQ(gs.tot_of(2), 4.0);
+  EXPECT_DOUBLE_EQ(gs.tot_of(3), 0.0);
+}
+
+shard::Config pinned_config() {
+  shard::Config cfg;
+  cfg.threads = 2;
+  cfg.device = simt::Backend::kScalar;
+  return shard::to_config(cfg, cfg);
+}
+
+TEST(Engine, SingleShardBitwiseIdenticalToCore) {
+  const auto bench = gen::lfr({.num_vertices = 4096, .mu = 0.25, .seed = 3});
+  shard::Config cfg = pinned_config();
+  cfg.shards = 1;
+  const Result sharded = louvain(bench.graph, cfg);
+
+  core::Config core_cfg = core::to_config(cfg);
+  const core::Result reference = core::louvain(bench.graph, core_cfg);
+
+  EXPECT_EQ(sharded.shards_used, 1u);
+  EXPECT_EQ(sharded.community, reference.community);  // bitwise labels
+  EXPECT_EQ(sharded.modularity, reference.modularity);
+  ASSERT_EQ(sharded.levels.size(), reference.levels.size());
+  for (std::size_t l = 0; l < sharded.levels.size(); ++l) {
+    EXPECT_EQ(sharded.levels[l].vertices, reference.levels[l].vertices);
+    EXPECT_EQ(sharded.levels[l].iterations, reference.levels[l].iterations);
+    EXPECT_EQ(sharded.levels[l].modularity_after,
+              reference.levels[l].modularity_after);
+  }
+}
+
+TEST(Engine, ShardedQualityTracksCore) {
+  const auto bench = gen::lfr({.num_vertices = 4096, .mu = 0.25, .seed = 7});
+  const double q_core = core::louvain(bench.graph).modularity;
+  for (const auto strategy :
+       {detect::Partition::kBlock, detect::Partition::kHubRep}) {
+    for (const unsigned k : {2u, 4u, 8u}) {
+      shard::Config cfg = pinned_config();
+      cfg.shards = k;
+      cfg.partition = strategy;
+      cfg.min_shard_vertices = 64;  // force real sharding on 4k vertices
+      cfg.hub_degree = 48;
+      const Result r = louvain(bench.graph, cfg);
+      EXPECT_EQ(r.shards_used, k);
+      EXPECT_GE(r.exchange_rounds, 1);
+      EXPECT_GT(r.critical_seconds, 0.0);
+      EXPECT_GT(r.modularity, 0.97 * q_core)
+          << partition_name(strategy) << " k=" << k;
+      EXPECT_NEAR(r.modularity,
+                  metrics::modularity(bench.graph, r.community), 1e-6)
+          << partition_name(strategy) << " k=" << k;
+    }
+  }
+}
+
+TEST(Engine, PlantedStructureSurvivesSharding) {
+  const auto sbm = gen::planted_partition(
+      {.num_vertices = 2048, .num_communities = 16, .seed = 9});
+  shard::Config cfg = pinned_config();
+  cfg.shards = 4;
+  cfg.min_shard_vertices = 64;
+  const Result r = louvain(sbm.graph, cfg);
+  const double q_core = core::louvain(sbm.graph).modularity;
+  EXPECT_GT(r.modularity, 0.97 * q_core);
+  EXPECT_EQ(r.community.size(), sbm.graph.num_vertices());
+}
+
+TEST(Engine, AdaptiveCollapseOnSmallGraphs) {
+  // 64 shards requested on a tiny graph: every level falls below
+  // min_shard_vertices, so the run is the core-identical path.
+  const auto g = gen::ring_of_cliques(8, 6);
+  shard::Config cfg = pinned_config();
+  cfg.shards = 64;
+  const Result r = louvain(g, cfg);
+  EXPECT_EQ(r.shards_used, 1u);
+  EXPECT_EQ(r.exchange_rounds, 0);
+  core::Config core_cfg = core::to_config(cfg);
+  EXPECT_EQ(r.community, core::louvain(g, core_cfg).community);
+}
+
+TEST(Detector, RegistryRunsShardBackend) {
+  const auto bench = gen::lfr({.num_vertices = 2048, .mu = 0.2, .seed = 11});
+  auto detector = detect::make("shard");
+  ASSERT_TRUE(detector.ok());
+  detect::Options options;
+  options.shards = 2;
+  options.device = simt::Backend::kScalar;
+  const detect::Result r = (*detector)->run(bench.graph, options);
+  EXPECT_EQ(r.community.size(), bench.graph.num_vertices());
+  EXPECT_GT(r.modularity, 0.0);
+  const auto names = detect::backend_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "shard"), names.end());
+}
+
+TEST(Detector, ShardRejectsIncompatibleKnobs) {
+  const auto g = gen::ring_of_cliques(4, 4);
+  auto detector = detect::make("shard");
+  ASSERT_TRUE(detector.ok());
+  detect::Options options;
+  options.storage = detect::Storage::kZcsr;
+  EXPECT_THROW((*detector)->run(g, options), std::invalid_argument);
+  options.storage = detect::Storage::kPlain;
+  options.use_coloring = true;
+  EXPECT_THROW((*detector)->run(g, options), std::invalid_argument);
+  options.use_coloring = false;
+  auto warm = std::make_shared<detect::WarmStart>();
+  warm->seed.assign(g.num_vertices(), 0);
+  options.warm_start = warm;
+  EXPECT_THROW((*detector)->run(g, options), std::invalid_argument);
+}
+
+TEST(Fingerprint, JobKeyAbsorbsShardKnobs) {
+  const auto g = gen::ring_of_cliques(4, 4);
+  const svc::Fingerprint fp = svc::fingerprint(g);
+  detect::Options base;
+  const auto key = [&](const detect::Options& o) {
+    return svc::job_key(fp, "shard", o);
+  };
+  detect::Options two = base;
+  two.shards = 2;
+  detect::Options four = base;
+  four.shards = 4;
+  EXPECT_NE(key(two), key(four));
+  detect::Options block = two;
+  block.partition = detect::Partition::kBlock;
+  EXPECT_NE(key(two), key(block));
+  detect::Options reseeded = two;
+  reseeded.partition_seed = 99;
+  EXPECT_NE(key(two), key(reseeded));
+  // threads must NOT change the key (speed, not answer).
+  detect::Options threaded = two;
+  threaded.threads = 7;
+  EXPECT_EQ(key(two), key(threaded));
+}
+
+}  // namespace
+}  // namespace glouvain::shard

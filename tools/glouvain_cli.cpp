@@ -55,17 +55,20 @@ int usage(const char* error = nullptr) {
                "  generate  build a synthetic suite graph and save it\n"
                "            --family <name|list> --scale S --seed N --out FILE\n"
                "  detect    run community detection\n"
-               "            --in FILE --backend core|seq|plm|multi [--out FILE]\n"
-               "            [--trace FILE] [--tbin X --tfinal Y] [--devices D]\n"
-               "            [--coloring] [--threads N] [--verbose]\n"
+               "            --in FILE --backend core|seq|plm|multi|shard\n"
+               "            [--out FILE] [--trace FILE] [--tbin X --tfinal Y]\n"
+               "            [--devices D] [--coloring] [--threads N] [--verbose]\n"
                "            [--storage plain|zcsr|mmap] [--table sentinel|occ]\n"
-               "            [--device scalar|vector|auto]\n"
+               "            [--device scalar|vector|auto] [--shards K]\n"
+               "            [--partition block|random|hubrep] [--partition-seed N]\n"
                "  compress  varint-compress a graph into a .zg container\n"
                "            --in FILE --out FILE.zg\n"
                "  batch     run a manifest of graphs through the service\n"
                "            --manifest FILE [--devices D] [--threads N]\n"
                "            [--aux A] [--queue Q] [--cache C] [--repeat R]\n"
-               "            [--backend auto|core|seq|plm|multi] [--deadline MS]\n"
+               "            [--backend auto|core|seq|plm|multi|shard]\n"
+               "            [--shards K] [--partition block|random|hubrep]\n"
+               "            [--deadline MS]\n"
                "  stream    apply delta batches to a dynamic-graph session\n"
                "            --in FILE --deltas FILE [--backend core|seq]\n"
                "            [--cold] [--hops H] [--no-closure] [--threads N]\n"
@@ -83,6 +86,12 @@ int usage(const char* error = nullptr) {
                "         through per-worker cursors; partitions bitwise-equal\n"
                "  mmap   the zcsr layout read from a mapped .zg container\n"
                "         (out-of-core: the plain arrays never materialize)\n"
+               "\n"
+               "partition strategies (shard backend; multi understands the\n"
+               "  first two): block = arc-balanced contiguous ranges, random =\n"
+               "  hashed assignment, hubrep = arc-balanced blocks with\n"
+               "  high-degree hubs placed by neighbor plurality and mirrored\n"
+               "  into every shard they touch (default)\n"
                "\n"
                "device backends (detect --device; core/multi backends only):\n"
                "  scalar  lockstep lane interpreter; partitions bitwise-stable\n"
@@ -170,7 +179,7 @@ int cmd_detect(util::Options& opt) {
   }
 
   std::string backend =
-      opt.get_string("backend", "", "core | seq | plm | multi");
+      opt.get_string("backend", "", "core | seq | plm | multi | shard");
   const std::string algo =
       opt.get_string("algo", "core", "deprecated alias of --backend");
   if (backend.empty()) backend = algo;
@@ -210,6 +219,10 @@ int cmd_detect(util::Options& opt) {
   options.threads = threads;
   options.storage = storage;
   options.use_coloring = coloring;
+  options.shards = static_cast<unsigned>(
+      opt.get_int("shards", 1, "shard count (shard backend only)"));
+  options.partition_seed = static_cast<std::uint64_t>(
+      opt.get_int("partition-seed", 1, "random-partition seed"));
   if (!detect::parse_table_layout(table_arg, options.table_layout)) {
     return fail_status(
         util::Status::invalid_argument("unknown --table: " + table_arg));
@@ -219,13 +232,21 @@ int cmd_detect(util::Options& opt) {
         util::Status::invalid_argument("unknown --device: " + device_arg));
   }
 
+  const std::string partition_arg = opt.get_string(
+      "partition", "", "block | random | hubrep (shard; block|random for multi)");
+  if (!partition_arg.empty() &&
+      !detect::parse_partition(partition_arg, options.partition)) {
+    return fail_status(
+        util::Status::invalid_argument("unknown --partition: " + partition_arg));
+  }
+
   detect::Extensions ext;
   ext.multi.num_devices = devices;
-  ext.multi.partition =
-      opt.get_string("partition", "random", "block | random (multi only)") ==
-              "block"
-          ? multi::PartitionStrategy::Block
-          : multi::PartitionStrategy::Random;
+  // The deprecated multi backend predates the hub-replicated strategy:
+  // block maps across, anything else falls back to its random default.
+  ext.multi.partition = partition_arg == "block"
+                            ? multi::PartitionStrategy::Block
+                            : multi::PartitionStrategy::Random;
   ext.multi.local_levels = static_cast<int>(
       opt.get_int("local-levels", 1, "local levels before merge (multi only)"));
 
@@ -316,6 +337,7 @@ util::StatusOr<svc::Backend> parse_backend(const std::string& name) {
   if (name == "seq") return svc::Backend::Seq;
   if (name == "plm") return svc::Backend::Plm;
   if (name == "multi") return svc::Backend::Multi;
+  if (name == "shard") return svc::Backend::Shard;
   return util::Status::invalid_argument("unknown --backend: " + name);
 }
 
@@ -335,8 +357,18 @@ int cmd_batch(util::Options& opt) {
       opt.get_int("cache", 32, "result-cache entries (0 = off)"));
   cfg.seq_cost_limit = static_cast<std::uint64_t>(opt.get_int(
       "seq-limit", 1 << 13, "n+m at or below this runs on the seq backend"));
+  cfg.options.shards = static_cast<unsigned>(
+      opt.get_int("shards", 1, "shard count (shard backend only)"));
+  const std::string partition_arg = opt.get_string(
+      "partition", "", "block | random | hubrep (shard backend only)");
+  if (!partition_arg.empty() &&
+      !detect::parse_partition(partition_arg, cfg.options.partition)) {
+    return fail_status(
+        util::Status::invalid_argument("unknown --partition: " + partition_arg));
+  }
   const auto backend = parse_backend(
-      opt.get_string("backend", "auto", "auto | core | seq | plm | multi"));
+      opt.get_string("backend", "auto",
+                     "auto | core | seq | plm | multi | shard"));
   if (!backend.ok()) return fail_status(backend.status());
   const auto repeat = static_cast<int>(
       opt.get_int("repeat", 1, "submit the whole manifest this many times"));

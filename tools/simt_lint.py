@@ -24,6 +24,15 @@ with rules that are cheaper to enforce at the source level:
   unpaired-launch  a Device::launch call with no obs span opened within
                    the preceding 40 lines — every kernel must be
                    attributable in phase tables and traces.
+  shard-ghost      element indexing into the sharded engine's exchanged
+                   label/total arrays (labels_raw[...] / tot_raw[...])
+                   outside src/shard/halo.hpp — cross-shard reads and
+                   writes must go through the GlobalState accessors
+                   (community_of / tot_of / store_label / apply_move /
+                   rebuild_tot) so every halo access maps onto an
+                   explicit exchange message in a real deployment.
+                   Passing the whole vector (e.g. to device_modularity)
+                   is allowed; only element access is flagged.
 
 Engine: regex over comment/string-stripped sources (line numbers
 preserved). When --compile-commands points at a compile_commands.json
@@ -47,7 +56,7 @@ import re
 import sys
 
 RULES = ("raw-atomic", "raw-intrinsic", "seq-cst", "kernel-alloc",
-         "unpaired-launch")
+         "unpaired-launch", "shard-ghost")
 SOURCE_EXT = (".cpp", ".hpp", ".cc", ".h")
 OBS_WINDOW = 40  # lines an obs span may precede its launch by
 
@@ -65,6 +74,7 @@ OBS_SPAN_RE = re.compile(r"\bobs\s*::\s*Span\b|\bbegin_span\s*\(")
 ALLOC_RE = re.compile(
     r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|"
     r"(\.|->)\s*(push_back|emplace_back|resize|reserve)\s*\(")
+SHARD_GHOST_RE = re.compile(r"\b(labels_raw|tot_raw)\s*\[")
 SUPPRESS_RE = re.compile(r"simt-lint:\s*allow\(([a-z-]+)\)")
 
 
@@ -200,6 +210,10 @@ def lint_file(path, rel, findings):
             add(idx, "seq-cst",
                 "seq_cst ordering on the device hot path — the model is "
                 "relaxed/acq-rel")
+        if os.path.basename(rel) != "halo.hpp" and SHARD_GHOST_RE.search(line):
+            add(idx, "shard-ghost",
+                "direct element access to the exchanged shard arrays — "
+                "go through the GlobalState accessors (shard/halo.hpp)")
 
     if not simt:
         spans = [i for i, l in enumerate(lines, start=1) if OBS_SPAN_RE.search(l)]
