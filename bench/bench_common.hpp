@@ -147,7 +147,15 @@ class JsonReport {
   /// shapes): any set of numeric metrics under a graph/backend pair.
   void add_metrics(const std::string& graph, const std::string& backend,
                    std::vector<std::pair<std::string, double>> metrics) {
-    rows_.push_back({graph, backend, std::move(metrics), {}});
+    rows_.push_back({graph, backend, std::move(metrics), {}, {}});
+  }
+
+  /// Flag metric names of the LAST added run as diagnostic: recorded
+  /// for humans, never gated (tools/bench_check.py skips them). Use
+  /// for wall-clock figures that swing with machine load — e.g. the
+  /// shard critical-path seconds next to the deterministic work units.
+  void mark_diagnostic(std::vector<std::string> names) {
+    if (!rows_.empty()) rows_.back().diagnostic = std::move(names);
   }
 
   /// Write the document; returns false (with a note on stderr) if the
@@ -177,6 +185,13 @@ class JsonReport {
            << "\": " << number(row.metrics[k].second);
       }
       os << "}";
+      if (!row.diagnostic.empty()) {
+        os << ", \"diagnostic\": [";
+        for (std::size_t d = 0; d < row.diagnostic.size(); ++d) {
+          os << (d ? ", " : "") << '"' << row.diagnostic[d] << '"';
+        }
+        os << "]";
+      }
       if (!row.levels.empty()) {
         os << ", \"levels\": [";
         for (std::size_t l = 0; l < row.levels.size(); ++l) {
@@ -203,6 +218,7 @@ class JsonReport {
     std::string backend;
     std::vector<std::pair<std::string, double>> metrics;
     std::vector<PhaseLevel> levels;
+    std::vector<std::string> diagnostic;  ///< metric names never gated
   };
 
   /// JSON has no NaN/Inf literals; clamp them to null-safe 0.

@@ -92,6 +92,28 @@ inline bool parse_partition(std::string_view name, Partition& out) noexcept {
   return false;
 }
 
+/// Materialization of each shard's local sub-CSR ("shard" backend
+/// only). kPlain keeps the partitioned local graphs resident; kMmap
+/// encodes each one into a zg container on disk (zg::save) and maps it
+/// back for the rounds that sweep it (zg::MappedGraph), so resident
+/// memory stays roughly the global graph plus the shards currently
+/// being swept — graphs larger than RAM partition cleanly. The decode
+/// is bitwise (DESIGN.md §12), so results are identical across both.
+enum class ShardStorage { kPlain, kMmap };
+
+constexpr const char* shard_storage_name(ShardStorage s) noexcept {
+  return s == ShardStorage::kMmap ? "mmap" : "plain";
+}
+
+/// Parse a shard-storage name; returns false (and leaves `out` alone)
+/// on an unknown name.
+inline bool parse_shard_storage(std::string_view name,
+                                ShardStorage& out) noexcept {
+  if (name == "plain") { out = ShardStorage::kPlain; return true; }
+  if (name == "mmap") { out = ShardStorage::kMmap; return true; }
+  return false;
+}
+
 /// Slot layout of the task-local neighbour-community hash tables used
 /// by the GPU-style backend's modularity-optimization kernels. Ignored
 /// by backends without such tables (seq, plm).
@@ -152,6 +174,18 @@ struct Options {
   /// Seed of the random/hubrep partitioners. Folded into svc job keys
   /// (a different partition is a different computation).
   std::uint64_t partition_seed = 1;
+  /// Sharded backend only: run each round's k shard sweeps
+  /// CONCURRENTLY on devices leased from a pool (barrier-synchronized
+  /// Jacobi rounds — every shard sees the round-start labels, moves
+  /// publish at the barrier) instead of sequentially on one device
+  /// (Gauss-Seidel rounds). Results are deterministic for a given
+  /// (graph, options) regardless of how many devices the pool grants;
+  /// they differ from the sequential schedule, so the flag is folded
+  /// into svc job keys.
+  bool concurrent_shards = false;
+  /// Sharded backend only: shard sub-CSR materialization (see
+  /// ShardStorage). Bitwise-invariant.
+  ShardStorage shard_storage = ShardStorage::kPlain;
 };
 
 }  // namespace glouvain::detect

@@ -1,0 +1,29 @@
+// Content identity of a graph: a 128-bit hash over the raw CSR arrays
+// (offsets, adjacency, edge weights). Two structurally identical graphs
+// — same vertex numbering, same neighbor order, same weights — produce
+// the same fingerprint. This lives in the graph layer (below every
+// backend) so both the service result cache (svc::fingerprint, which
+// delegates here) and the shard partition-plan cache can key on graph
+// content without a dependency on each other.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace glouvain::graph {
+
+struct Fingerprint128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint128&,
+                         const Fingerprint128&) = default;
+};
+
+/// Hash the CSR arrays. O(n + m); single pass, no allocation. Two
+/// independent mixing lanes (distinct odd multipliers, splitmix64
+/// finalizer) so a single 64-bit collision does not collide the pair.
+Fingerprint128 fingerprint128(const Csr& graph);
+
+}  // namespace glouvain::graph

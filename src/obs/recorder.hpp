@@ -20,6 +20,15 @@
 // time, exactly what CUDA events would measure per kernel), never from
 // inside worker lanes. Concurrent runs each get their own Recorder.
 //
+// Concurrent EXECUTION inside one run (the sharded backend's Jacobi
+// rounds, where k shard sweeps overlap on k leased devices) is still
+// recorded from the driver thread: each task captures its own steady
+// clock stamps and the driver inserts them at the round barrier via
+// add_timed_span(), tagged with a nonzero TRACK (the device lane).
+// Tracks map to chrome-trace tids so the trace shows true overlap, and
+// validate() exempts nonzero tracks from the sibling-sum check (they
+// deliberately overlap) while still requiring parent containment.
+//
 // Exporters: write_phase_table() renders the per-level x per-stage
 // breakdown (the Figure 5/6 shape); write_chrome_trace() emits a
 // chrome://tracing-compatible JSON span dump (schema in
@@ -44,6 +53,9 @@ struct SpanRecord {
   std::int32_t level = -1;       ///< hierarchy level, -1 = outside levels
   std::int64_t start_ns = 0;
   std::int64_t duration_ns = -1; ///< -1 while open
+  /// Execution track (chrome-trace tid): 0 = the driver thread, else
+  /// the 1-based device lane a concurrently-executed span ran on.
+  std::uint32_t track = 0;
 };
 
 /// One named (optionally binned) scalar. Repeated count() calls with
@@ -65,6 +77,20 @@ class Recorder {
   /// span index to pass to end_span. Prefer the obs::Span RAII guard.
   std::size_t begin_span(std::string_view name);
   void end_span(std::size_t index);
+
+  /// Insert an already-measured CLOSED span as a child of the innermost
+  /// open span — the barrier-time publication of a concurrently
+  /// executed task's interval (see the header comment). `start_ns` is
+  /// relative to the Recorder epoch (convert a raw steady-clock stamp
+  /// with elapsed_ns()); `track` should be nonzero so validate() knows
+  /// siblings on other tracks may overlap it.
+  std::size_t add_timed_span(std::string_view name, std::int64_t start_ns,
+                             std::int64_t duration_ns, std::uint32_t track);
+
+  /// Nanoseconds since the Recorder epoch on the steady clock — the
+  /// time base of every SpanRecord, exposed so concurrent tasks' raw
+  /// stamps can be rebased for add_timed_span.
+  std::int64_t elapsed_ns() const noexcept { return now_ns(); }
 
   /// Hierarchy level attached to subsequently opened spans/counters.
   void set_level(int level) noexcept { level_ = level; }

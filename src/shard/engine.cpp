@@ -1,17 +1,463 @@
 #include "shard/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "obs/recorder.hpp"
 #include "shard/halo.hpp"
+#include "shard/plan_cache.hpp"
+#include "simt/device_pool.hpp"
 #include "util/timer.hpp"
+#include "zg/container.hpp"
+#include "zg/zcsr.hpp"
 
 namespace glouvain::shard {
 
+namespace engine_detail {
+
+using graph::Community;
+using graph::Csr;
+using graph::VertexId;
+using graph::Weight;
+using graph::kInvalidVertex;
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-device-lane scratch of the concurrent rounds (and, as lane 0,
+/// of the sequential simulation): the seed-marshal buffers and the
+/// phase workspace one resident device would keep.
+struct Lane {
+  std::vector<Community> seed;       ///< per-shard local seed labels
+  std::vector<Community> rep_comm;   ///< local slot -> global community
+  std::vector<Community> comm_slot;  ///< global community -> local slot
+  std::vector<VertexId> slot_list;   ///< slots claimed by this shard
+  std::vector<VertexId> frontier;    ///< round >= 1 restricted active set
+  core::Workspace ws;
+};
+
+/// One buffered move: OWNED global vertex -> new global community.
+/// Proposals are collected inside a sweep and applied at the barrier
+/// (concurrent Jacobi) or immediately after the sweep (sequential
+/// Gauss-Seidel) — by the driver thread in both cases. `gain` is the
+/// sweep's predicted dQ of the move (against the snapshot it ran on);
+/// the barrier commits best-first, so when two snapshot-scored moves
+/// conflict the one worth more lands and the marginal one is the one
+/// re-scored against it.
+struct Proposal {
+  VertexId v;
+  Community c;
+  double gain;
+};
+
+/// What one shard's sweep reports back to the driver.
+struct SweepOutcome {
+  bool ran = false;                ///< false = empty frontier, no work
+  int sweeps = 0;
+  double seconds = 0;
+  double work = 0;                 ///< deterministic work units
+  double first_sweep_seconds = 0;  ///< round 0 only
+  std::int64_t start_raw = 0;      ///< raw steady-clock ns (trace rebase)
+  std::int64_t dur_ns = 0;
+};
+
+/// Resident or mapped view of a shard's local graph. The mmap path
+/// opens the zg container cheaply (O(1) degree reads drive the
+/// frontier membership test) and only decodes the full Csr — bitwise
+/// identical to the resident one — once the shard is known to have
+/// work this round.
+struct LocalGraph {
+  const Shard* sh = nullptr;
+  std::optional<zg::MappedGraph> mapped;
+  Csr decoded;
+
+  static LocalGraph open(const Shard& shard) {
+    LocalGraph lg;
+    lg.sh = &shard;
+    if (!shard.spill_path.empty()) {
+      auto m = zg::MappedGraph::open(shard.spill_path);
+      if (!m.ok()) {
+        throw std::runtime_error("shard spill missing: " +
+                                 m.status().message());
+      }
+      lg.mapped.emplace(std::move(m).value());
+    }
+    return lg;
+  }
+
+  graph::EdgeIdx degree(VertexId i) const noexcept {
+    return mapped ? static_cast<graph::EdgeIdx>(mapped->zcsr().degree(i))
+                  : sh->local.degree(i);
+  }
+
+  const Csr& materialize() {
+    if (!mapped) return sh->local;
+    if (decoded.num_vertices() == 0) decoded = mapped->zcsr().decode_all();
+    return decoded;
+  }
+};
+
+/// One shard's restricted move sweep against the round-start global
+/// snapshot: frontier selection, seed marshal, phase, proposal
+/// collection. READS the shared round state (gs, last_moved,
+/// dirty_round) and WRITES only lane-local scratch + this shard's
+/// PhaseState/proposals — the property that makes the concurrent
+/// rounds race-free (and that tools/simt_lint.py rule shard-barrier
+/// enforces on the parallel_shards body below).
+SweepOutcome run_shard_sweep(
+    simt::Device& device, const Shard& sh, core::PhaseState& st,
+    const core::Config& frontier_cfg, double threshold, int round,
+    graph::EdgeIdx hub_degree, int hub_settle_rounds, const GlobalState& gs,
+    const std::vector<int>& last_moved, const std::vector<int>& dirty_round,
+    std::span<const VertexId> all_owned, Lane& lane, core::Workspace& ws,
+    obs::Recorder* rec, std::vector<Proposal>& proposals) {
+  SweepOutcome out;
+  out.start_raw = steady_now_ns();
+  util::Timer timer;
+  LocalGraph lg = LocalGraph::open(sh);
+  const VertexId local_n = sh.num_local();
+  const VertexId mapped_n = local_n - (sh.has_phantom ? 1 : 0);
+
+  // Round 0 optimizes every owned vertex. Later rounds only revisit
+  // the change frontier: owned vertices that moved since this shard
+  // last ran, or whose neighbourhood changed (movers stamp their
+  // neighbours dirty at publish time — push-based marking — so
+  // membership is two O(1) reads per owned vertex, no adjacency
+  // scan). Everything else sits at the local optimum it reached last
+  // round, so re-sweeping it buys nothing; an idle shard skips even
+  // the seed marshal (and, out of core, the decode).
+  std::span<const VertexId> active = all_owned;
+  double active_arcs = 0;
+  if (round > 0) {
+    lane.frontier.clear();
+    // Hub settling (Config::hub_settle_rounds): past the opening
+    // rounds a dirty hub row is not re-scanned — on a scale-free cut
+    // every hub is dirtied every round, and those full-degree
+    // re-scans would dominate the settle tail. A hub that itself
+    // moved stays eligible.
+    const bool settle_hubs = round >= hub_settle_rounds;
+    for (VertexId i = 0; i < sh.num_owned; ++i) {
+      const VertexId g = sh.global_of[i];
+      const bool moved_recently = last_moved[g] >= round - 1;
+      if (!moved_recently &&
+          (dirty_round[g] < round - 1 ||
+           (settle_hubs && lg.degree(i) > hub_degree))) {
+        continue;
+      }
+      lane.frontier.push_back(i);
+      active_arcs += static_cast<double>(lg.degree(i));
+    }
+    active = lane.frontier;
+  } else {
+    for (VertexId i = 0; i < sh.num_owned; ++i) {
+      active_arcs += static_cast<double>(lg.degree(i));
+    }
+  }
+  if (active.empty()) return out;
+
+  const Csr& local = lg.materialize();
+
+  // Seed the local state from the exchanged global view: the slot of
+  // community c is the first local vertex found in c, and rep_comm
+  // remembers which global community a slot stands for.
+  lane.seed.resize(local_n);
+  lane.rep_comm.resize(local_n);
+  lane.slot_list.clear();
+  for (VertexId i = 0; i < mapped_n; ++i) {
+    const Community c = gs.community_of(sh.global_of[i]);
+    if (lane.comm_slot[c] == kInvalidVertex) {
+      lane.comm_slot[c] = i;
+      lane.rep_comm[i] = c;
+      lane.slot_list.push_back(i);
+    }
+    lane.seed[i] = lane.comm_slot[c];
+  }
+  if (sh.has_phantom) lane.seed[local_n - 1] = local_n - 1;
+  if (round == 0) {
+    st.reset_from(local, device, lane.seed);
+  } else {
+    st.reseed(device, lane.seed);
+  }
+  // Exchanged community totals replace the locally-accumulated ones,
+  // so gains computed inside the shard are GLOBAL gains. The phantom
+  // keeps its reset total (its own pad strength — it is frozen and
+  // adjacent to nothing, so it never appears as a move candidate).
+  for (const VertexId slot : lane.slot_list) {
+    st.tot[slot] = gs.tot_of(lane.rep_comm[slot]);
+  }
+
+  const core::PhaseResult phase = core::optimize_phase(
+      device, local, frontier_cfg, st, active, threshold, ws, rec);
+  out.sweeps = phase.sweeps;
+  out.first_sweep_seconds = phase.first_sweep_seconds;
+
+  // Buffer the owned labels that changed against the snapshot this
+  // sweep ran on; the driver publishes them (gs/apply_move is
+  // barrier-protected state).
+  proposals.clear();
+  for (VertexId i = 0; i < sh.num_owned; ++i) {
+    const Community c_new = lane.rep_comm[st.community[i]];
+    const VertexId g = sh.global_of[i];
+    if (c_new != gs.community_of(g)) {
+      proposals.push_back({g, c_new, st.move_gain[i]});
+    }
+  }
+  for (const VertexId slot : lane.slot_list) {
+    lane.comm_slot[lane.rep_comm[slot]] = kInvalidVertex;
+  }
+
+  // Deterministic per-shard cost (engine.hpp Result doc): one arc
+  // pass over the active set per sweep, the O(slots) seed marshal,
+  // and the state transfer — full upload on round 0, label-derived
+  // reseed after. local_arcs survives a spill, so plain and mmap
+  // charge identically.
+  out.work = active_arcs * static_cast<double>(std::max(phase.sweeps, 1)) +
+             static_cast<double>(mapped_n) +
+             (round == 0 ? static_cast<double>(sh.local_arcs)
+                         : static_cast<double>(local_n));
+  out.dur_ns = steady_now_ns() - out.start_raw;
+  out.seconds = timer.seconds();
+  out.ran = true;
+  return out;
+}
+
+/// Run `lanes` host threads over fn(lane); the join IS the round
+/// barrier. Cross-shard mutable state (gs writes, last_moved /
+/// dirty_round stamps, rebuild_tot) is forbidden inside fn — the
+/// simt_lint shard-barrier rule flags it — so everything a lane
+/// touches is private until the barrier publishes it.
+template <typename Fn>
+void run_lanes(unsigned lanes, Fn&& fn) {
+  if (lanes <= 1) {
+    fn(0u);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(lanes);
+  std::vector<std::thread> threads;
+  threads.reserve(lanes);
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    threads.emplace_back([&errors, &fn, lane] {
+      try {
+        fn(lane);
+      } catch (...) {
+        errors[lane] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+/// Publish one shard's buffered proposals into the global view (with
+/// incremental tot updates), stamp movers and dirty their global
+/// neighbourhoods (the targeting of a real halo message). The
+/// delta-screening prune (Vite/GVE lineage): a neighbour already in
+/// the mover's destination community saw its stay-put option
+/// reinforced, not weakened — skip it.
+std::uint64_t apply_proposals(const std::vector<Proposal>& proposals,
+                              GlobalState& gs, const Csr& global,
+                              std::span<const Weight> strengths, int round,
+                              std::vector<int>& last_moved,
+                              std::vector<int>& dirty_round) {
+  std::uint64_t moved = 0;
+  for (const Proposal& p : proposals) {
+    if (gs.apply_move(p.v, p.c, strengths)) {
+      ++moved;
+      last_moved[p.v] = round;
+      for (const VertexId u : global.neighbors(p.v)) {
+        if (gs.community_of(u) != p.c) dirty_round[u] = round;
+      }
+    }
+  }
+  return moved;
+}
+
+/// Driver-side scratch of the validated barrier commit: per-community
+/// weight accumulators with a lazy-reset stamp (the standard CSR
+/// neighbourhood-scan trick), sized to the level's vertex count on
+/// first use and reused across rounds/levels.
+struct CommitScratch {
+  std::vector<Weight> comm_w;       ///< e_{v->c} of the current vertex
+  std::vector<std::uint64_t> mark;  ///< lazy-reset stamp for comm_w
+  std::uint64_t now = 0;
+  std::vector<Community> cands;     ///< touched candidate communities
+};
+
+/// Validated barrier commit of the concurrent rounds. A Jacobi sweep's
+/// proposals were all scored against the same round-start snapshot, so
+/// publishing them blindly re-creates the classic parallel-Louvain
+/// pathologies: adjacent vertices in different shards swap into each
+/// other's OLD community, and thousands of vertices pile into the same
+/// attractive community whose tot each of them priced as if it came
+/// alone. Instead the driver RE-DECIDES every buffered move against the
+/// CURRENT view — labels and tot of everything committed before it:
+/// one scan of the proposer's neighbourhood rebuilds its per-community
+/// weights and picks the fresh argmax destination with the exact core
+/// gain rule (modopt.cpp: candidate e_{v->c} - k_v*a_c/2m vs. stay,
+/// 1e-15 slack). The snapshot only nominates WHO wants to move (and in
+/// what order — see the gain sort at the call site); WHERE it lands is
+/// decided at commit time, so the commit sequence is a genuine
+/// sequential-Louvain move sequence — every applied move is the
+/// proposer's best profitable move at its application point, no matter
+/// how many lanes raced. (Re-scoring only the snapshot-chosen target
+/// was tried first and measurably lags Gauss-Seidel: stale targets get
+/// dropped instead of redirected, and the cut settles ~3% short.)
+/// O(deg(v)) per proposal on the driver; on a device deployment this
+/// is the owner-side conflict-resolution pass folded into the
+/// exchange.
+std::uint64_t apply_proposals_validated(
+    const std::vector<Proposal>& proposals, GlobalState& gs,
+    const Csr& global, std::span<const Weight> strengths, int round,
+    std::vector<int>& last_moved, std::vector<int>& dirty_round,
+    CommitScratch& scratch, double& validate_arcs) {
+  std::uint64_t moved = 0;
+  const double inv_m2 = 1.0 / static_cast<double>(global.total_weight());
+  if (scratch.comm_w.size() < global.num_vertices()) {
+    scratch.comm_w.assign(global.num_vertices(), 0);
+    scratch.mark.assign(global.num_vertices(), 0);
+    scratch.now = 0;
+  }
+  for (const Proposal& p : proposals) {
+    const Community from = gs.community_of(p.v);
+    const std::span<const VertexId> adj = global.neighbors(p.v);
+    const std::span<const Weight> w = global.weights(p.v);
+    validate_arcs += static_cast<double>(adj.size());
+    ++scratch.now;
+    scratch.cands.clear();
+    Weight d_old = 0;  // e_{v->C(v)\{v}}, as in the kernel's slot scan
+    for (std::size_t e = 0; e < adj.size(); ++e) {
+      const VertexId u = adj[e];
+      if (u == p.v) continue;  // self-loop: equal for every candidate
+      const Community cu = gs.community_of(u);
+      if (cu == from) {
+        d_old += w[e];
+        continue;
+      }
+      if (scratch.mark[cu] != scratch.now) {
+        scratch.mark[cu] = scratch.now;
+        scratch.comm_w[cu] = 0;
+        scratch.cands.push_back(cu);
+      }
+      scratch.comm_w[cu] += w[e];
+    }
+    const Weight kv = strengths[p.v];
+    const double stay = d_old - kv * (gs.tot_of(from) - kv) * inv_m2;
+    double best_gain = stay;
+    Community best_c = from;
+    for (const Community c : scratch.cands) {
+      const double gain = scratch.comm_w[c] - kv * gs.tot_of(c) * inv_m2;
+      // Strictly-greater keeps ties on the first candidate in adjacency
+      // order — deterministic, the CSR fixes the order.
+      if (gain > best_gain + 1e-15) {
+        best_gain = gain;
+        best_c = c;
+      }
+    }
+    if (best_c == from) {
+      // The world moved between the sweep and this commit point and no
+      // destination pays any more. Mark the vertex dirty so its shard
+      // re-scores it NEXT round against the exchanged labels — without
+      // the stamp a rejected vertex whose neighbourhood then goes quiet
+      // would drop out of the frontier and sit misplaced forever.
+      dirty_round[p.v] = round;
+      continue;
+    }
+    if (gs.apply_move(p.v, best_c, strengths)) {
+      ++moved;
+      last_moved[p.v] = round;
+      for (const VertexId u : adj) {
+        if (gs.community_of(u) != best_c) dirty_round[u] = round;
+      }
+    }
+  }
+  return moved;
+}
+
+/// Encode every shard's local graph into a zg container under `dir`
+/// and drop the resident copies; the plan then owns the files
+/// (Plan::spill) for as long as any engine or the plan cache holds it.
+void spill_plan(Plan& plan, const std::string& dir, const PlanKey& key) {
+  char tag[96];
+  std::snprintf(tag, sizeof tag, "%016llx%016llx-k%u-p%d-s%llu-%d",
+                static_cast<unsigned long long>(key.fp_hi),
+                static_cast<unsigned long long>(key.fp_lo), key.shards,
+                static_cast<int>(key.strategy),
+                static_cast<unsigned long long>(key.seed),
+                static_cast<int>(key.hub_degree));
+  // The filename carries a per-live-Plan nonce in addition to the key
+  // tag: two plans for the SAME key can overlap in time (a rebuild
+  // after a foreign cleanup deleted the spill files, or two engines
+  // racing on a cold cache), and with key-only names the loser's
+  // SpillSet destructor would unlink the winner's freshly-written
+  // containers out from under it. Overlapping lifetimes guarantee
+  // distinct addresses, so distinct names.
+  char nonce[24];
+  std::snprintf(nonce, sizeof nonce, "%p", static_cast<void*>(&plan));
+  std::vector<std::string> paths;
+  paths.reserve(plan.shards.size());
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    Shard& sh = plan.shards[s];
+    std::string path = dir + "/glouvain-shard-" + tag + "-" + nonce + "-" +
+                       std::to_string(s) + ".zg";
+    // Write-temp-and-rename so a half-written container is never
+    // mapped; the final name is already unique per live Plan.
+    const std::string tmp = path + ".tmp";
+    const zg::ZCsr z = zg::ZCsr::encode(sh.local);
+    const util::Status st = zg::save(z, tmp);
+    if (!st.ok()) {
+      throw std::runtime_error("shard spill failed: " + st.message());
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      throw std::runtime_error("shard spill rename failed: " + ec.message());
+    }
+    sh.spill_path = path;
+    sh.local = Csr();
+    paths.push_back(std::move(path));
+  }
+  plan.spill = std::make_shared<SpillSet>(std::move(paths));
+}
+
+/// A cached mmap plan is only usable while its containers are still on
+/// disk (a foreign cleanup of the temp dir must degrade to a rebuild,
+/// not a crash).
+bool spill_intact(const Plan& plan) {
+  for (const Shard& sh : plan.shards) {
+    if (sh.spill_path.empty()) continue;
+    std::error_code ec;
+    if (!std::filesystem::exists(sh.spill_path, ec)) return false;
+  }
+  return true;
+}
+
+}  // namespace engine_detail
+
 namespace {
+using engine_detail::Lane;
+using engine_detail::LocalGraph;
+using engine_detail::Proposal;
+using engine_detail::SweepOutcome;
+using engine_detail::apply_proposals;
+using engine_detail::apply_proposals_validated;
+using engine_detail::CommitScratch;
+using engine_detail::run_lanes;
+using engine_detail::run_shard_sweep;
+using engine_detail::spill_intact;
+using engine_detail::spill_plan;
+using engine_detail::steady_now_ns;
 using graph::Community;
 using graph::Csr;
 using graph::VertexId;
@@ -33,9 +479,16 @@ Config lowered(Config config) {
 }
 }  // namespace
 
+struct Engine::ConcurrentState {
+  std::vector<Lane> lanes;
+  CommitScratch commit;
+};
+
 Engine::Engine(const Config& config)
     : config_(lowered(config)),
-      device_(std::make_unique<simt::Device>(resolve_device(config_))) {}
+      device_(std::make_unique<simt::Device>(resolve_device(config_))) {
+  plan_cache().set_capacity(config_.plan_cache_capacity);
+}
 
 Engine::~Engine() = default;
 
@@ -43,6 +496,21 @@ void Engine::set_config(const Config& config) {
   const simt::DeviceConfig keep = config_.core.device;
   config_ = lowered(config);
   config_.core.device = keep;  // the live device's shape is immutable
+  pool_.reset();  // an engine-owned pool re-derives from the new shape
+  plan_cache().set_capacity(config_.plan_cache_capacity);
+}
+
+simt::DevicePool& Engine::pool() {
+  if (config_.device_pool) return *config_.device_pool;
+  if (!pool_) {
+    simt::DevicePoolConfig pc;
+    pc.max_devices = std::max(1u, config_.shards);
+    pc.total_threads = config_.threads;
+    pc.device = config_.core.device;
+    pc.device.worker_threads = 0;
+    pool_ = std::make_shared<simt::DevicePool>(pc);
+  }
+  return *pool_;
 }
 
 unsigned Engine::shards_for(VertexId n) const noexcept {
@@ -51,6 +519,33 @@ unsigned Engine::shards_for(VertexId n) const noexcept {
   const VertexId min_n = std::max<VertexId>(config_.min_shard_vertices, 1);
   const std::uint64_t fit = std::max<std::uint64_t>(n / min_n, 1);
   return static_cast<unsigned>(std::min<std::uint64_t>(want, fit));
+}
+
+std::shared_ptr<const Plan> Engine::plan_for(const Csr& graph, unsigned k,
+                                             obs::Recorder* rec,
+                                             Result& result) {
+  const PartitionConfig pcfg{k, config_.partition, config_.partition_seed,
+                             config_.hub_degree};
+  const bool mmap = config_.shard_storage == detect::ShardStorage::kMmap;
+  const PlanKey key = plan_key(graph, pcfg, config_.shard_storage);
+  std::shared_ptr<const Plan> plan = plan_cache().get(key);
+  if (plan && mmap && !spill_intact(*plan)) plan = nullptr;
+  if (plan) {
+    ++result.plan_hits;
+    if (rec) rec->count("cache/plan_hit", 1);
+    return plan;
+  }
+  ++result.plan_misses;
+  if (rec) rec->count("cache/plan_miss", 1);
+  auto built = std::make_shared<Plan>(make_plan(graph, pcfg));
+  if (mmap) {
+    const std::string dir = config_.spill_dir.empty()
+                                ? std::filesystem::temp_directory_path().string()
+                                : config_.spill_dir;
+    spill_plan(*built, dir, key);
+  }
+  plan_cache().put(key, built);
+  return built;
 }
 
 Result Engine::run(const Csr& graph, obs::Recorder* rec) {
@@ -70,17 +565,18 @@ Result Engine::run(const Csr& graph, obs::Recorder* rec) {
   double prev_q = -1.0;
   std::uint64_t prev_spills = 0;
 
-  // Sharded-level scratch, reused across levels and rounds.
+  // Sharded-level scratch, reused across levels and rounds. seq_lane
+  // carries the marshal buffers of the sequential simulation; the
+  // concurrent mode keeps one Lane per leased device in conc_ instead.
   GlobalState gs;
   std::vector<Weight> strengths;
-  std::vector<Community> seed;       ///< per-shard local seed labels
-  std::vector<Community> rep_comm;   ///< local slot -> global community
-  std::vector<Community> comm_slot;  ///< global community -> local slot
-  std::vector<VertexId> slot_list;   ///< slots claimed by this shard
+  Lane seq_lane;
   std::vector<VertexId> active_ids;  ///< iota; prefix = a shard's owned
   std::vector<int> last_moved;       ///< round a global vertex last moved
   std::vector<int> dirty_round;      ///< round a neighbour last moved
-  std::vector<VertexId> frontier;    ///< round >= 1 restricted active set
+  std::vector<std::vector<Proposal>> proposals;  ///< per-shard move buffer
+  std::vector<Proposal> all_props;  ///< gain-ordered barrier commit queue
+  std::vector<SweepOutcome> outcomes;            ///< per-shard, per round
 
   for (int level = 0; level < config_.max_levels; ++level) {
     if (rec) rec->set_level(level);
@@ -130,17 +626,18 @@ Result Engine::run(const Csr& graph, obs::Recorder* rec) {
                 : 0;
       }
     } else {
-      // ---- sharded level: partition, then alternate per-shard
-      // restricted phases (sequentially on the one warm device — see
-      // engine.hpp) with halo exchanges of labels and community totals.
-      Plan plan;
+      // ---- sharded level: partition (through the plan cache), then
+      // alternate per-shard restricted phases with halo exchanges of
+      // labels and community totals. Sequential mode sweeps the shards
+      // Gauss-Seidel on the one warm device; concurrent mode leases up
+      // to k pooled devices and runs each round as a barrier-
+      // synchronized Jacobi step (see engine.hpp).
+      std::shared_ptr<const Plan> plan_ptr;
       {
         obs::Span span(rec, "shard/partition");
-        plan = make_plan(*current,
-                         PartitionConfig{k, config_.partition,
-                                         config_.partition_seed,
-                                         config_.hub_degree});
+        plan_ptr = plan_for(*current, k, rec, result);
       }
+      const Plan& plan = *plan_ptr;
       if (level == 0) {
         result.partition = plan.stats;
         result.shards_used = k;
@@ -160,7 +657,7 @@ Result Engine::run(const Csr& graph, obs::Recorder* rec) {
       strengths = current->compute_strengths();
       gs.reset(n);
       gs.rebuild_tot(strengths);
-      comm_slot.assign(n, kInvalidVertex);
+      seq_lane.comm_slot.assign(n, kInvalidVertex);
       VertexId max_owned = 0;
       for (const Shard& sh : plan.shards) {
         max_owned = std::max(max_owned, sh.num_owned);
@@ -170,6 +667,25 @@ Result Engine::run(const Csr& graph, obs::Recorder* rec) {
       last_moved.assign(n, -1);
       dirty_round.assign(n, -1);
       if (shard_states_.size() < k) shard_states_.resize(k);
+      if (proposals.size() < k) proposals.resize(k);
+      if (outcomes.size() < k) outcomes.resize(k);
+
+      const bool concurrent = config_.concurrent_shards;
+      simt::DeviceLease lease;
+      unsigned lanes_n = 0;
+      if (concurrent) {
+        // One lease per level: the degradation ladder (k devices ->
+        // fewer -> 1) happens here, inside acquire().
+        lease = pool().acquire(k);
+        lanes_n = lease.granted();
+        result.devices_used = std::max(result.devices_used, lanes_n);
+        if (!conc_) conc_ = std::make_unique<ConcurrentState>();
+        if (conc_->lanes.size() < lanes_n) conc_->lanes.resize(lanes_n);
+        for (unsigned l = 0; l < lanes_n; ++l) {
+          conc_->lanes[l].comm_slot.assign(n, kInvalidVertex);
+        }
+        if (rec) rec->count_max("shard/devices", lanes_n);
+      }
 
       // Every round (round 0 included) runs with the phase-internal
       // modularity machinery off and the sweep count capped: the round
@@ -198,146 +714,114 @@ Result Engine::run(const Csr& graph, obs::Recorder* rec) {
         std::uint64_t moved = 0;
         double max_shard_seconds = 0;
         double max_shard_work = 0;
-        // Symmetric Gauss-Seidel over the shards: odd rounds sweep in
-        // reverse, so no shard is permanently the leader (with a fixed
-        // order the first shard always moves against a stale boundary
-        // and the last always reacts — the cut settles lopsided).
-        for (unsigned si = 0; si < k; ++si) {
-          const unsigned s = (round & 1) != 0 ? k - 1 - si : si;
-          const Shard& sh = plan.shards[s];
-          if (sh.num_owned == 0) continue;
-          util::Timer shard_timer;
-          obs::Span shard_span(rec, "shard/phase");
-          const VertexId local_n = sh.num_local();
-          const VertexId mapped_n =
-              local_n - (sh.has_phantom ? 1 : 0);
-
-          // Round 0 optimizes every owned vertex. Later rounds only
-          // revisit the change frontier: owned vertices that moved
-          // since this shard last ran, or whose neighbourhood changed
-          // (movers stamp their neighbours dirty at publish time — the
-          // push-based marking below — so membership is two O(1) reads
-          // per owned vertex, no adjacency scan). Everything else sits
-          // at the local optimum it reached last round (stale only in
-          // second-order a_c drift), so re-sweeping it buys nothing
-          // and costs a full phase — an idle shard skips even the
-          // reseed marshal below.
-          std::span<const VertexId> active(active_ids.data(), sh.num_owned);
-          double active_arcs = 0;  ///< local arcs the phase will scan
-          if (round > 0) {
-            frontier.clear();
-            // Hub settling (Config::hub_settle_rounds): past the
-            // opening rounds a dirty hub row is not re-scanned — on a
-            // scale-free cut every hub is dirtied every round, and
-            // those full-degree re-scans would dominate the settle
-            // tail. A hub that itself moved stays eligible.
-            const bool settle_hubs = round >= config_.hub_settle_rounds;
-            for (VertexId i = 0; i < sh.num_owned; ++i) {
-              const VertexId g = sh.global_of[i];
-              const bool moved_recently = last_moved[g] >= round - 1;
-              if (!moved_recently &&
-                  (dirty_round[g] < round - 1 ||
-                   (settle_hubs &&
-                    sh.local.degree(i) > config_.hub_degree))) {
-                continue;
-              }
-              frontier.push_back(i);
-              active_arcs += static_cast<double>(sh.local.degree(i));
+        double commit_seconds = 0;   ///< validated barrier commit (conc)
+        double validate_arcs = 0;    ///< arcs re-scored by that commit
+        if (!concurrent) {
+          // Symmetric Gauss-Seidel over the shards: odd rounds sweep in
+          // reverse, so no shard is permanently the leader (with a
+          // fixed order the first shard always moves against a stale
+          // boundary and the last always reacts — the cut settles
+          // lopsided). Each sweep publishes before the next shard runs.
+          for (unsigned si = 0; si < k; ++si) {
+            const unsigned s = (round & 1) != 0 ? k - 1 - si : si;
+            const Shard& sh = plan.shards[s];
+            if (sh.num_owned == 0) continue;
+            obs::Span shard_span(rec, "shard/phase");
+            const SweepOutcome o = run_shard_sweep(
+                *device_, sh, shard_states_[s], frontier_cfg, threshold,
+                round, config_.hub_degree, config_.hub_settle_rounds, gs,
+                last_moved, dirty_round,
+                std::span<const VertexId>(active_ids.data(), sh.num_owned),
+                seq_lane, ws_, rec, proposals[s]);
+            if (!o.ran) continue;
+            sweeps += o.sweeps;
+            if (round == 0) {
+              first_sweep_max =
+                  std::max(first_sweep_max, o.first_sweep_seconds);
             }
-            active = frontier;
-          } else {
-            for (VertexId i = 0; i < sh.num_owned; ++i) {
-              active_arcs += static_cast<double>(sh.local.degree(i));
+            moved += apply_proposals(proposals[s], gs, *current, strengths,
+                                     round, last_moved, dirty_round);
+            max_shard_seconds = std::max(max_shard_seconds, o.seconds);
+            max_shard_work = std::max(max_shard_work, o.work);
+            if (debug) {
+              std::fprintf(stderr, "  [shard %u] props=%zu sweeps=%d t=%.3fs\n",
+                           s, proposals[s].size(), o.sweeps, o.seconds);
             }
           }
-          if (active.empty()) continue;
-
-          // Seed the local state from the exchanged global view: the
-          // slot of community c is the first local vertex found in c,
-          // and rep_comm remembers which global community a slot
-          // stands for.
-          seed.resize(local_n);
-          rep_comm.resize(local_n);
-          slot_list.clear();
-          for (VertexId i = 0; i < mapped_n; ++i) {
-            const Community c = gs.community_of(sh.global_of[i]);
-            if (comm_slot[c] == kInvalidVertex) {
-              comm_slot[c] = i;
-              rep_comm[i] = c;
-              slot_list.push_back(i);
+        } else {
+          // Jacobi round: every shard sweeps against the same
+          // round-start snapshot of gs/last_moved/dirty_round, on its
+          // leased device lane; the join below is the barrier, and
+          // only then does the driver publish the buffered moves —
+          // in fixed shard order, so the result is deterministic no
+          // matter how many devices the lease granted.
+          obs::Span round_span(rec, "shard/round");
+          const std::int64_t anchor_raw = steady_now_ns();
+          const std::int64_t anchor_rel = rec ? rec->elapsed_ns() : 0;
+          run_lanes(lanes_n, [&](unsigned lane_id) {
+            Lane& lane = conc_->lanes[lane_id];
+            simt::Device& dev = lease.device(lane_id);
+            for (unsigned s = lane_id; s < k; s += lanes_n) {
+              const Shard& sh = plan.shards[s];
+              outcomes[s] = SweepOutcome{};
+              proposals[s].clear();
+              if (sh.num_owned == 0) continue;
+              outcomes[s] = run_shard_sweep(
+                  dev, sh, shard_states_[s], frontier_cfg, threshold, round,
+                  config_.hub_degree, config_.hub_settle_rounds, gs,
+                  last_moved, dirty_round,
+                  std::span<const VertexId>(active_ids.data(), sh.num_owned),
+                  lane, lane.ws, nullptr, proposals[s]);
             }
-            seed[i] = comm_slot[c];
+          });
+          // ---- barrier: publish timings, then moves, in shard order.
+          for (unsigned s = 0; s < k; ++s) {
+            const SweepOutcome& o = outcomes[s];
+            if (!o.ran) continue;
+            if (rec) {
+              rec->add_timed_span("shard/phase",
+                                  anchor_rel + (o.start_raw - anchor_raw),
+                                  o.dur_ns, lease.lane_of(s) + 1);
+            }
+            sweeps += o.sweeps;
+            if (round == 0) {
+              first_sweep_max =
+                  std::max(first_sweep_max, o.first_sweep_seconds);
+            }
+            max_shard_seconds = std::max(max_shard_seconds, o.seconds);
+            max_shard_work = std::max(max_shard_work, o.work);
           }
-          if (sh.has_phantom) seed[local_n - 1] = local_n - 1;
-          core::PhaseState& st = shard_states_[s];
-          if (round == 0) {
-            st.reset_from(sh.local, *device_, seed);
-          } else {
-            st.reseed(*device_, seed);
-          }
-          // Exchanged community totals replace the locally-accumulated
-          // ones, so gains computed inside the shard are GLOBAL gains.
-          // The phantom keeps its reset total (its own pad strength —
-          // it is frozen and adjacent to nothing, so it never appears
-          // as a move candidate).
-          for (const VertexId slot : slot_list) {
-            st.tot[slot] = gs.tot_of(rep_comm[slot]);
-          }
-
-          const core::PhaseResult phase = core::optimize_phase(
-              *device_, sh.local, frontier_cfg, st, active, threshold, ws_,
-              rec);
-          sweeps += phase.sweeps;
-          if (round == 0) {
-            first_sweep_max =
-                std::max(first_sweep_max, phase.first_sweep_seconds);
-          }
-
-          // Publish the owned labels back into the global view, with
-          // the community totals updated in the same stroke. Later
-          // shards of this round see both (Gauss-Seidel order); the
-          // round-end exchange re-reduces the totals from scratch so
-          // incremental float drift cannot accumulate across rounds.
-          for (VertexId i = 0; i < sh.num_owned; ++i) {
-            const Community c_new = rep_comm[st.community[i]];
-            const VertexId g = sh.global_of[i];
-            if (gs.apply_move(g, c_new, strengths)) {
-              ++moved;
-              last_moved[g] = round;
-              // Push-based frontier maintenance: the mover dirties its
-              // global neighbourhood (the targeting of a real halo
-              // message), so the next round's membership test needs no
-              // adjacency scan. Cost is proportional to the round's
-              // migration, not to the edge set. Delta-screening prune
-              // (Vite/GVE lineage): a neighbour already in the mover's
-              // destination community saw its stay-put option
-              // reinforced, not weakened — skip it.
-              for (const VertexId u : current->neighbors(g)) {
-                if (gs.community_of(u) != c_new) dirty_round[u] = round;
-              }
+          // Validated commit (apply_proposals_validated): the round's
+          // proposals merge into one best-first queue — predicted dQ
+          // descending, vertex id breaking ties (each owned vertex
+          // appears at most once, so the order is total and device-
+          // count independent) — and each proposer gets a fresh
+          // best-destination decision against the partially-committed
+          // view before it lands. Cross-shard swap/overcrowding
+          // oscillations die here rather than in the modularity, and
+          // when two snapshot-scored moves conflict the more valuable
+          // one decides first.
+          util::Timer commit_timer;
+          all_props.clear();
+          for (unsigned s = 0; s < k; ++s) {
+            all_props.insert(all_props.end(), proposals[s].begin(),
+                             proposals[s].end());
+            if (debug && outcomes[s].ran) {
+              std::fprintf(stderr,
+                           "  [shard %u @lane %u] props=%zu sweeps=%d "
+                           "t=%.3fs\n",
+                           s, lease.lane_of(s), proposals[s].size(),
+                           outcomes[s].sweeps, outcomes[s].seconds);
             }
           }
-          for (const VertexId slot : slot_list) {
-            comm_slot[rep_comm[slot]] = kInvalidVertex;
-          }
-          max_shard_seconds =
-              std::max(max_shard_seconds, shard_timer.seconds());
-          // Deterministic per-shard cost (engine.hpp Result doc): one
-          // arc pass over the active set per sweep, the O(slots) seed
-          // marshal, and the state transfer — full upload on round 0,
-          // label-derived reseed after.
-          const double shard_work =
-              active_arcs *
-                  static_cast<double>(std::max(phase.sweeps, 1)) +
-              static_cast<double>(mapped_n) +
-              (round == 0 ? static_cast<double>(sh.local.num_arcs())
-                          : static_cast<double>(local_n));
-          max_shard_work = std::max(max_shard_work, shard_work);
-          if (debug) {
-            std::fprintf(stderr,
-                         "  [shard %u] active=%zu sweeps=%d t=%.3fs\n", s,
-                         active.size(), phase.sweeps, shard_timer.seconds());
-          }
+          std::sort(all_props.begin(), all_props.end(),
+                    [](const Proposal& a, const Proposal& b) {
+                      return a.gain != b.gain ? a.gain > b.gain : a.v < b.v;
+                    });
+          moved += apply_proposals_validated(
+              all_props, gs, *current, strengths, round, last_moved,
+              dirty_round, conc_->commit, validate_arcs);
+          commit_seconds = commit_timer.seconds();
         }
 
         // Halo exchange: rebuild every community's total strength from
@@ -349,9 +833,13 @@ Result Engine::run(const Csr& graph, obs::Recorder* rec) {
           gs.rebuild_tot(strengths);
         }
         const double exchange_seconds = ex_timer.seconds();
-        level_critical += max_shard_seconds + exchange_seconds;
+        // The validated commit is driver-side serial work on the
+        // concurrent critical path (sequential rounds publish inside
+        // the per-shard sweep instead), so it is charged in full.
+        level_critical += max_shard_seconds + commit_seconds +
+                          exchange_seconds;
         // The exchange is the O(n) label broadcast + tot all-reduce.
-        level_work += max_shard_work + static_cast<double>(n);
+        level_work += max_shard_work + validate_arcs + static_cast<double>(n);
         ++result.exchange_rounds;
         if (rec) {
           rec->count("shard/rounds", 1);
@@ -368,11 +856,11 @@ Result Engine::run(const Csr& graph, obs::Recorder* rec) {
         if (debug) {
           std::fprintf(stderr,
                        "[shard] level=%d k=%u round=%d moved=%llu "
-                       "max_shard=%.3fs work=%.1fM exchange=%.3fs\n",
+                       "max_shard=%.3fs work=%.1fM exchange=%.3fs%s\n",
                        level, k, round,
                        static_cast<unsigned long long>(moved),
                        max_shard_seconds, max_shard_work * 1e-6,
-                       exchange_seconds);
+                       exchange_seconds, concurrent ? " [jacobi]" : "");
         }
         const auto move_floor = static_cast<std::uint64_t>(
             config_.round_move_floor * static_cast<double>(n));

@@ -3,12 +3,24 @@
 // exchange of ghost community/tot, and a global aggregation that
 // rebuilds the shards per level.
 //
-// Execution model on this substrate: the container exposes ONE host
-// CPU, so — exactly like the multi subsystem it supersedes — the k
-// "devices" are simulated sequentially on a single warm simt::Device
-// that uses the full worker pool for each shard. Wall clock therefore
-// measures TOTAL work; the distributed figure of merit is the modeled
-// device-parallel critical path
+// Execution model: in the default sequential mode — exactly like the
+// multi subsystem this supersedes — the k "devices" are simulated
+// sequentially on a single warm simt::Device that uses the full worker
+// pool for each shard (Gauss-Seidel rounds: later shards of a round
+// see earlier shards' moves). With Options::concurrent_shards the
+// rounds become BARRIER-SYNCHRONIZED JACOBI rounds on real host
+// concurrency: each round leases up to k devices from a
+// simt::DevicePool, every shard sweeps as a task on its leased device
+// against the round-start snapshot of the global labels/tots, move
+// proposals buffer lane-locally, and the barrier commits them in
+// gain-sorted order, RE-DECIDING each proposer's destination against
+// the partially-committed view with the core gain rule (cross-shard
+// swap/overcrowd oscillations are redirected or dropped, never
+// published) before running the halo exchange — deterministic for a
+// given (graph, options) no matter how many devices the pool grants
+// (DESIGN.md §14, "device placement and leasing"). In sequential mode
+// wall clock measures TOTAL work; the distributed figure of merit is
+// the modeled device-parallel critical path
 //
 //     Σ_rounds ( max_shard(marshal + phase) + exchange )
 //
@@ -31,6 +43,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -39,6 +52,11 @@
 
 namespace glouvain::obs {
 class Recorder;
+}
+
+namespace glouvain::simt {
+class DevicePool;
+class DeviceLease;
 }
 
 namespace glouvain::shard {
@@ -79,6 +97,17 @@ struct Config : detect::Options {
   /// settled the tail rounds are cheap (non-hub frontier only), so a
   /// deep 0.1% floor buys quality margin for a few M arcs.
   double round_move_floor = 1e-3;
+  /// Device pool for concurrent rounds (Options::concurrent_shards):
+  /// the svc service injects its shared pool; null makes the engine
+  /// build a private one (shards-wide, splitting Options::threads) on
+  /// the first concurrent level. Ignored in sequential mode.
+  std::shared_ptr<simt::DevicePool> device_pool;
+  /// Directory for mmap shard containers (Options::shard_storage);
+  /// "" = the system temp directory.
+  std::string spill_dir;
+  /// Capacity of the process-wide partition-plan cache, applied by the
+  /// next Engine construction/set_config; 0 disables plan caching.
+  std::size_t plan_cache_capacity = 8;
 };
 
 /// THE lowering from the canonical front-end surface, mirroring
@@ -117,6 +146,13 @@ struct Result : detect::Result {
   /// noisy to gate; identical runs produce identical critical_work,
   /// so bench/shard_scale gates its monotone decrease in k exactly.
   double critical_work = 0;
+  /// Concurrent mode: the widest device grant any level's lease got
+  /// from the pool (1 = fully degraded, or sequential mode).
+  unsigned devices_used = 1;
+  /// Partition-plan cache traffic of this run (also the obs counters
+  /// cache/plan_hit / cache/plan_miss).
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
 };
 
 /// A warm sharded runner: owns one simt device + workspace reused by
@@ -143,6 +179,21 @@ class Engine {
   /// Effective shard count for a level of n vertices.
   unsigned shards_for(graph::VertexId n) const noexcept;
 
+  /// Fetch (or build, spill and insert) the partition plan of
+  /// `graph` through the process-wide plan cache.
+  std::shared_ptr<const Plan> plan_for(const graph::Csr& graph, unsigned k,
+                                       obs::Recorder* rec, Result& result);
+
+  /// Lazily built pool for concurrent rounds (Config::device_pool when
+  /// injected, else engine-owned).
+  simt::DevicePool& pool();
+
+  /// Per-device-lane scratch of the concurrent Jacobi rounds: each
+  /// lane seeds and sweeps its shards against the shared round-start
+  /// snapshot with private marshal buffers and its own workspace, and
+  /// buffers move proposals for the barrier.
+  struct ConcurrentState;
+
   Config config_;
   std::unique_ptr<simt::Device> device_;
   core::Workspace ws_;
@@ -152,6 +203,8 @@ class Engine {
   /// O(arcs)); later rounds only reseed the label-derived state
   /// (O(n)), which is what a real device pays after a halo update.
   std::vector<core::PhaseState> shard_states_;
+  std::shared_ptr<simt::DevicePool> pool_;
+  std::unique_ptr<ConcurrentState> conc_;
 };
 
 /// One-shot convenience wrapper.

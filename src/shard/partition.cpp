@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "util/prng.hpp"
 
@@ -274,6 +275,7 @@ Plan make_plan(const Csr& graph, const PartitionConfig& config) {
                     (shard.has_phantom ? 1 : 0);
 
     shard.local = Csr(std::move(offsets), std::move(adj), std::move(weights));
+    shard.local_arcs = shard.local.num_arcs();
 
     // Exchange plan: every frozen non-phantom slot is one label read
     // from its owner per round.
@@ -306,6 +308,10 @@ Plan make_plan(const Csr& graph, const PartitionConfig& config) {
                          static_cast<double>(sum_arcs)
                    : 1.0;
   return plan;
+}
+
+SpillSet::~SpillSet() {
+  for (const std::string& path : paths_) std::remove(path.c_str());
 }
 
 }  // namespace glouvain::shard

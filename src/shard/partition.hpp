@@ -32,6 +32,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "detect/options.hpp"
@@ -63,9 +65,17 @@ struct Shard {
   /// to owner(min(u, v)). Every global edge is owned by exactly one
   /// shard (the partitioner invariant tests recompute this).
   graph::EdgeIdx owned_edges = 0;
+  /// Out-of-core shards (ShardStorage::kMmap): the zg container this
+  /// shard's `local` graph was spilled to; `local` is then empty and
+  /// the engine maps/decodes the container per sweep. "" = resident.
+  std::string spill_path;
+  /// Arc count of `local`, kept valid after a spill empties it.
+  graph::EdgeIdx local_arcs = 0;
 
+  /// Derived from global_of (one entry per local slot, phantom
+  /// included), NOT from `local` — which a spill empties.
   graph::VertexId num_local() const noexcept {
-    return local.num_vertices();
+    return static_cast<graph::VertexId>(global_of.size());
   }
   /// Frozen (non-movable) local vertices: replicas + ghosts + phantom.
   graph::VertexId num_frozen() const noexcept {
@@ -100,12 +110,34 @@ struct PlanStats {
   graph::VertexId replicated_hubs = 0; ///< distinct hubs with >=1 mirror
 };
 
+/// RAII owner of a plan's on-disk shard containers (mmap shard
+/// storage): removes the files when the last reference to the Plan
+/// drops — i.e. when the plan cache evicts it and no engine still
+/// holds it. Mapped regions survive the unlink (POSIX), so an
+/// in-flight sweep is never yanked.
+class SpillSet {
+ public:
+  explicit SpillSet(std::vector<std::string> paths)
+      : paths_(std::move(paths)) {}
+  ~SpillSet();
+  SpillSet(const SpillSet&) = delete;
+  SpillSet& operator=(const SpillSet&) = delete;
+
+  const std::vector<std::string>& paths() const noexcept { return paths_; }
+
+ private:
+  std::vector<std::string> paths_;
+};
+
 struct Plan {
   unsigned num_shards = 1;
   std::vector<unsigned> owner;  ///< global vertex -> owning shard
   std::vector<Shard> shards;
   ExchangePlan exchange;
   PlanStats stats;
+  /// Non-null iff the shards were spilled to zg containers (mmap shard
+  /// storage); shared so cached plans keep their files alive.
+  std::shared_ptr<SpillSet> spill;
 };
 
 /// Partition `graph` into config.num_shards shards. Deterministic for

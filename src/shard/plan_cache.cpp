@@ -1,0 +1,106 @@
+#include "shard/plan_cache.hpp"
+
+#include <utility>
+
+#include "graph/fingerprint.hpp"
+
+namespace glouvain::shard {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
+  std::uint64_t h = k.fp_hi;
+  h = mix64(h ^ (k.fp_lo + 0x9e3779b97f4a7c15ULL));
+  h = mix64(h ^ (static_cast<std::uint64_t>(k.shards) + 0x1000));
+  h = mix64(h ^ (static_cast<std::uint64_t>(k.strategy) + 17));
+  h = mix64(h ^ k.seed);
+  h = mix64(h ^ (static_cast<std::uint64_t>(k.hub_degree) + 0x5bf0a8b1ULL));
+  h = mix64(h ^ (static_cast<std::uint64_t>(k.storage) + 37));
+  return static_cast<std::size_t>(h);
+}
+
+PlanKey plan_key(const graph::Csr& graph, const PartitionConfig& config,
+                 detect::ShardStorage storage) {
+  const graph::Fingerprint128 fp = graph::fingerprint128(graph);
+  PlanKey key;
+  key.fp_hi = fp.hi;
+  key.fp_lo = fp.lo;
+  key.shards = config.num_shards;
+  key.strategy = config.strategy;
+  key.seed = config.seed;
+  key.hub_degree = config.hub_degree;
+  key.storage = storage;
+  return key;
+}
+
+std::shared_ptr<const Plan> PlanCache::get(const PlanKey& key) {
+  const std::lock_guard lock(m_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->plan;
+}
+
+void PlanCache::put(const PlanKey& key, std::shared_ptr<const Plan> plan) {
+  const std::lock_guard lock(m_);
+  if (capacity_ == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_.emplace(key, lru_.begin());
+  ++insertions_;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  const std::lock_guard lock(m_);
+  capacity_ = capacity;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::clear() {
+  const std::lock_guard lock(m_);
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  insertions_ = 0;
+  evictions_ = 0;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  const std::lock_guard lock(m_);
+  return Stats{hits_, misses_, insertions_, evictions_, lru_.size(),
+               capacity_};
+}
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace glouvain::shard

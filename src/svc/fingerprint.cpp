@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "graph/fingerprint.hpp"
+
 namespace glouvain::svc {
 
 namespace {
@@ -31,27 +33,10 @@ std::string Fingerprint::hex() const {
 }
 
 Fingerprint fingerprint(const graph::Csr& graph) {
-  Mixer a{0x8f14e45fceea167aULL};
-  Mixer b{0x243f6a8885a308d3ULL};
-
-  // Array lengths first so prefixes of longer arrays cannot alias.
-  a.absorb(graph.num_vertices());
-  b.absorb(graph.num_arcs());
-
-  for (const graph::EdgeIdx off : graph.offsets()) {
-    a.absorb(off);
-    b.absorb(off + 0x5bf0a8b1ULL);
-  }
-  for (const graph::VertexId v : graph.adjacency()) {
-    a.absorb(v);
-    b.absorb(~static_cast<std::uint64_t>(v));
-  }
-  for (const graph::Weight w : graph.edge_weights()) {
-    const auto bits = std::bit_cast<std::uint64_t>(w);
-    a.absorb(bits);
-    b.absorb(bits ^ 0xa5a5a5a5a5a5a5a5ULL);
-  }
-  return {a.state, b.state};
+  // The hash itself lives in the graph layer (graph::fingerprint128)
+  // so the shard plan cache can share it without an svc dependency.
+  const graph::Fingerprint128 fp = graph::fingerprint128(graph);
+  return {fp.hi, fp.lo};
 }
 
 Fingerprint job_key(const Fingerprint& graph_fp, std::string_view backend,
@@ -105,6 +90,15 @@ Fingerprint job_key(const Fingerprint& graph_fp, std::string_view backend,
   b.absorb(static_cast<std::uint64_t>(options.partition) * 0xc2b2ae3d27d4eb4fULL);
   a.absorb(options.partition_seed);
   b.absorb(options.partition_seed ^ 0x9e3779b97f4a7c15ULL);
+  // Concurrent Jacobi rounds are a different move schedule than the
+  // sequential Gauss-Seidel simulation, so the flag keys the cache;
+  // shard storage is bitwise-invariant but keeps the cached spans
+  // honest, like Options::storage above.
+  a.absorb(options.concurrent_shards ? 19 : 23);
+  b.absorb(options.concurrent_shards ? 29 : 31);
+  a.absorb(static_cast<std::uint64_t>(options.shard_storage) + 37);
+  b.absorb(static_cast<std::uint64_t>(options.shard_storage) *
+           0x9e3779b97f4a7c15ULL);
 
   a.absorb(session);
   b.absorb(session + 0x2545f4914f6cdd1dULL);

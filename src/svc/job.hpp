@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/louvain.hpp"
+#include "detect/options.hpp"
 #include "util/status.hpp"
 
 namespace glouvain::svc {
@@ -62,6 +63,11 @@ struct JobOptions {
   Backend backend = Backend::Auto;
   /// Consult/populate the result cache for this job.
   bool use_cache = true;
+  /// Per-job detection options; null = the service-wide defaults
+  /// (ServiceConfig::options). The override participates in the result
+  /// cache key exactly like the shared options do, so two jobs that
+  /// differ only in, say, the partition seed never alias a cache entry.
+  std::shared_ptr<const detect::Options> options;
 };
 
 struct JobResult {

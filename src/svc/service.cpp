@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "shard/plan_cache.hpp"
+#include "simt/device_pool.hpp"
 #include "svc/queue.hpp"
 #include "util/timer.hpp"
 
@@ -138,6 +140,13 @@ struct Service::Impl {
   detect::Extensions run_ext;
   unsigned device_threads_resolved = 0;
 
+  /// Shared device pool for concurrent shard rounds: every
+  /// shard-routed job's engine leases from this one pool, so two
+  /// concurrent sharded jobs split the service's devices instead of
+  /// each spawning a private shards-wide pool (run_ext.shard carries
+  /// it into every detect::make()).
+  std::shared_ptr<simt::DevicePool> shard_pool;
+
   /// Pooled stateful detectors, one per device worker; each keeps its
   /// simt device warm across jobs. Only the owning worker touches its
   /// entry after construction.
@@ -164,6 +173,16 @@ Service::Service(const ServiceConfig& config)
           ? config_.device_threads
           : (config_.options.threads ? config_.options.threads
                                      : std::thread::hardware_concurrency());
+
+  {
+    simt::DevicePoolConfig pc;
+    pc.max_devices = config_.devices;
+    pc.threads_per_device = impl_->device_threads_resolved;
+    pc.device = impl_->run_ext.shard.core.device;
+    pc.device.worker_threads = 0;
+    impl_->shard_pool = std::make_shared<simt::DevicePool>(pc);
+    impl_->run_ext.shard.device_pool = impl_->shard_pool;
+  }
 
   impl_->devices.reserve(config_.devices);
   for (unsigned d = 0; d < config_.devices; ++d) {
@@ -198,9 +217,12 @@ JobId Service::submit(graph::Csr graph, const JobOptions& options) {
   if (caching) {
     // The key folds the resolved backend and the quality-relevant
     // options in with the graph hash, so the same graph run by two
-    // backends (or two threshold schedules) never aliases.
+    // backends (or two threshold schedules — or two partition seeds,
+    // via a per-job options override) never aliases.
+    const detect::Options& effective =
+        options.options ? *options.options : config_.options;
     job->fp = job_key(fingerprint(*job->graph), to_string(job->routed),
-                      config_.options);
+                      effective);
     cached = impl_->cache.get(job->fp);
   }
 
@@ -448,6 +470,11 @@ Stats Service::stats() const {
   s.sessions_open = impl_->sessions.size();
   s.devices = static_cast<unsigned>(impl_->devices.size());
   s.device_threads = impl_->device_threads_resolved;
+  const shard::PlanCache::Stats ps = shard::plan_cache().stats();
+  s.plan_hits = ps.hits;
+  s.plan_misses = ps.misses;
+  s.plan_evictions = ps.evictions;
+  s.plan_entries = ps.entries;
   return s;
 }
 
@@ -571,8 +598,11 @@ void Service::worker_loop(unsigned index) {
           if (!detector.ok()) {
             error = detector.status().to_string();
           } else {
+            const detect::Options& opts = job->options.options
+                                              ? *job->options.options
+                                              : config_.options;
             result = std::make_shared<core::Result>(
-                (*detector)->run(*graph, config_.options));
+                (*detector)->run(*graph, opts));
             if (caching) s.cache.put(job->fp, result);
           }
         }

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -124,6 +125,53 @@ TEST(Recorder, PhaseTableRendersStagesAndCounters) {
   const std::string table = os.str();
   EXPECT_NE(table.find("modopt/bucket1"), std::string::npos);
   EXPECT_NE(table.find("moved_frac"), std::string::npos);
+}
+
+TEST(Recorder, TimedSpansCarryTracksAndOverlapValidates) {
+  // The barrier-time publication path of the concurrent shard rounds:
+  // two lane spans with OVERLAPPING intervals under one parent, tagged
+  // with their 1-based device lanes. validate() must accept them (the
+  // sibling-sum check only binds track-0 children) and the chrome
+  // trace must put each on its lane's tid.
+  Recorder rec;
+  {
+    Span round(&rec, "shard/round");
+    const std::int64_t begin = rec.elapsed_ns();
+    std::int64_t now = begin;
+    while (now - begin < 4000) now = rec.elapsed_ns();  // stay inside round
+    rec.add_timed_span("shard/phase", now - 2000, 1500, /*track=*/1);
+    rec.add_timed_span("shard/phase", now - 1800, 1700, /*track=*/2);
+  }
+  ASSERT_EQ(rec.spans().size(), 3u);
+  EXPECT_EQ(rec.spans()[1].track, 1u);
+  EXPECT_EQ(rec.spans()[2].track, 2u);
+  EXPECT_EQ(rec.spans()[1].parent, 0);
+  EXPECT_EQ(rec.spans()[2].parent, 0);
+  EXPECT_EQ(rec.spans()[1].duration_ns, 1500);
+  // Overlapping same-parent intervals on distinct nonzero tracks are
+  // exactly what concurrent lanes produce — not a validation problem.
+  EXPECT_TRUE(rec.validate().empty()) << rec.validate();
+
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(Recorder, TimedSpanOnDriverTrackStillSumChecked) {
+  // A track-0 timed span is an ordinary child: the nonzero-track
+  // exemption is per-track, not a blanket bypass for add_timed_span —
+  // a driver-track child wildly exceeding its parent must still fail
+  // validation.
+  Recorder rec;
+  {
+    Span parent(&rec, "parent");
+    rec.add_timed_span("child", 0,
+                       std::numeric_limits<std::int64_t>::max() / 2,
+                       /*track=*/0);
+  }
+  EXPECT_FALSE(rec.validate().empty());
 }
 
 TEST(Recorder, NamesAreInternedAcrossClear) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <set>
 
@@ -21,6 +22,8 @@
 #include "shard/engine.hpp"
 #include "shard/halo.hpp"
 #include "shard/partition.hpp"
+#include "shard/plan_cache.hpp"
+#include "simt/device_pool.hpp"
 #include "svc/fingerprint.hpp"
 
 namespace glouvain::shard {
@@ -351,6 +354,204 @@ TEST(Detector, ShardRejectsIncompatibleKnobs) {
   warm->seed.assign(g.num_vertices(), 0);
   options.warm_start = warm;
   EXPECT_THROW((*detector)->run(g, options), std::invalid_argument);
+}
+
+shard::Config sharded_config(unsigned k, bool concurrent,
+                             detect::ShardStorage storage) {
+  shard::Config cfg = pinned_config();
+  cfg.shards = k;
+  cfg.min_shard_vertices = 64;  // force real sharding on 4k vertices
+  cfg.hub_degree = 48;
+  cfg.concurrent_shards = concurrent;
+  cfg.shard_storage = storage;
+  return cfg;
+}
+
+TEST(Engine, ConcurrentSingleShardBitwiseIdenticalToCore) {
+  // k <= 1 must stay the core-identical path whether or not concurrent
+  // rounds are on, and regardless of the shard storage mode (there is
+  // nothing to spill or lease at k = 1).
+  const auto bench = gen::lfr({.num_vertices = 4096, .mu = 0.25, .seed = 3});
+  const core::Result reference =
+      core::louvain(bench.graph, core::to_config(pinned_config()));
+  for (const auto storage :
+       {detect::ShardStorage::kPlain, detect::ShardStorage::kMmap}) {
+    shard::Config cfg = sharded_config(1, true, storage);
+    const Result r = louvain(bench.graph, cfg);
+    EXPECT_EQ(r.shards_used, 1u);
+    EXPECT_EQ(r.community, reference.community);  // bitwise labels
+    EXPECT_EQ(r.modularity, reference.modularity);
+  }
+}
+
+TEST(Engine, ConcurrentQualityTracksSequential) {
+  // The validated barrier commit keeps the Jacobi rounds within the
+  // quality envelope of the sequential Gauss-Seidel rounds.
+  const auto bench = gen::lfr({.num_vertices = 4096, .mu = 0.25, .seed = 7});
+  for (const auto strategy :
+       {detect::Partition::kBlock, detect::Partition::kHubRep}) {
+    for (const unsigned k : {2u, 4u}) {
+      shard::Config seq_cfg =
+          sharded_config(k, false, detect::ShardStorage::kPlain);
+      seq_cfg.partition = strategy;
+      shard::Config conc_cfg = seq_cfg;
+      conc_cfg.concurrent_shards = true;
+      const Result seq = louvain(bench.graph, seq_cfg);
+      const Result conc = louvain(bench.graph, conc_cfg);
+      EXPECT_EQ(conc.shards_used, k);
+      EXPECT_GE(conc.devices_used, 1u);
+      EXPECT_GT(conc.modularity, 0.98 * seq.modularity)
+          << partition_name(strategy) << " k=" << k;
+      EXPECT_NEAR(conc.modularity,
+                  metrics::modularity(bench.graph, conc.community), 1e-6);
+    }
+  }
+}
+
+TEST(Engine, ConcurrentDeterministicAcrossDeviceCounts) {
+  // The barrier applies proposals in fixed shard order, so the answer
+  // must be identical whether the pool grants 1 lane (fully degraded,
+  // round-robin multiplexed) or one lane per shard.
+  const auto bench = gen::lfr({.num_vertices = 4096, .mu = 0.25, .seed = 13});
+  std::vector<Community> labels;
+  double q = 0;
+  bool first = true;
+  for (const unsigned width : {1u, 2u, 4u}) {
+    shard::Config cfg =
+        sharded_config(4, true, detect::ShardStorage::kPlain);
+    simt::DevicePoolConfig pc;
+    pc.max_devices = width;
+    pc.total_threads = 2;
+    pc.device = cfg.core.device;
+    pc.device.worker_threads = 0;
+    cfg.device_pool = std::make_shared<simt::DevicePool>(pc);
+    const Result r = louvain(bench.graph, cfg);
+    EXPECT_LE(r.devices_used, width);
+    if (first) {
+      labels = r.community;
+      q = r.modularity;
+      first = false;
+    } else {
+      EXPECT_EQ(r.community, labels) << "pool width " << width;
+      EXPECT_EQ(r.modularity, q) << "pool width " << width;
+    }
+  }
+}
+
+TEST(Engine, MmapShardsBitwiseMatchPlain) {
+  // Out-of-core shards decode to bitwise-identical local graphs, so
+  // the whole run must match plain storage label for label — in both
+  // execution modes.
+  const auto bench = gen::lfr({.num_vertices = 4096, .mu = 0.25, .seed = 21});
+  for (const bool concurrent : {false, true}) {
+    const Result plain = louvain(
+        bench.graph, sharded_config(4, concurrent,
+                                    detect::ShardStorage::kPlain));
+    const Result mmap = louvain(
+        bench.graph, sharded_config(4, concurrent,
+                                    detect::ShardStorage::kMmap));
+    EXPECT_EQ(mmap.community, plain.community)
+        << (concurrent ? "concurrent" : "sequential");
+    EXPECT_EQ(mmap.modularity, plain.modularity);
+  }
+}
+
+TEST(PlanCache, LruHitMissEviction) {
+  PlanCache cache(2);
+  const Csr g1 = gen::ring_of_cliques(4, 4);
+  const Csr g2 = gen::ring_of_cliques(5, 4);
+  const Csr g3 = gen::ring_of_cliques(6, 4);
+  PartitionConfig pc;
+  pc.num_shards = 2;
+  const PlanKey k1 = plan_key(g1, pc, detect::ShardStorage::kPlain);
+  const PlanKey k2 = plan_key(g2, pc, detect::ShardStorage::kPlain);
+  const PlanKey k3 = plan_key(g3, pc, detect::ShardStorage::kPlain);
+
+  EXPECT_EQ(cache.get(k1), nullptr);
+  cache.put(k1, std::make_shared<Plan>(make_plan(g1, pc)));
+  cache.put(k2, std::make_shared<Plan>(make_plan(g2, pc)));
+  EXPECT_NE(cache.get(k1), nullptr);  // refreshes k1's LRU position
+  cache.put(k3, std::make_shared<Plan>(make_plan(g3, pc)));
+  EXPECT_EQ(cache.get(k2), nullptr);  // k2 was LRU, evicted
+  EXPECT_NE(cache.get(k1), nullptr);
+  EXPECT_NE(cache.get(k3), nullptr);
+
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+}
+
+TEST(PlanCache, KeyTracksContentAndKnobs) {
+  // A stream delta that changes the graph changes the fingerprint and
+  // with it the key — stale plans are never served, only forgotten.
+  const Csr g = gen::ring_of_cliques(6, 5);
+  Csr same = gen::ring_of_cliques(6, 5);
+  Csr heavier = graph::build_csr(
+      g.num_vertices(), [&] {
+        std::vector<graph::Edge> edges;
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          const auto nbr = g.neighbors(v);
+          const auto wts = g.weights(v);
+          for (std::size_t e = 0; e < nbr.size(); ++e) {
+            if (nbr[e] > v) edges.push_back({v, nbr[e], wts[e]});
+          }
+        }
+        edges[0].w += 1.0;  // the delta
+        return edges;
+      }());
+  PartitionConfig pc;
+  pc.num_shards = 2;
+  const PlanKey base = plan_key(g, pc, detect::ShardStorage::kPlain);
+  EXPECT_EQ(base, plan_key(same, pc, detect::ShardStorage::kPlain));
+  EXPECT_NE(base, plan_key(heavier, pc, detect::ShardStorage::kPlain));
+  PartitionConfig reseeded = pc;
+  reseeded.seed = 99;
+  EXPECT_NE(base, plan_key(g, reseeded, detect::ShardStorage::kPlain));
+  EXPECT_NE(base, plan_key(g, pc, detect::ShardStorage::kMmap));
+}
+
+TEST(PlanCache, EngineReusesCachedPlans) {
+  plan_cache().clear();
+  const auto bench = gen::lfr({.num_vertices = 4096, .mu = 0.25, .seed = 31});
+  shard::Config cfg = sharded_config(2, false, detect::ShardStorage::kPlain);
+  Engine engine(cfg);
+  const Result r1 = engine.run(bench.graph);
+  EXPECT_GT(r1.plan_misses, 0u);
+  EXPECT_EQ(r1.plan_hits, 0u);
+  const Result r2 = engine.run(bench.graph);
+  EXPECT_EQ(r2.plan_misses, 0u);
+  EXPECT_EQ(r2.plan_hits, r1.plan_misses);
+  EXPECT_EQ(r2.community, r1.community);  // cached plans, same answer
+}
+
+TEST(PlanCache, MissingSpillFilesForceRebuild) {
+  // A foreign cleanup of the spill directory must degrade a cached
+  // mmap plan to a rebuild, not a crash — and the rebuild must land on
+  // the same answer.
+  plan_cache().clear();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "glouvain-shard-test-spills";
+  std::filesystem::create_directories(dir);
+  const auto bench = gen::lfr({.num_vertices = 4096, .mu = 0.25, .seed = 37});
+  shard::Config cfg = sharded_config(2, false, detect::ShardStorage::kMmap);
+  cfg.spill_dir = dir.string();
+  Engine engine(cfg);
+  const Result r1 = engine.run(bench.graph);
+  EXPECT_GT(r1.plan_misses, 0u);
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::filesystem::remove(entry.path(), ec);
+  }
+  const Result r2 = engine.run(bench.graph);
+  EXPECT_EQ(r2.plan_hits, 0u);
+  EXPECT_EQ(r2.plan_misses, r1.plan_misses);
+  EXPECT_EQ(r2.community, r1.community);
+  plan_cache().clear();  // release the plans so their spills delete
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST(Fingerprint, JobKeyAbsorbsShardKnobs) {

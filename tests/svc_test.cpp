@@ -14,6 +14,8 @@
 #include "gen/cliques.hpp"
 #include "gen/er.hpp"
 #include "seq/louvain.hpp"
+#include "shard/plan_cache.hpp"
+#include "stream/apply.hpp"
 #include "svc/cache.hpp"
 #include "svc/fingerprint.hpp"
 #include "svc/queue.hpp"
@@ -593,6 +595,135 @@ TEST(Service, ConcurrentSessionsOnDistinctWorkers) {
   EXPECT_EQ(service.session_info(*s2)->epoch, 4u);
   EXPECT_TRUE(service.close_session(*s1).ok());
   EXPECT_TRUE(service.close_session(*s2).ok());
+}
+
+// ------------------------------------------------------ shard integration
+
+TEST(Service, PartitionSeedKeyedIntoResultCache) {
+  // Two jobs differing ONLY in the partition seed must never alias a
+  // cache entry — even when the graph is small enough that the shard
+  // backend collapses to one shard and both answers coincide (aliasing
+  // would be wrong there too, and silently so).
+  svc::Service service(quiet_config());
+  const auto g = device_sized_graph(9);
+  auto opts_a = std::make_shared<detect::Options>();
+  opts_a->shards = 2;
+  opts_a->partition_seed = 1;
+  auto opts_b = std::make_shared<detect::Options>(*opts_a);
+  opts_b->partition_seed = 2;
+
+  const svc::JobResult a = service.wait(service.submit(
+      g, {.backend = svc::Backend::Shard, .options = opts_a}));
+  const svc::JobResult b = service.wait(service.submit(
+      g, {.backend = svc::Backend::Shard, .options = opts_b}));
+  ASSERT_EQ(a.status, svc::JobStatus::Completed) << a.error;
+  ASSERT_EQ(b.status, svc::JobStatus::Completed) << b.error;
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_FALSE(b.cache_hit);  // the seed is in the job fingerprint
+  EXPECT_NE(a.result, b.result);
+
+  // The same seed resubmitted IS a hit, on the same immutable object.
+  auto opts_c = std::make_shared<detect::Options>(*opts_a);
+  const svc::JobResult c = service.wait(service.submit(
+      g, {.backend = svc::Backend::Shard, .options = opts_c}));
+  ASSERT_EQ(c.status, svc::JobStatus::Completed) << c.error;
+  EXPECT_TRUE(c.cache_hit);
+  EXPECT_EQ(c.result, a.result);
+}
+
+TEST(Service, PlanCacheReusedAcrossJobsAndInvalidatedByDeltas) {
+  // Big enough that shards_for() keeps k = 2 at level 0 (the plan
+  // cache is only consulted on genuinely sharded levels).
+  shard::plan_cache().clear();
+  svc::Service service(quiet_config());
+  const auto g = gen::erdos_renyi(20000, 60000, 3);
+  auto opts = std::make_shared<detect::Options>();
+  opts->shards = 2;
+  const svc::JobOptions job{.backend = svc::Backend::Shard,
+                            .use_cache = false,  // force a real recompute
+                            .options = opts};
+
+  ASSERT_EQ(service.wait(service.submit(g, job)).status,
+            svc::JobStatus::Completed);
+  const shard::PlanCache::Stats first = shard::plan_cache().stats();
+  EXPECT_GT(first.misses, 0u);
+  ASSERT_EQ(service.wait(service.submit(g, job)).status,
+            svc::JobStatus::Completed);
+  const shard::PlanCache::Stats second = shard::plan_cache().stats();
+  EXPECT_GT(second.hits, 0u);  // the repeat reused the cached plan(s)
+
+  // A stream delta changes the graph, hence its fingerprint, hence the
+  // plan key: the mutated graph must MISS (a stale plan for the old
+  // content would partition vertices that no longer match).
+  stream::Delta delta;
+  delta.insertions.push_back({1, 4242, 1.0});
+  const graph::Csr mutated = stream::apply_delta(g, delta).graph;
+  ASSERT_EQ(service.wait(service.submit(mutated, job)).status,
+            svc::JobStatus::Completed);
+  const shard::PlanCache::Stats third = shard::plan_cache().stats();
+  EXPECT_GT(third.misses, second.misses);
+
+  // svc::Stats surfaces the same counters (read live from the cache).
+  const svc::Stats st = service.stats();
+  EXPECT_EQ(st.plan_hits, third.hits);
+  EXPECT_EQ(st.plan_misses, third.misses);
+  EXPECT_EQ(st.plan_entries, third.entries);
+}
+
+// Many submitters racing on one process-wide plan cache: the stress
+// invariant is conservation (every get is a hit or a miss) and that a
+// cached plan is always a complete plan for its key. Runs under the
+// `stress` label / tsan preset like the rest of this suite.
+TEST(Service, PlanCacheConcurrentStress) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  shard::PlanCache cache(4);  // smaller than the key set: evictions churn
+
+  std::vector<graph::Csr> graphs;
+  std::vector<shard::PlanKey> keys;
+  std::vector<std::shared_ptr<const shard::Plan>> plans;
+  shard::PartitionConfig pc;
+  pc.num_shards = 2;
+  for (graph::VertexId i = 0; i < 8; ++i) {
+    graphs.push_back(gen::ring_of_cliques(4 + i, 5));
+    keys.push_back(
+        shard::plan_key(graphs.back(), pc, detect::ShardStorage::kPlain));
+    plans.push_back(
+        std::make_shared<shard::Plan>(shard::make_plan(graphs.back(), pc)));
+  }
+
+  std::atomic<std::uint64_t> gets{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t j = static_cast<std::size_t>(t + i) % keys.size();
+        auto plan = cache.get(keys[j]);
+        gets.fetch_add(1, std::memory_order_relaxed);
+        if (!plan) {
+          cache.put(keys[j], plans[j]);
+        } else {
+          // A hit must be the complete plan for this key's graph.
+          EXPECT_EQ(plan->num_shards, 2u);
+          EXPECT_EQ(plan->owner.size(), graphs[j].num_vertices());
+        }
+        if (i % 64 == 0) (void)cache.stats();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const shard::PlanCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, gets.load());
+  EXPECT_LE(st.entries, 4u);
+  EXPECT_GT(st.evictions, 0u);
+  for (std::size_t j = 0; j < keys.size(); ++j) {
+    const auto plan = cache.get(keys[j]);
+    if (plan) {
+      EXPECT_EQ(plan->owner.size(), graphs[j].num_vertices());
+    }
+  }
 }
 
 }  // namespace

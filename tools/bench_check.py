@@ -13,6 +13,15 @@ high-water mark is gated the same way with --rss-tolerance — the zg
 storage layer exists to shrink exactly this number, so a silent RSS
 regression is as real a failure as a slow kernel.
 
+Additional metrics can be gated by name with --metric NAME[:TOL]
+(repeatable): the metric's current value may not exceed the baseline's
+by more than TOL (fractional; defaults to --tolerance). Metrics a run
+lists in its "diagnostic" array are NEVER gated — neither by --metric
+nor by the time-per-level check when "seconds" itself is flagged —
+because the producing bench declared them load-sensitive observations
+(e.g. shard/critical_s, the wall-clock critical path measured on a
+timeshared simulator).
+
 Exit codes: 0 = within tolerance, 1 = regression, 2 = unusable input
 (schema mismatch, different operating point, no comparable runs).
 
@@ -49,6 +58,27 @@ def time_per_level(run):
     return seconds / levels
 
 
+def diagnostics_of(run):
+    """Metric names this run flags as diagnostic (never gated)."""
+    names = run.get("diagnostic", [])
+    return set(names) if isinstance(names, list) else set()
+
+
+def parse_metric_specs(specs, default_tol):
+    """--metric NAME[:TOL] -> [(name, tol)]."""
+    parsed = []
+    for spec in specs or []:
+        name, sep, tol = spec.rpartition(":")
+        if sep and name:
+            try:
+                parsed.append((name, float(tol)))
+                continue
+            except ValueError:
+                pass  # a metric name containing ':' with no tolerance
+        parsed.append((spec, default_tol))
+    return parsed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -61,6 +91,11 @@ def main():
                         help="allowed fractional peak-RSS regression when "
                              "both reports record peak_rss_bytes "
                              "(default 0.25)")
+    parser.add_argument("--metric", action="append", default=[],
+                        metavar="NAME[:TOL]",
+                        help="also gate this metric per run (repeatable); "
+                             "TOL defaults to --tolerance. Runs that flag "
+                             "the metric as diagnostic are skipped.")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -79,27 +114,47 @@ def main():
         sys.exit(2)
 
     base_runs = {(r["graph"], r["backend"]): r for r in baseline["runs"]}
+    metric_specs = parse_metric_specs(args.metric, args.tolerance)
     regressions = []
     compared = 0
+    skipped_diagnostic = 0
 
-    print(f"{'graph':<16} {'backend':<8} {'base ms/level':>14} "
+    print(f"{'graph':<16} {'backend':<20} {'base ms/level':>14} "
           f"{'cur ms/level':>14} {'delta':>8}")
     for run in current["runs"]:
         key = (run["graph"], run["backend"])
         base = base_runs.get(key)
         if base is None:
             continue
-        base_tpl = time_per_level(base)
-        cur_tpl = time_per_level(run)
-        if base_tpl is None or cur_tpl is None or base_tpl <= 0:
-            continue
-        compared += 1
-        delta = cur_tpl / base_tpl - 1.0
-        flag = "  REGRESSED" if delta > args.tolerance else ""
-        print(f"{key[0]:<16} {key[1]:<8} {base_tpl * 1e3:>14.3f} "
-              f"{cur_tpl * 1e3:>14.3f} {delta:>+7.1%}{flag}")
-        if delta > args.tolerance:
-            regressions.append((key, delta))
+        diag = diagnostics_of(run) | diagnostics_of(base)
+        if "seconds" in diag:
+            skipped_diagnostic += 1
+        else:
+            base_tpl = time_per_level(base)
+            cur_tpl = time_per_level(run)
+            if base_tpl is not None and cur_tpl is not None and base_tpl > 0:
+                compared += 1
+                delta = cur_tpl / base_tpl - 1.0
+                flag = "  REGRESSED" if delta > args.tolerance else ""
+                print(f"{key[0]:<16} {key[1]:<20} {base_tpl * 1e3:>14.3f} "
+                      f"{cur_tpl * 1e3:>14.3f} {delta:>+7.1%}{flag}")
+                if delta > args.tolerance:
+                    regressions.append((key, delta))
+        for name, tol in metric_specs:
+            if name in diag:
+                skipped_diagnostic += 1
+                continue
+            base_v = base.get("metrics", {}).get(name)
+            cur_v = run.get("metrics", {}).get(name)
+            if base_v is None or cur_v is None or base_v <= 0:
+                continue
+            compared += 1
+            delta = cur_v / base_v - 1.0
+            flag = "  REGRESSED" if delta > tol else ""
+            print(f"{key[0]:<16} {key[1] + ' ' + name:<20} "
+                  f"{base_v:>14.3f} {cur_v:>14.3f} {delta:>+7.1%}{flag}")
+            if delta > tol:
+                regressions.append(((key[0], f"{key[1]}:{name}"), delta))
 
     if compared == 0:
         print("error: no comparable (graph, backend) runs between the files",
@@ -116,12 +171,14 @@ def main():
         if rss_delta > args.rss_tolerance:
             regressions.append((("peak_rss_bytes", "report"), rss_delta))
 
-    print(f"\n{compared} runs compared, tolerance {args.tolerance:.0%}")
+    note = (f" ({skipped_diagnostic} diagnostic check(s) skipped)"
+            if skipped_diagnostic else "")
+    print(f"\n{compared} checks compared, tolerance {args.tolerance:.0%}{note}")
     if regressions:
         print(f"{len(regressions)} regression(s):", file=sys.stderr)
         for (graph, backend), delta in regressions:
             what = ("peak RSS" if graph == "peak_rss_bytes"
-                    else "time per level")
+                    else "gated value")
             print(f"  {graph}/{backend}: {delta:+.1%} {what}",
                   file=sys.stderr)
         return 1

@@ -41,6 +41,11 @@ def structural_check(doc, path):
                 return f"{path}: runs[{i}].metrics.{key} is not numeric"
             if key.startswith("zg/") and value < 0:
                 return f"{path}: runs[{i}].metrics.{key} is negative"
+        diag = run.get("diagnostic")
+        if diag is not None:
+            if not isinstance(diag, list) or any(
+                    not isinstance(d, str) for d in diag):
+                return f"{path}: runs[{i}].diagnostic must be a string list"
     return None
 
 

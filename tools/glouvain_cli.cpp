@@ -61,6 +61,7 @@ int usage(const char* error = nullptr) {
                "            [--storage plain|zcsr|mmap] [--table sentinel|occ]\n"
                "            [--device scalar|vector|auto] [--shards K]\n"
                "            [--partition block|random|hubrep] [--partition-seed N]\n"
+               "            [--concurrent-shards] [--shard-storage plain|mmap]\n"
                "  compress  varint-compress a graph into a .zg container\n"
                "            --in FILE --out FILE.zg\n"
                "  batch     run a manifest of graphs through the service\n"
@@ -68,6 +69,7 @@ int usage(const char* error = nullptr) {
                "            [--aux A] [--queue Q] [--cache C] [--repeat R]\n"
                "            [--backend auto|core|seq|plm|multi|shard]\n"
                "            [--shards K] [--partition block|random|hubrep]\n"
+               "            [--concurrent-shards] [--shard-storage plain|mmap]\n"
                "            [--deadline MS]\n"
                "  stream    apply delta batches to a dynamic-graph session\n"
                "            --in FILE --deltas FILE [--backend core|seq]\n"
@@ -223,6 +225,14 @@ int cmd_detect(util::Options& opt) {
       opt.get_int("shards", 1, "shard count (shard backend only)"));
   options.partition_seed = static_cast<std::uint64_t>(
       opt.get_int("partition-seed", 1, "random-partition seed"));
+  options.concurrent_shards = opt.get_flag(
+      "concurrent-shards", "run shards concurrently on pooled devices");
+  const std::string shard_storage_arg = opt.get_string(
+      "shard-storage", "plain", "plain | mmap (out-of-core shard graphs)");
+  if (!detect::parse_shard_storage(shard_storage_arg, options.shard_storage)) {
+    return fail_status(util::Status::invalid_argument(
+        "unknown --shard-storage: " + shard_storage_arg));
+  }
   if (!detect::parse_table_layout(table_arg, options.table_layout)) {
     return fail_status(
         util::Status::invalid_argument("unknown --table: " + table_arg));
@@ -359,6 +369,15 @@ int cmd_batch(util::Options& opt) {
       "seq-limit", 1 << 13, "n+m at or below this runs on the seq backend"));
   cfg.options.shards = static_cast<unsigned>(
       opt.get_int("shards", 1, "shard count (shard backend only)"));
+  cfg.options.concurrent_shards = opt.get_flag(
+      "concurrent-shards", "run shards concurrently on pooled devices");
+  const std::string serve_storage_arg = opt.get_string(
+      "shard-storage", "plain", "plain | mmap (out-of-core shard graphs)");
+  if (!detect::parse_shard_storage(serve_storage_arg,
+                                   cfg.options.shard_storage)) {
+    return fail_status(util::Status::invalid_argument(
+        "unknown --shard-storage: " + serve_storage_arg));
+  }
   const std::string partition_arg = opt.get_string(
       "partition", "", "block | random | hubrep (shard backend only)");
   if (!partition_arg.empty() &&

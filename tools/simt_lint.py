@@ -33,6 +33,15 @@ with rules that are cheaper to enforce at the source level:
                    explicit exchange message in a real deployment.
                    Passing the whole vector (e.g. to device_modularity)
                    is allowed; only element access is flagged.
+  shard-barrier    cross-shard mutable state touched inside a
+                   run_lanes() fan-out body — the sharded engine's
+                   concurrent Jacobi rounds require every lane to treat
+                   the global view (GlobalState writes via apply_move /
+                   store_label / rebuild_tot, and the last_moved /
+                   dirty_round stamps) as read-only until the join
+                   barrier publishes buffered proposals; a write from
+                   inside the fan-out is a data race on a real
+                   multi-device deployment. Reads are allowed.
 
 Engine: regex over comment/string-stripped sources (line numbers
 preserved). When --compile-commands points at a compile_commands.json
@@ -56,7 +65,7 @@ import re
 import sys
 
 RULES = ("raw-atomic", "raw-intrinsic", "seq-cst", "kernel-alloc",
-         "unpaired-launch", "shard-ghost")
+         "unpaired-launch", "shard-ghost", "shard-barrier")
 SOURCE_EXT = (".cpp", ".hpp", ".cc", ".h")
 OBS_WINDOW = 40  # lines an obs span may precede its launch by
 
@@ -75,6 +84,14 @@ ALLOC_RE = re.compile(
     r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|"
     r"(\.|->)\s*(push_back|emplace_back|resize|reserve)\s*\(")
 SHARD_GHOST_RE = re.compile(r"\b(labels_raw|tot_raw)\s*\[")
+# The sharded engine's concurrent fan-out: everything brace-enclosed
+# after a run_lanes( call runs on a lane thread before the barrier.
+LANES_RE = re.compile(r"\brun_lanes\s*(<[^>]*>)?\s*\(")
+# Cross-shard mutations that must wait for the barrier: GlobalState
+# writers, and assignment (not comparison) to the round-stamp arrays.
+SHARD_BARRIER_RE = re.compile(
+    r"(\.|->)\s*(apply_move|store_label|rebuild_tot)\s*\(|"
+    r"\b(last_moved|dirty_round)\s*\[[^\]]*\]\s*=(?!=)")
 SUPPRESS_RE = re.compile(r"simt-lint:\s*allow\(([a-z-]+)\)")
 
 
@@ -180,6 +197,44 @@ def launch_bodies(lines):
         i = launch_at + 1
 
 
+def lanes_bodies(lines):
+    """Yield (call_line, body_line) pairs for every line inside a
+    run_lanes() fan-out body, via brace counting from the call site
+    (same mechanics as launch_bodies). A `;` reached before any `{`
+    marks a bodiless prototype / pointer-passing call — without the
+    guard its scan would run on into the NEXT function's braces and
+    double-report whatever a later fan-out contains."""
+    i = 0
+    n = len(lines)
+    while i < n:
+        if not LANES_RE.search(lines[i]):
+            i += 1
+            continue
+        call_at = i
+        depth = 0
+        opened = False
+        bodiless = False
+        j = i
+        while j < n:
+            for ch in lines[j]:
+                if ch == "{":
+                    depth += 1
+                    opened = True
+                elif ch == "}":
+                    depth -= 1
+                elif ch == ";" and not opened:
+                    bodiless = True
+                    break
+            if bodiless:
+                break
+            if opened:
+                yield call_at, j
+                if depth <= 0:
+                    break
+            j += 1
+        i = call_at + 1
+
+
 def lint_file(path, rel, findings):
     with open(path, encoding="utf-8", errors="replace") as f:
         raw = f.read()
@@ -214,6 +269,16 @@ def lint_file(path, rel, findings):
             add(idx, "shard-ghost",
                 "direct element access to the exchanged shard arrays — "
                 "go through the GlobalState accessors (shard/halo.hpp)")
+
+    for call_at, body_line in lanes_bodies(lines):
+        if body_line == call_at:
+            continue
+        m = SHARD_BARRIER_RE.search(lines[body_line])
+        if m:
+            add(body_line + 1, "shard-barrier",
+                f"'{m.group(0).strip()}' inside a run_lanes() fan-out — "
+                "cross-shard state is read-only until the join barrier; "
+                "buffer the mutation as a proposal instead")
 
     if not simt:
         spans = [i for i, l in enumerate(lines, start=1) if OBS_SPAN_RE.search(l)]
