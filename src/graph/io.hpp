@@ -21,33 +21,33 @@ namespace glouvain::graph {
 /// skipped. Vertices may be sparse ids; they are NOT compacted — ids
 /// are used verbatim, so n = max id + 1. Each undirected edge should
 /// appear once; duplicates merge.
-util::StatusOr<Csr> try_load_edge_list(const std::string& path);
+[[nodiscard]] util::StatusOr<Csr> try_load_edge_list(const std::string& path);
 Csr load_edge_list(const std::string& path);
 
 /// MatrixMarket `%%MatrixMarket matrix coordinate (real|pattern|integer)
 /// (general|symmetric)` files, 1-indexed. Symmetric files give the
 /// lower triangle once; general files are symmetrized by merge.
-util::StatusOr<Csr> try_load_matrix_market(const std::string& path);
+[[nodiscard]] util::StatusOr<Csr> try_load_matrix_market(const std::string& path);
 Csr load_matrix_market(const std::string& path);
 
 /// METIS .graph: header `n m [fmt]`, then one line of neighbors per
 /// vertex (1-indexed), weights if fmt says so.
-util::StatusOr<Csr> try_load_metis(const std::string& path);
+[[nodiscard]] util::StatusOr<Csr> try_load_metis(const std::string& path);
 Csr load_metis(const std::string& path);
 
 /// Dispatch on extension: .mtx → MatrixMarket, .graph/.metis → METIS,
 /// .bin → binary, anything else → edge list.
-util::StatusOr<Csr> try_load_auto(const std::string& path);
+[[nodiscard]] util::StatusOr<Csr> try_load_auto(const std::string& path);
 Csr load_auto(const std::string& path);
 
 /// Compact binary snapshot (magic + sizes + raw arrays, little-endian).
-util::Status try_save_binary(const Csr& graph, const std::string& path);
+[[nodiscard]] util::Status try_save_binary(const Csr& graph, const std::string& path);
 void save_binary(const Csr& graph, const std::string& path);
-util::StatusOr<Csr> try_load_binary(const std::string& path);
+[[nodiscard]] util::StatusOr<Csr> try_load_binary(const std::string& path);
 Csr load_binary(const std::string& path);
 
 /// Write as a plain `u v w` edge list (each undirected edge once).
-util::Status try_save_edge_list(const Csr& graph, const std::string& path);
+[[nodiscard]] util::Status try_save_edge_list(const Csr& graph, const std::string& path);
 void save_edge_list(const Csr& graph, const std::string& path);
 
 }  // namespace glouvain::graph

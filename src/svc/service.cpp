@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -187,6 +188,10 @@ Service::Service(const ServiceConfig& config)
   impl_->devices.reserve(config_.devices);
   for (unsigned d = 0; d < config_.devices; ++d) {
     auto made = detect::make("core", impl_->run_ext);
+    if (!made.ok()) {
+      throw std::runtime_error("svc: cannot construct core detector: " +
+                               made.status().to_string());
+    }
     impl_->devices.push_back(std::move(made.value()));
   }
 

@@ -82,8 +82,8 @@ class Service {
   /// Status-reporting admission: backpressure comes back as
   /// kResourceExhausted (no job record is left behind) instead of a
   /// Rejected job the caller must wait() on.
-  util::StatusOr<JobId> try_submit(graph::Csr graph,
-                                   const JobOptions& options = {});
+  [[nodiscard]] util::StatusOr<JobId> try_submit(
+      graph::Csr graph, const JobOptions& options = {});
 
   /// Current status, without blocking. Unknown ids (including ids
   /// already consumed by wait()) report Cancelled.
@@ -117,19 +117,19 @@ class Service {
   /// the calling thread. `priority` is the fixed priority of every
   /// ApplyDelta job of this session (per-delta priorities would let the
   /// queue reorder a session's deltas).
-  util::StatusOr<SessionId> open_session(graph::Csr graph,
-                                         stream::SessionOptions options = {},
-                                         int priority = 0);
+  [[nodiscard]] util::StatusOr<SessionId> open_session(
+      graph::Csr graph, stream::SessionOptions options = {},
+      int priority = 0);
 
   /// Queue one delta batch (job kind ApplyDelta). The returned JobId
   /// supports poll()/wait() like any other job; its JobResult::result
   /// holds the post-delta partition of the whole graph.
-  util::StatusOr<JobId> submit_delta(SessionId session, stream::Delta delta,
-                                     bool use_cache = true);
+  [[nodiscard]] util::StatusOr<JobId> submit_delta(
+      SessionId session, stream::Delta delta, bool use_cache = true);
 
   /// Close an idle session. kFailedPrecondition while delta jobs are
   /// still queued or running; wait() on them first.
-  util::Status close_session(SessionId session);
+  [[nodiscard]] util::Status close_session(SessionId session);
 
   struct SessionInfo {
     SessionId id = kInvalidSession;
@@ -141,7 +141,7 @@ class Service {
     unsigned pinned_worker = 0;     ///< device worker the session runs on
     std::size_t outstanding = 0;    ///< queued + running delta jobs
   };
-  util::StatusOr<SessionInfo> session_info(SessionId session) const;
+  [[nodiscard]] util::StatusOr<SessionInfo> session_info(SessionId session) const;
 
   /// Release paused workers (see ServiceConfig::start_paused).
   void resume();

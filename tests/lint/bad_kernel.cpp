@@ -8,8 +8,9 @@
 //   raw-intrinsic    the <immintrin.h> include and the _mm256 gather
 //   seq-cst          the memory_order_seq_cst load
 //   kernel-alloc     the push_back / new inside the launch body
-//   unpaired-launch  the launch with no obs::Span nearby
 // The suppressed std::atomic at the end must NOT be reported.
+// (unpaired-launch moved to tools/glint.py — tests/lint/
+// bad_unpaired_launch.cpp is its fixture now.)
 
 #include <atomic>
 #include <cstddef>
@@ -32,7 +33,6 @@ inline int bad_seq_cst_read() {
 }
 
 inline void bad_kernel(simt::Device& device, std::vector<int>& sink) {
-  // unpaired-launch: no obs::Span opened anywhere in this file.
   device.launch(64, [&](simt::TaskContext& ctx) {
     sink.push_back(static_cast<int>(ctx.task()));  // kernel-alloc: growth
     int* leak = new int(static_cast<int>(ctx.task()));  // kernel-alloc: new

@@ -1,0 +1,60 @@
+// glint fixture: lock-order cycle. Two mutexes acquired in opposite
+// orders by two call paths — the classic AB/BA deadlock, one function
+// call deep on each side so the regex lint structurally cannot see it.
+// NOT part of any build target; the `glint_fixture_lock_cycle` ctest
+// runs glint over this file with --expect-violations.
+//
+// Expected findings:
+//   lock-cycle   Ledger::m_ -> Journal::m_ -> Ledger::m_
+// The aligned pair at the bottom (both paths take Ledger then Journal)
+// must NOT add a second cycle.
+
+#include <mutex>
+#include <vector>
+
+namespace glouvain::fixture {
+
+class Journal {
+ public:
+  void append(int v) {
+    std::lock_guard<std::mutex> lock(m_);
+    entries_.push_back(v);
+  }
+  // Reverse edge: Journal::m_ held while reaching into the ledger.
+  template <typename Ledger>
+  void reconcile(Ledger& ledger) {
+    std::lock_guard<std::mutex> lock(m_);
+    ledger.total();  // acquires Ledger::m_ under Journal::m_
+  }
+
+ private:
+  std::mutex m_;
+  std::vector<int> entries_;
+};
+
+class Ledger {
+ public:
+  // Forward edge: Ledger::m_ held while append() takes Journal::m_.
+  void post(Journal& journal, int v) {
+    std::lock_guard<std::mutex> lock(m_);
+    sum_ += v;
+    journal.append(v);
+  }
+  long total() {
+    std::lock_guard<std::mutex> lock(m_);
+    return sum_;
+  }
+
+ private:
+  std::mutex m_;
+  long sum_ = 0;
+};
+
+// Consistent ordering (Ledger -> Journal on both paths) is fine and
+// must not be reported as a second cycle.
+inline void aligned(Ledger& ledger, Journal& journal) {
+  ledger.post(journal, 1);
+  ledger.post(journal, 2);
+}
+
+}  // namespace glouvain::fixture

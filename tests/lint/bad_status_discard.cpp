@@ -1,0 +1,54 @@
+// glint fixture: util::Status / StatusOr discipline. A try_* result
+// dropped on the floor as an expression statement, and .value() calls
+// with no dominating .ok() check (one on a named StatusOr, one on a
+// temporary that could never have been checked). NOT part of any build
+// target; run with --expect-violations.
+//
+// Expected findings:
+//   status-discard   the bare try_flush(...) statement
+//   unchecked-value  parsed.value() with no parsed.ok() anywhere
+//   unchecked-value  try_parse(...).value() on the temporary
+// The checked consumer at the bottom must NOT be reported.
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace glouvain::fixture {
+
+inline util::Status try_flush(const std::string& path) {
+  if (path.empty()) return util::Status::invalid_argument("empty path");
+  return util::Status::ok_status();
+}
+
+inline util::StatusOr<int> try_parse(const std::string& text) {
+  if (text.empty()) return util::Status::invalid_argument("empty");
+  return static_cast<int>(text.size());
+}
+
+// status-discard: the Status is an expression statement — an IO error
+// here vanishes without a trace.
+inline void bad_discard(const std::string& path) {
+  try_flush(path);
+}
+
+// unchecked-value: no .ok() consultation of `parsed` on any path.
+inline int bad_value(const std::string& text) {
+  auto parsed = try_parse(text);
+  return parsed.value();
+}
+
+// unchecked-value (temporary): the StatusOr is never even bound, so no
+// check could possibly dominate the access.
+inline int bad_temporary(const std::string& text) {
+  return try_parse(text).value();
+}
+
+// Clean: checked before use, error propagated.
+inline util::StatusOr<int> good_checked(const std::string& text) {
+  auto parsed = try_parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return parsed.value() * 2;
+}
+
+}  // namespace glouvain::fixture

@@ -1,0 +1,76 @@
+// glint fixture: blocking while holding a lock. A worker holds its
+// registry mutex and (a) calls a pool acquire() that condition-waits
+// for a free device — the DevicePool::acquire-under-svc-lock hazard
+// from DESIGN.md §14 — and (b) waits on a condition_variable while a
+// SECOND lock is held (the wait releases only its own mutex). NOT part
+// of any build target; run with --expect-violations.
+//
+// Expected findings:
+//   blocking-under-lock  registry_m_ held across pool.acquire_slot()
+//   wait-holding-lock    cv wait releasing pool m_ but not registry_m_
+// The clean consumer at the bottom (wait with only its own lock held)
+// must NOT be reported.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace glouvain::fixture {
+
+class SlotPool {
+ public:
+  // Blocks until a slot frees up: transitively a cv wait, which glint
+  // must discover through the call graph.
+  unsigned acquire_slot() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return free_ > 0; });
+    return --free_;
+  }
+  void release_slot() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      ++free_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  unsigned free_ = 2;
+};
+
+class Registry {
+ public:
+  // blocking-under-lock: the registry lock is held across a call that
+  // condition-waits; every other registry user now waits on the pool.
+  unsigned bad_assign(SlotPool& pool) {
+    std::lock_guard<std::mutex> lock(registry_m_);
+    ++assignments_;
+    return pool.acquire_slot();
+  }
+
+  // wait-holding-lock: the wait releases pool_m_ while registry_m_
+  // stays held through the sleep.
+  void bad_nested_wait() {
+    std::lock_guard<std::mutex> reg_lock(registry_m_);
+    std::unique_lock<std::mutex> lock(pool_m_);
+    ready_cv_.wait(lock, [&] { return ready_; });
+    ++assignments_;
+  }
+
+  // Clean: waiting with only the waited-on mutex held is the normal
+  // condition-variable idiom and must not be flagged.
+  void good_wait() {
+    std::unique_lock<std::mutex> lock(pool_m_);
+    ready_cv_.wait(lock, [&] { return ready_; });
+  }
+
+ private:
+  std::mutex registry_m_;
+  std::mutex pool_m_;
+  std::condition_variable ready_cv_;
+  bool ready_ = false;
+  unsigned assignments_ = 0;
+};
+
+}  // namespace glouvain::fixture

@@ -21,9 +21,6 @@ with rules that are cheaper to enforce at the source level:
                    Device::launch body — kernels draw from the
                    SharedArena / Workspace (the cudaMalloc-once
                    discipline guarded by core_workspace_test).
-  unpaired-launch  a Device::launch call with no obs span opened within
-                   the preceding 40 lines — every kernel must be
-                   attributable in phase tables and traces.
   shard-ghost      element indexing into the sharded engine's exchanged
                    label/total arrays (labels_raw[...] / tot_raw[...])
                    outside src/shard/halo.hpp — cross-shard reads and
@@ -42,6 +39,12 @@ with rules that are cheaper to enforce at the source level:
                    barrier publishes buffered proposals; a write from
                    inside the fan-out is a data race on a real
                    multi-device deployment. Reads are allowed.
+
+Span/launch pairing (unpaired-launch) lives in tools/glint.py now: it
+is a live-range property of the span's SCOPE, which the AST-shaped
+analyzer gets right and a line-proximity regex cannot. glint also
+re-checks kernel-alloc and shard-barrier transitively (one call deep
+and beyond); the shallow body scans here remain as the fast fallback.
 
 Engine: regex over comment/string-stripped sources (line numbers
 preserved). When --compile-commands points at a compile_commands.json
@@ -65,9 +68,8 @@ import re
 import sys
 
 RULES = ("raw-atomic", "raw-intrinsic", "seq-cst", "kernel-alloc",
-         "unpaired-launch", "shard-ghost", "shard-barrier")
+         "shard-ghost", "shard-barrier")
 SOURCE_EXT = (".cpp", ".hpp", ".cc", ".h")
-OBS_WINDOW = 40  # lines an obs span may precede its launch by
 
 RAW_ATOMIC_RE = re.compile(
     r"std\s*::\s*atomic(_ref|_flag)?\b|^\s*#\s*include\s*<atomic>")
@@ -76,10 +78,6 @@ RAW_INTRINSIC_RE = re.compile(
     r"\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[id]?\b")
 SEQ_CST_RE = re.compile(r"\bmemory_order_seq_cst\b|\bmemory_order\s*::\s*seq_cst\b")
 LAUNCH_RE = re.compile(r"\bdevice_?\s*(\.|->)\s*(launch|for_each)\s*\(")
-# Only true kernel launches need an obs span; for_each is the trivial
-# elementwise form that also runs outside instrumented phases.
-KERNEL_LAUNCH_RE = re.compile(r"\bdevice_?\s*(\.|->)\s*launch\s*\(")
-OBS_SPAN_RE = re.compile(r"\bobs\s*::\s*Span\b|\bbegin_span\s*\(")
 ALLOC_RE = re.compile(
     r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|"
     r"(\.|->)\s*(push_back|emplace_back|resize|reserve)\s*\(")
@@ -281,17 +279,10 @@ def lint_file(path, rel, findings):
                 "buffer the mutation as a proposal instead")
 
     if not simt:
-        spans = [i for i, l in enumerate(lines, start=1) if OBS_SPAN_RE.search(l)]
         body_of = {}
         for launch_at, body_line in launch_bodies(lines):
             body_of.setdefault(launch_at, []).append(body_line)
         for launch_at in body_of:
-            lineno = launch_at + 1
-            if KERNEL_LAUNCH_RE.search(lines[launch_at]) and not any(
-                    lineno - OBS_WINDOW <= s <= lineno for s in spans):
-                add(lineno, "unpaired-launch",
-                    "kernel launch with no obs span opened in the previous "
-                    f"{OBS_WINDOW} lines")
             for body_line in body_of[launch_at]:
                 if body_line == launch_at:
                     continue
